@@ -1,0 +1,73 @@
+//! §5.3 latency benchmark: time per admission decision.
+//!
+//! The paper measures "the time interval between the instant a new
+//! flow arrives and the admission decision": ≤2 ms median for
+//! RateBased/MaxClient, ≈5 ms for ExBox's Python SVM. The shape to
+//! reproduce is the ordering (baselines ≪ ExBox) — our Rust SMO is
+//! orders of magnitude faster than their Python in absolute terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use exbox_core::prelude::*;
+use exbox_ml::Label;
+use exbox_net::AppClass;
+
+fn matrix(total: u32) -> TrafficMatrix {
+    let mut m = TrafficMatrix::empty();
+    for i in 0..total {
+        let class = AppClass::from_index((i % 3) as usize);
+        m.add(FlowKind::new(class, SnrLevel::High));
+    }
+    m
+}
+
+fn request(total_after: u32) -> FlowRequest {
+    FlowRequest {
+        kind: FlowKind::new(AppClass::Streaming, SnrLevel::High),
+        demand_bps: 2_500_000.0,
+        resulting_matrix: matrix(total_after),
+    }
+}
+
+/// ExBox controller trained online on `n` observations of a simple
+/// capacity region (total ≤ 12 flows).
+fn trained_exbox(n: u32) -> ExBoxController {
+    let mut ex = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+        bootstrap_min_samples: 50,
+        ..AdmittanceConfig::default()
+    }));
+    for i in 0..n {
+        let total = i % 20;
+        let label = if total <= 12 { Label::Pos } else { Label::Neg };
+        ex.on_observation(matrix(total), label);
+    }
+    ex
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_decision");
+
+    let mut rate_based = RateBased::new(20_000_000.0);
+    group.bench_function("RateBased", |b| {
+        b.iter(|| black_box(rate_based.decide(black_box(&request(5)))))
+    });
+
+    let mut max_client = MaxClient::new(10);
+    group.bench_function("MaxClient", |b| {
+        b.iter(|| black_box(max_client.decide(black_box(&request(5)))))
+    });
+
+    for n in [50u32, 200, 1000] {
+        let mut exbox = trained_exbox(n);
+        group.bench_with_input(
+            BenchmarkId::new("ExBox", format!("{n}-samples")),
+            &n,
+            |b, _| b.iter(|| black_box(exbox.decide(black_box(&request(5))))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

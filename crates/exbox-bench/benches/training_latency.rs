@@ -1,0 +1,65 @@
+//! §5.3 latency benchmark: Admittance Classifier training time vs
+//! training-set size.
+//!
+//! The paper: "Training the Admittance Classifier for ExBox with 50
+//! samples takes ≈360 ms median latency. The training latency
+//! increases to more than 2 seconds when 1000 samples are
+//! considered", and cites primal optimisation as the fix. Shape to
+//! reproduce: superlinear growth for the kernel-SMO path, near-linear
+//! for the Pegasos primal path (the paper's suggested remedy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use exbox_ml::prelude::*;
+
+/// A noisy two-region dataset in traffic-matrix-like feature space.
+fn dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(6);
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..n {
+        let x: Vec<f64> = (0..6).map(|_| (next() % 12) as f64).collect();
+        let total: f64 = x.iter().sum();
+        let label = if total <= 30.0 { Label::Pos } else { Label::Neg };
+        ds.push(x, label);
+    }
+    ds
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_latency");
+    group.sample_size(10);
+
+    for n in [50usize, 200, 1000] {
+        let ds = dataset(n);
+        let scaler = StandardScaler::fit(&ds);
+        let scaled = scaler.transform_dataset(&ds);
+
+        group.bench_with_input(BenchmarkId::new("smo_poly2", n), &n, |b, _| {
+            let t = SvmTrainer::new(Kernel::poly(1.0 / 6.0, 1.0, 2)).c(10.0);
+            b.iter(|| black_box(t.train(black_box(&scaled))))
+        });
+        group.bench_with_input(BenchmarkId::new("smo_rbf", n), &n, |b, _| {
+            let t = SvmTrainer::new(Kernel::rbf_default(6)).c(10.0);
+            b.iter(|| black_box(t.train(black_box(&scaled))))
+        });
+        group.bench_with_input(BenchmarkId::new("pegasos_linear", n), &n, |b, _| {
+            let t = LinearSvmTrainer::new();
+            b.iter(|| black_box(t.train(black_box(&scaled))))
+        });
+        group.bench_with_input(BenchmarkId::new("logistic", n), &n, |b, _| {
+            let t = LogisticRegressionTrainer::new();
+            b.iter(|| black_box(t.train(black_box(&scaled))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

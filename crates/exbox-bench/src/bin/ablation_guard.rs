@@ -1,0 +1,42 @@
+//! Ablation: the monotonicity guard (an extension beyond the paper).
+//!
+//! Capacity regions are downward closed — adding flows never improves
+//! anyone's QoE — so a matrix dominating a known-inadmissible matrix
+//! must be inadmissible. The guard enforces this before consulting
+//! the model. This ablation measures its effect under clean and noisy
+//! labels: with clean labels it should help (or at least not hurt);
+//! with label noise it makes the controller more conservative —
+//! higher precision, lower recall — because one noisy negative label
+//! vetoes its whole dominance cone until re-observed.
+//!
+//! Output: `labels,guard,precision,recall,accuracy`.
+
+use exbox_bench::{csv_header, f, wifi_fluid_labeler};
+use exbox_core::prelude::*;
+use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
+use exbox_traffic::RandomPattern;
+
+fn main() {
+    csv_header(&["labels", "guard", "precision", "recall", "accuracy"]);
+    let mixes = RandomPattern::new(25, 60, 0xAB1B).matrices(260);
+
+    for (labels, noise) in [("clean", 0.0), ("noisy", 0.25)] {
+        let mut labeler = wifi_fluid_labeler(noise, 0xAB1B);
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+        for guard in [false, true] {
+            let mut ex = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+                monotone_guard: guard,
+                batch_size: 20,
+                bootstrap_min_samples: 60,
+                ..AdmittanceConfig::default()
+            }));
+            let m = evaluate_online(&mut ex, &samples, 50).metrics();
+            println!(
+                "{labels},{guard},{},{},{}",
+                f(m.precision),
+                f(m.recall),
+                f(m.accuracy)
+            );
+        }
+    }
+}

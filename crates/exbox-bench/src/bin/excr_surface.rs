@@ -1,0 +1,63 @@
+//! Dump the *learnt* Experiential Capacity Region as a Fig.-2c-style
+//! slice (companion to `fig02_heatmaps`, which plots the *true*
+//! region; comparing the two CSVs shows how faithfully the Admittance
+//! Classifier reconstructed the boundary).
+//!
+//! Output: `conf,stream,admissible,score` for the (streaming ×
+//! conferencing) plane at zero web flows, after training ExBox on the
+//! scale-up workload.
+
+use exbox_bench::{csv_header, exbox_controller, f, standard_estimator, wifi_fluid_labeler};
+use exbox_core::excr::region_slice;
+use exbox_core::matrix::{FlowKind, SnrLevel, TrafficMatrix};
+use exbox_net::AppClass;
+use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
+use exbox_traffic::RandomPattern;
+
+fn main() {
+    eprintln!("fitting the IQX estimator...");
+    let (estimator, _, _) = standard_estimator();
+
+    // Train on a random scale-up workload covering the plane.
+    let mixes = RandomPattern::new(40, 80, 0xE8C2).matrices(600);
+    let mut labeler = wifi_fluid_labeler(0.05, 0xE8C2);
+    let mut samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, Some(&estimator));
+    for s in &mut samples {
+        s.truth = s.observed; // simulation-mode labels (§6.4)
+    }
+    eprintln!("training on {} samples...", samples.len());
+    let mut exbox = exbox_controller(100, 300);
+    let report = evaluate_online(&mut exbox, &samples, 200);
+    eprintln!(
+        "online metrics while learning: {}",
+        report.metrics()
+    );
+
+    // Extract the learnt slice.
+    let stream = FlowKind::new(AppClass::Streaming, SnrLevel::High);
+    let conf = FlowKind::new(AppClass::Conferencing, SnrLevel::High);
+    let cells = region_slice(
+        exbox.classifier(),
+        &TrafficMatrix::empty(),
+        stream,
+        40,
+        conf,
+        40,
+    );
+    csv_header(&["conf", "stream", "admissible", "score"]);
+    for c in &cells {
+        println!(
+            "{},{},{},{}",
+            c.y,
+            c.x,
+            u8::from(c.admissible),
+            c.score.map_or("".to_string(), f)
+        );
+    }
+    // Per-axis capacities, the numbers the paper quotes off Fig. 2c.
+    let cap_stream =
+        exbox_core::excr::max_admissible(exbox.classifier(), &TrafficMatrix::empty(), stream, 60);
+    let cap_conf =
+        exbox_core::excr::max_admissible(exbox.classifier(), &TrafficMatrix::empty(), conf, 60);
+    eprintln!("learnt per-axis capacity: {cap_stream} streaming, {cap_conf} conferencing");
+}

@@ -1,0 +1,44 @@
+//! Figure 9 (a/b): per-application accuracy on WiFi and LTE,
+//! Random traffic.
+//!
+//! "Accuracy is computed as the fraction of flows of each application
+//! which were correctly admitted or rejected." Expected shape: ExBox
+//! beats both baselines for every class; its streaming accuracy is
+//! closest to RateBased (streaming is rate-sensitive) while the gap
+//! is largest for delay-sensitive web and conferencing.
+//!
+//! Output: `network,controller,class,accuracy`.
+
+use exbox_bench::{
+    csv_header, f, lte_testbed_labeler, run_three_controllers, wifi_testbed_labeler,
+    LTE_CAPACITY_BPS, WIFI_CAPACITY_BPS,
+};
+use exbox_net::AppClass;
+use exbox_testbed::{build_samples, SnrPolicy};
+use exbox_traffic::RandomPattern;
+
+fn main() {
+    csv_header(&["network", "controller", "class", "accuracy"]);
+
+    // WiFi.
+    let mixes = RandomPattern::new(4, 10, 0xF16_9).matrices(180);
+    let mut labeler = wifi_testbed_labeler(0x91F1);
+    eprintln!("labelling WiFi ground truth...");
+    let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+    for (name, report) in run_three_controllers(&samples, 50, 20, 50, WIFI_CAPACITY_BPS) {
+        for class in AppClass::ALL {
+            println!("wifi,{name},{class},{}", f(report.class_accuracy(class)));
+        }
+    }
+
+    // LTE.
+    let mixes = RandomPattern::new(4, 8, 0xF16_A).matrices(150);
+    let mut labeler = lte_testbed_labeler(0x917E);
+    eprintln!("labelling LTE ground truth...");
+    let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+    for (name, report) in run_three_controllers(&samples, 50, 10, 50, LTE_CAPACITY_BPS) {
+        for class in AppClass::ALL {
+            println!("lte,{name},{class},{}", f(report.class_accuracy(class)));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 10: sensitivity to the online batch size.
+//!
+//! Precision vs samples fed online for batch sizes 10 / 20 / 40 on
+//! both testbeds, with the (batch-insensitive) baselines for
+//! reference. Expected shape: the Admittance Classifier is sensitive
+//! to batch size — 20 works best for WiFi and 10 for LTE in the paper
+//! — and dominates the baselines at every batch size.
+//!
+//! Output: `network,series,fed,precision`.
+
+use exbox_bench::{
+    csv_header, exbox_controller, f, lte_testbed_labeler, wifi_testbed_labeler, MAX_CLIENT_CAP,
+    LTE_CAPACITY_BPS, WIFI_CAPACITY_BPS,
+};
+use exbox_core::prelude::*;
+use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
+use exbox_traffic::RandomPattern;
+
+fn main() {
+    csv_header(&["network", "series", "fed", "precision"]);
+
+    for (network, cap_total, capacity) in
+        [("wifi", 10u32, WIFI_CAPACITY_BPS), ("lte", 8, LTE_CAPACITY_BPS)] {
+        let mixes = RandomPattern::new(4, cap_total, 0xF16_10).matrices(200);
+        eprintln!("labelling {network} ground truth...");
+        let mut labeler = if network == "wifi" {
+            wifi_testbed_labeler(0xA1F1)
+        } else {
+            lte_testbed_labeler(0xA17E)
+        };
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+        eprintln!("{network}: {} samples", samples.len());
+
+        for batch in [10usize, 20, 40] {
+            let mut ex = exbox_controller(batch, 50);
+            let report = evaluate_online(&mut ex, &samples, 25);
+            for p in &report.points {
+                println!("{network},batch{batch},{},{}", p.fed, f(p.window.precision));
+            }
+        }
+        let mut rb = RateBased::new(capacity);
+        for p in &evaluate_online(&mut rb, &samples, 25).points {
+            println!("{network},RateBased,{},{}", p.fed, f(p.window.precision));
+        }
+        let mut mc = MaxClient::new(MAX_CLIENT_CAP);
+        for p in &evaluate_online(&mut mc, &samples, 25).points {
+            println!("{network},MaxClient,{},{}", p.fed, f(p.window.precision));
+        }
+    }
+}

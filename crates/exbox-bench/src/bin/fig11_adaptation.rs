@@ -1,0 +1,113 @@
+//! Figure 11: Admittance Classifier performance when network
+//! behaviour changes (WiFi and LTE testbeds).
+//!
+//! Protocol follows §5.3: the classifier bootstraps on data from the
+//! *unthrottled* network (10% of the dataset), then the network is
+//! traffic-shaped to 200 ms added latency (the paper's `tc` step) and
+//! every subsequent arrival is scored against the throttled ground
+//! truth. Expected shape: initial precision collapses to ≈0.5 (the
+//! learnt region is stale), then online batch updates re-learn the
+//! smaller region and precision climbs back to ≈0.8 within ≈200
+//! samples on WiFi, faster on LTE. Baselines are flat — RateBased
+//! still sees the same declared rates, MaxClient the same counts —
+//! and stay wrong about the throttled capacity.
+//!
+//! Output: `network,controller,fed,precision,recall,accuracy`.
+
+use exbox_bench::{
+    csv_header, exbox_controller, lte_testbed_labeler, print_series, wifi_testbed_labeler,
+    LTE_CAPACITY_BPS, MAX_CLIENT_CAP, WIFI_CAPACITY_BPS,
+};
+use exbox_core::prelude::*;
+use exbox_net::Duration;
+use exbox_sim::lte::LteConfig;
+use exbox_sim::wifi::{Backhaul, WifiConfig};
+use exbox_testbed::cell::{AppModelSet, CellModel};
+use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
+use exbox_traffic::RandomPattern;
+
+fn main() {
+    csv_header(&["network", "controller", "fed", "precision", "recall", "accuracy"]);
+
+    for network in ["wifi", "lte"] {
+        let (cap_total, capacity, batch) = match network {
+            "wifi" => (10u32, WIFI_CAPACITY_BPS, 20usize),
+            _ => (8, LTE_CAPACITY_BPS, 10),
+        };
+        let mixes = RandomPattern::new(4, cap_total, 0xF16_11).matrices(220);
+
+        // Phase 1: unthrottled ground truth (10% of the run).
+        let mut clean_labeler = if network == "wifi" {
+            wifi_testbed_labeler(0xB1F1)
+        } else {
+            lte_testbed_labeler(0xB17E)
+        };
+        let n_bootstrap_mixes = mixes.len() / 10;
+        eprintln!("{network}: labelling unthrottled bootstrap slice...");
+        let bootstrap_samples = build_samples(
+            &mixes[..n_bootstrap_mixes],
+            SnrPolicy::AllHigh,
+            &mut clean_labeler,
+            None,
+        );
+
+        // Phase 2: the same workload on the throttled network
+        // (200 ms added latency through the gateway, as with tc).
+        eprintln!("{network}: labelling throttled phase...");
+        let mut throttled_labeler = match network {
+            "wifi" => exbox_testbed::cell::CellLabeler::new(
+                CellModel::WifiDes {
+                    cfg: WifiConfig {
+                        per_tx_overhead: Duration::from_micros(450),
+                        backhaul: Backhaul::throttled_200ms(15_000_000),
+                        ..WifiConfig::default()
+                    },
+                    duration: Duration::from_secs(12),
+                    models: AppModelSet::testbed(),
+                },
+                0xB1F2,
+            ),
+            _ => exbox_testbed::cell::CellLabeler::new(
+                CellModel::LteDes {
+                    cfg: LteConfig {
+                        backhaul: Backhaul {
+                            rate_bps: 12_000_000,
+                            delay: Duration::from_millis(230),
+                            loss: 0.0,
+                        },
+                        ..LteConfig::default()
+                    },
+                    duration: Duration::from_secs(12),
+                    models: AppModelSet::testbed(),
+                },
+                0xB17F,
+            ),
+        };
+        let throttled_samples = build_samples(
+            &mixes[n_bootstrap_mixes..],
+            SnrPolicy::AllHigh,
+            &mut throttled_labeler,
+            None,
+        );
+        eprintln!(
+            "{network}: {} bootstrap + {} throttled samples",
+            bootstrap_samples.len(),
+            throttled_samples.len()
+        );
+
+        // ExBox: bootstrap on the clean slice, then score on the
+        // throttled stream (stale model forced online first).
+        let mut exbox = exbox_controller(batch, bootstrap_samples.len().min(50));
+        for s in &bootstrap_samples {
+            exbox.on_observation(s.matrix, s.observed);
+        }
+        let report = evaluate_online(&mut exbox, &throttled_samples, 25);
+        print_series(network, "ExBox", &report);
+        eprintln!("{network}/ExBox: overall {}", report.metrics());
+
+        let mut rb = RateBased::new(capacity);
+        print_series(network, "RateBased", &evaluate_online(&mut rb, &throttled_samples, 25));
+        let mut mc = MaxClient::new(MAX_CLIENT_CAP);
+        print_series(network, "MaxClient", &evaluate_online(&mut mc, &throttled_samples, 25));
+    }
+}

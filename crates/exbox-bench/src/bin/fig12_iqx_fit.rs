@@ -1,0 +1,43 @@
+//! Figure 12 (a/b/c): fitting the IQX equation for web, video
+//! streaming and video conferencing.
+//!
+//! The training-device methodology of §5.3: shape the link over the
+//! paper's grid (100 kbps–20 Mbps × 10–250 ms), run each app per
+//! profile, record (normalised QoS, QoE), and least-squares fit
+//! `QoE = α + β·e^(−γ·QoS)` per class. Expected shape: decaying
+//! exponentials for page-load time and startup delay (β > 0), a
+//! rising saturating curve for PSNR (β < 0); the paper reports RMSEs
+//! of 1.37 s (web), 3.64 s (streaming), 4.462 dB (conferencing).
+//!
+//! Output: scatter points `class,norm_qos,qoe` on stdout; fitted
+//! parameters and RMSE per class on stderr.
+
+use exbox_bench::{csv_header, f, standard_estimator};
+use exbox_net::AppClass;
+
+fn main() {
+    eprintln!("running the rate x latency training sweep...");
+    let (estimator, rmse, sweep) = standard_estimator();
+
+    csv_header(&["class", "norm_qos", "qoe"]);
+    for class in AppClass::ALL {
+        for &(q, e) in &sweep.points[class.index()] {
+            println!("{class},{},{}", f(q), f(e));
+        }
+    }
+    for class in AppClass::ALL {
+        let m = estimator.model(class).iqx;
+        eprintln!(
+            "{class}: alpha={:.3} beta={:.3} gamma={:.3} rmse={:.3} ({})",
+            m.alpha,
+            m.beta,
+            m.gamma,
+            rmse[class.index()],
+            match class {
+                AppClass::Web => "page load time, s — paper RMSE 1.37 s",
+                AppClass::Streaming => "startup delay, s — paper RMSE 3.64 s",
+                AppClass::Conferencing => "PSNR, dB — paper RMSE 4.462 dB",
+            }
+        );
+    }
+}

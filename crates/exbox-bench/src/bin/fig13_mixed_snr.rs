@@ -1,0 +1,92 @@
+//! Figure 13: ExBox performance with diverse SNR, compared with
+//! baselines (scale-up study, §6.3).
+//!
+//! The LiveLab trace runs over the simulated 802.11n WLAN with every
+//! arriving client placed randomly in a high-SNR (≈53 dB) or low-SNR
+//! (≈23 dB) location, producing ≈21 000 samples in the full
+//! `<a_{web,high}, a_{web,low}, …, (c, ℓ)>` space. Observed labels
+//! come from the IQX estimate on network-side QoS (the paper: "The
+//! Y_m ∈ {−1,+1} is computed by using the IQX model"), while scoring
+//! uses app-level ground truth. Batch sizes are larger than the
+//! testbed's (100/200/400 — "implying less frequent updates").
+//!
+//! Expected shape: ExBox precision ≥0.8 from the larger bootstrap and
+//! rising toward ≈0.95 with batch updates; RateBased stuck ≈0.65.
+//!
+//! Output: `series,fed,precision`.
+
+use exbox_bench::{
+    csv_header, exbox_controller, f, standard_estimator, wifi_fluid_labeler, MAX_CLIENT_CAP,
+    SCALEUP_WIFI_CAPACITY_BPS,
+};
+use exbox_core::prelude::*;
+use exbox_testbed::cell::scaleup_fluid_demands;
+use exbox_testbed::eval::evaluate_online_with_demand;
+use exbox_testbed::{build_samples, SnrPolicy};
+use exbox_traffic::LiveLabGenerator;
+
+/// Declared demand per class under the trace-replay profile.
+fn demand(class: exbox_net::AppClass) -> f64 {
+    scaleup_fluid_demands()[class.index()]
+}
+
+fn main() {
+    csv_header(&["series", "fed", "precision"]);
+
+    eprintln!("fitting the IQX estimator...");
+    let (estimator, _, _) = standard_estimator();
+
+    // ~21k samples: 34 users, 8 days, enterprise-busy activity so
+    // the concurrency (≈25 simultaneous flows) straddles the
+    // mixed-SNR capacity boundary — admission control's operating
+    // point (an idle cell teaches and tests nothing).
+    let workload = LiveLabGenerator {
+        days: 8,
+        sessions_per_user_day: 110.0,
+        session_length_scale: 2.0,
+        ..LiveLabGenerator::default()
+    };
+    let mixes = workload.matrices();
+    eprintln!("workload: {} matrices", mixes.len());
+    let mut labeler = wifi_fluid_labeler(0.10, 0xF16_13);
+    let mut samples = build_samples(
+        &mixes,
+        SnrPolicy::RandomMix { p_low: 0.5, seed: 0x5412 },
+        &mut labeler,
+        Some(&estimator),
+    );
+    // In the paper's simulation studies the IQX estimate IS the label
+    // (§6.4: "Y_m represents the QoE (calculated from IQX)") — both
+    // for training and for scoring. Only the testbed figures have an
+    // independent on-device ground truth.
+    for s in &mut samples {
+        s.truth = s.observed;
+    }
+    eprintln!("{} mixed-SNR samples", samples.len());
+
+    // Larger bootstrap, as in populous networks.
+    for batch in [100usize, 200, 400] {
+        let mut ex = exbox_controller(batch, 400);
+        let report = evaluate_online_with_demand(&mut ex, &samples, 400, &demand);
+        eprintln!(
+            "batch{batch}: bootstrap {} overall {}",
+            report.bootstrap_used,
+            report.metrics()
+        );
+        for p in &report.points {
+            println!("batch{batch},{},{}", p.fed, f(p.window.precision));
+        }
+    }
+    let mut rb = RateBased::new(SCALEUP_WIFI_CAPACITY_BPS);
+    let report = evaluate_online_with_demand(&mut rb, &samples, 400, &demand);
+    eprintln!("RateBased: overall {}", report.metrics());
+    for p in &report.points {
+        println!("RateBased,{},{}", p.fed, f(p.window.precision));
+    }
+    let mut mc = MaxClient::new(MAX_CLIENT_CAP);
+    let report = evaluate_online_with_demand(&mut mc, &samples, 400, &demand);
+    eprintln!("MaxClient: overall {}", report.metrics());
+    for p in &report.points {
+        println!("MaxClient,{},{}", p.fed, f(p.window.precision));
+    }
+}

@@ -1,0 +1,555 @@
+//! The Admittance Classifier (paper §3.1, Fig. 4).
+//!
+//! A binary classifier over traffic matrices that learns the ExCR
+//! boundary online:
+//!
+//! * **Bootstrap phase** — every flow is admitted; observed
+//!   `(X_m, Y_m)` tuples accumulate. Periodic n-fold cross-validation
+//!   gates the exit: once held-out accuracy crosses the configured
+//!   threshold, the classifier goes online.
+//! * **Online phase** — each arrival is classified admissible /
+//!   inadmissible; after every batch of `B` recorded outcomes the
+//!   model retrains on everything observed so far, with repeated
+//!   traffic matrices taking their *latest* observed label (the
+//!   paper's freshness rule, which is what lets ExBox adapt when the
+//!   network itself changes — Fig. 11).
+
+use std::collections::HashMap;
+
+use exbox_ml::prelude::*;
+
+use crate::matrix::TrafficMatrix;
+
+/// Which learning backend drives the classifier. The paper uses an
+/// RBF-kernel SVM but stresses the module is swappable; the
+/// alternatives here power the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClassifierBackend {
+    /// SMO-trained SVM with an RBF kernel (`gamma = None` ⇒ 1/dims).
+    SvmRbf {
+        /// Soft-margin cost.
+        c: f64,
+        /// Kernel width; `None` selects `1/dims`.
+        gamma: Option<f64>,
+    },
+    /// SMO-trained SVM with a linear kernel.
+    SvmLinear {
+        /// Soft-margin cost.
+        c: f64,
+    },
+    /// SMO-trained SVM with a polynomial kernel. Degree 2 is the
+    /// default backend: capacity-region boundaries are smooth and
+    /// near-convex in count space (paper Fig. 2c), and polynomial
+    /// decision functions extrapolate monotonically — unlike RBF,
+    /// whose decision collapses to the bias far outside the training
+    /// hull and can admit absurdly large matrices.
+    SvmPoly {
+        /// Soft-margin cost.
+        c: f64,
+        /// Polynomial degree (2 recommended).
+        degree: u32,
+    },
+    /// Logistic regression (full-batch gradient descent).
+    Logistic,
+    /// Pegasos linear SVM (fast primal path for large stores).
+    PegasosLinear,
+}
+
+/// Configuration of the Admittance Classifier.
+#[derive(Debug, Clone)]
+pub struct AdmittanceConfig {
+    /// Learning backend.
+    pub backend: ClassifierBackend,
+    /// Online batch size `B` (paper: 20 WiFi / 10 LTE testbed,
+    /// 100–400 at scale).
+    pub batch_size: usize,
+    /// Monotonicity guard (extension beyond the paper): capacity
+    /// regions are downward closed — adding flows never improves
+    /// anyone's QoE — so a query matrix that componentwise dominates
+    /// a stored inadmissible matrix must be inadmissible, and one
+    /// dominated by a stored admissible matrix must be admissible.
+    /// Applied before the model; makes the controller conservative
+    /// under label noise (the `ablation_guard` bench quantifies it).
+    pub monotone_guard: bool,
+    /// Minimum samples before bootstrap exit is considered (paper:
+    /// "bootstrapping can be done with ≈50 samples").
+    pub bootstrap_min_samples: usize,
+    /// Held-out accuracy needed to leave bootstrap.
+    pub bootstrap_accuracy: f64,
+    /// Folds for the bootstrap cross-validation.
+    pub cv_folds: usize,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for AdmittanceConfig {
+    fn default() -> Self {
+        AdmittanceConfig {
+            backend: ClassifierBackend::SvmPoly { c: 10.0, degree: 2 },
+            batch_size: 20,
+            monotone_guard: false,
+            bootstrap_min_samples: 50,
+            bootstrap_accuracy: 0.7,
+            cv_folds: 5,
+            seed: 0xADB0,
+        }
+    }
+}
+
+/// Operating phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Observing only; all flows admitted.
+    Bootstrap,
+    /// Classifying arrivals; batch retraining.
+    Online,
+}
+
+/// A trained model of whichever backend.
+#[derive(Debug, Clone)]
+enum Model {
+    Svm(SvmModel),
+    Logistic(LogisticRegression),
+    Pegasos(LinearSvm),
+}
+
+impl Model {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        match self {
+            Model::Svm(m) => m.decision_value(x),
+            Model::Logistic(m) => m.decision_value(x),
+            Model::Pegasos(m) => m.decision_value(x),
+        }
+    }
+}
+
+/// The Admittance Classifier.
+#[derive(Debug)]
+pub struct AdmittanceClassifier {
+    cfg: AdmittanceConfig,
+    phase: Phase,
+    /// Insertion-ordered sample store; the map gives the index of the
+    /// latest entry for each distinct matrix so repeats *replace*.
+    samples: Vec<(TrafficMatrix, Label)>,
+    index: HashMap<TrafficMatrix, usize>,
+    pending: usize,
+    observations: u64,
+    retrain_count: u64,
+    scaler: Option<StandardScaler>,
+    model: Option<Model>,
+}
+
+impl AdmittanceClassifier {
+    /// New classifier in the bootstrap phase.
+    ///
+    /// # Panics
+    /// Panics on nonsensical configuration (zero batch, folds < 2,
+    /// accuracy outside (0, 1]).
+    pub fn new(cfg: AdmittanceConfig) -> Self {
+        assert!(cfg.batch_size >= 1, "batch size must be at least 1");
+        assert!(cfg.cv_folds >= 2, "cross-validation needs >= 2 folds");
+        assert!(
+            cfg.bootstrap_accuracy > 0.0 && cfg.bootstrap_accuracy <= 1.0,
+            "bootstrap accuracy must be in (0, 1]"
+        );
+        AdmittanceClassifier {
+            cfg,
+            phase: Phase::Bootstrap,
+            samples: Vec::new(),
+            index: HashMap::new(),
+            pending: 0,
+            observations: 0,
+            retrain_count: 0,
+            scaler: None,
+            model: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Number of distinct traffic matrices stored (repeats replace).
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total observations fed in, counting repeats — the paper's
+    /// notion of "samples".
+    pub fn num_observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// How many times the model has been (re)trained.
+    pub fn retrain_count(&self) -> u64 {
+        self.retrain_count
+    }
+
+    /// Record one observation: the matrix that resulted from an
+    /// admission and whether all flows' QoE stayed acceptable
+    /// (`Label::Pos`) or not. Repeated matrices replace their stored
+    /// label. Returns `true` if this observation triggered a phase
+    /// change or a retrain.
+    pub fn observe(&mut self, matrix: TrafficMatrix, label: Label) -> bool {
+        self.observations += 1;
+        match self.index.get(&matrix) {
+            Some(&i) => self.samples[i].1 = label,
+            None => {
+                self.index.insert(matrix, self.samples.len());
+                self.samples.push((matrix, label));
+            }
+        }
+        match self.phase {
+            Phase::Bootstrap => self.try_exit_bootstrap(),
+            Phase::Online => {
+                self.pending += 1;
+                if self.pending >= self.cfg.batch_size {
+                    self.pending = 0;
+                    self.retrain();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Attempt the bootstrap-exit check: enough samples, both classes
+    /// present, and CV accuracy above threshold.
+    fn try_exit_bootstrap(&mut self) -> bool {
+        if self.observations < self.cfg.bootstrap_min_samples as u64 {
+            return false;
+        }
+        let ds = self.dataset();
+        if !ds.has_both_classes() || ds.len() < self.cfg.cv_folds {
+            return false;
+        }
+        let acc = self.cv_accuracy(&ds);
+        if acc >= self.cfg.bootstrap_accuracy {
+            self.retrain();
+            self.phase = Phase::Online;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cross-validated accuracy on the (scaled) sample store.
+    fn cv_accuracy(&self, ds: &Dataset) -> f64 {
+        let scaler = StandardScaler::fit(ds);
+        let scaled = scaler.transform_dataset(ds);
+        match self.cfg.backend {
+            ClassifierBackend::SvmRbf { c, gamma } => {
+                let kernel = match gamma {
+                    Some(g) => Kernel::rbf(g),
+                    None => Kernel::rbf_default(scaled.dims()),
+                };
+                let t = SvmTrainer::new(kernel).c(c).seed(self.cfg.seed);
+                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
+            }
+            ClassifierBackend::SvmLinear { c } => {
+                let t = SvmTrainer::new(Kernel::Linear).c(c).seed(self.cfg.seed);
+                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
+            }
+            ClassifierBackend::SvmPoly { c, degree } => {
+                let kernel = Kernel::poly(1.0 / scaled.dims() as f64, 1.0, degree);
+                let t = SvmTrainer::new(kernel).c(c).seed(self.cfg.seed);
+                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
+            }
+            ClassifierBackend::Logistic => {
+                let t = LogisticRegressionTrainer::new();
+                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
+            }
+            ClassifierBackend::PegasosLinear => {
+                let t = LinearSvmTrainer::new().seed(self.cfg.seed);
+                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
+            }
+        }
+    }
+
+    /// Sample store as an ML dataset.
+    fn dataset(&self) -> Dataset {
+        let mut ds = Dataset::new(TrafficMatrix::DIMS);
+        for (m, y) in &self.samples {
+            ds.push(m.features(), *y);
+        }
+        ds
+    }
+
+    /// Retrain the model from the full store (paper: "re-computes the
+    /// Admittance Classifier with all the (X_m, Y_m) observed so far").
+    pub fn retrain(&mut self) {
+        let ds = self.dataset();
+        if ds.is_empty() {
+            return;
+        }
+        let scaler = StandardScaler::fit(&ds);
+        let scaled = scaler.transform_dataset(&ds);
+        let model = match self.cfg.backend {
+            ClassifierBackend::SvmRbf { c, gamma } => {
+                let kernel = match gamma {
+                    Some(g) => Kernel::rbf(g),
+                    None => Kernel::rbf_default(scaled.dims()),
+                };
+                Model::Svm(SvmTrainer::new(kernel).c(c).seed(self.cfg.seed).train(&scaled))
+            }
+            ClassifierBackend::SvmLinear { c } => Model::Svm(
+                SvmTrainer::new(Kernel::Linear)
+                    .c(c)
+                    .seed(self.cfg.seed)
+                    .train(&scaled),
+            ),
+            ClassifierBackend::SvmPoly { c, degree } => {
+                let kernel = Kernel::poly(1.0 / scaled.dims() as f64, 1.0, degree);
+                Model::Svm(SvmTrainer::new(kernel).c(c).seed(self.cfg.seed).train(&scaled))
+            }
+            ClassifierBackend::Logistic => {
+                Model::Logistic(LogisticRegressionTrainer::new().train(&scaled))
+            }
+            ClassifierBackend::PegasosLinear => {
+                Model::Pegasos(LinearSvmTrainer::new().seed(self.cfg.seed).train(&scaled))
+            }
+        };
+        self.scaler = Some(scaler);
+        self.model = Some(model);
+        self.retrain_count += 1;
+    }
+
+    /// Signed distance-like score for the matrix that would result
+    /// from an admission: positive ⇒ inside the learnt ExCR. `None`
+    /// until a model exists (bootstrap before first training).
+    pub fn decision_value(&self, resulting: &TrafficMatrix) -> Option<f64> {
+        let scaler = self.scaler.as_ref()?;
+        let model = self.model.as_ref()?;
+        Some(model.decision_value(&scaler.transform(&resulting.features())))
+    }
+
+    /// Classify an arrival (by the matrix it would produce). During
+    /// bootstrap every flow is admissible by definition.
+    pub fn classify(&self, resulting: &TrafficMatrix) -> Label {
+        match self.phase {
+            Phase::Bootstrap => Label::Pos,
+            Phase::Online => {
+                if self.cfg.monotone_guard {
+                    if let Some(label) = self.dominance_label(resulting) {
+                        return label;
+                    }
+                }
+                match self.decision_value(resulting) {
+                    Some(v) => Label::from_signum(v),
+                    None => Label::Pos,
+                }
+            }
+        }
+    }
+
+    /// Downward-closure check against the stored samples: `Neg` when
+    /// the query dominates a known-inadmissible matrix, `Pos` when a
+    /// known-admissible matrix dominates the query. Exact matches are
+    /// covered by both rules (dominance is reflexive), so a stored
+    /// matrix returns its stored label, negatives winning ties.
+    fn dominance_label(&self, query: &TrafficMatrix) -> Option<Label> {
+        let qf = query.features();
+        let dominates = |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| x >= y);
+        let mut dominated_by_pos = false;
+        for (m, y) in &self.samples {
+            let mf = m.features();
+            match y {
+                Label::Neg if dominates(&qf, &mf) => return Some(Label::Neg),
+                Label::Pos if dominates(&mf, &qf) => dominated_by_pos = true,
+                _ => {}
+            }
+        }
+        dominated_by_pos.then_some(Label::Pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{FlowKind, SnrLevel};
+    use exbox_net::AppClass;
+
+    /// Synthetic ground truth: the network supports total ≤ 6 flows
+    /// (a simple ExCR).
+    fn truth(m: &TrafficMatrix) -> Label {
+        if m.total() <= 6 {
+            Label::Pos
+        } else {
+            Label::Neg
+        }
+    }
+
+    fn matrix(web: u32, stream: u32, conf: u32) -> TrafficMatrix {
+        let mut m = TrafficMatrix::empty();
+        for _ in 0..web {
+            m.add(FlowKind::new(AppClass::Web, SnrLevel::High));
+        }
+        for _ in 0..stream {
+            m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+        }
+        for _ in 0..conf {
+            m.add(FlowKind::new(AppClass::Conferencing, SnrLevel::High));
+        }
+        m
+    }
+
+    fn feed_bootstrap(ac: &mut AdmittanceClassifier) {
+        // Diverse grid of observations spanning both labels.
+        for w in 0..4 {
+            for s in 0..4 {
+                for c in 0..4 {
+                    let m = matrix(w, s, c);
+                    ac.observe(m, truth(&m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starts_in_bootstrap_and_admits_everything() {
+        let ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        assert_eq!(ac.phase(), Phase::Bootstrap);
+        assert_eq!(ac.classify(&matrix(30, 30, 30)), Label::Pos);
+    }
+
+    #[test]
+    fn exits_bootstrap_when_learnable() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.phase(), Phase::Online, "should have gone online");
+        assert!(ac.retrain_count() >= 1);
+    }
+
+    #[test]
+    fn online_classification_matches_simple_excr() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.phase(), Phase::Online);
+        assert_eq!(ac.classify(&matrix(1, 1, 1)), Label::Pos);
+        assert_eq!(ac.classify(&matrix(4, 4, 4)), Label::Neg);
+    }
+
+    #[test]
+    fn bootstrap_requires_min_samples() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            bootstrap_min_samples: 1_000,
+            ..AdmittanceConfig::default()
+        });
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.phase(), Phase::Bootstrap);
+    }
+
+    #[test]
+    fn repeated_matrix_replaces_label() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        let m = matrix(1, 0, 0);
+        ac.observe(m, Label::Pos);
+        assert_eq!(ac.num_samples(), 1);
+        ac.observe(m, Label::Neg);
+        assert_eq!(ac.num_samples(), 1, "repeat must replace, not append");
+    }
+
+    #[test]
+    fn online_retrains_every_batch() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 5,
+            ..AdmittanceConfig::default()
+        });
+        feed_bootstrap(&mut ac);
+        let base = ac.retrain_count();
+        // 5 new distinct observations => exactly one retrain.
+        for w in 10..15 {
+            let m = matrix(w, 0, 0);
+            ac.observe(m, truth(&m));
+        }
+        assert_eq!(ac.retrain_count(), base + 1);
+    }
+
+    #[test]
+    fn adapts_to_relabelled_world() {
+        // The Fig. 11 mechanism: after the network changes, fresh
+        // labels replace stale ones and retraining moves the boundary.
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 10,
+            ..AdmittanceConfig::default()
+        });
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.classify(&matrix(2, 2, 1)), Label::Pos);
+        // Network throttled: now only total <= 2 is acceptable.
+        let new_truth = |m: &TrafficMatrix| {
+            if m.total() <= 2 {
+                Label::Pos
+            } else {
+                Label::Neg
+            }
+        };
+        // The workload revisits the whole grid under the new regime;
+        // the freshness rule replaces every stale label.
+        for _round in 0..3 {
+            for w in 0..4 {
+                for s in 0..4 {
+                    for c in 0..4 {
+                        let m = matrix(w, s, c);
+                        ac.observe(m, new_truth(&m));
+                    }
+                }
+            }
+        }
+        assert_eq!(ac.classify(&matrix(2, 2, 1)), Label::Neg, "failed to adapt");
+        assert_eq!(ac.classify(&matrix(1, 0, 0)), Label::Pos);
+    }
+
+    #[test]
+    fn decision_value_orders_by_depth_in_region() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        feed_bootstrap(&mut ac);
+        let shallow = ac.decision_value(&matrix(2, 2, 2)).unwrap();
+        let deep = ac.decision_value(&matrix(0, 0, 1)).unwrap();
+        assert!(
+            deep > shallow,
+            "deeper inside the ExCR should score higher: {deep} vs {shallow}"
+        );
+    }
+
+    #[test]
+    fn all_backends_learn_the_simple_excr() {
+        for backend in [
+            ClassifierBackend::SvmRbf { c: 10.0, gamma: None },
+            ClassifierBackend::SvmLinear { c: 10.0 },
+            ClassifierBackend::SvmPoly { c: 10.0, degree: 2 },
+            ClassifierBackend::Logistic,
+            ClassifierBackend::PegasosLinear,
+        ] {
+            let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+                backend,
+                ..AdmittanceConfig::default()
+            });
+            feed_bootstrap(&mut ac);
+            assert_eq!(ac.phase(), Phase::Online, "{backend:?} stuck in bootstrap");
+            assert_eq!(
+                ac.classify(&matrix(1, 1, 0)),
+                Label::Pos,
+                "{backend:?} rejects tiny matrix"
+            );
+            // Query inside the observed range (RBF cannot be trusted
+            // outside the training hull — that is why SvmPoly is the
+            // default backend).
+            assert_eq!(
+                ac.classify(&matrix(3, 3, 3)),
+                Label::Neg,
+                "{backend:?} admits overloaded matrix"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        let _ = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 0,
+            ..AdmittanceConfig::default()
+        });
+    }
+}

@@ -1,0 +1,272 @@
+//! App-based admission control (paper §4.5).
+//!
+//! "Many modern applications use multiple flows in the same app. For
+//! example, YouTube uses separate flows to play the main video and to
+//! load video recommendations. … The admission control now can use a
+//! heuristic that admits all flows for that app if the dominant flows
+//! are admitted." The paper leaves this as future work; this module
+//! implements that heuristic:
+//!
+//! * flows are grouped into *apps* by `(client address, application
+//!   class)` — the granularity a gateway can observe without device
+//!   cooperation,
+//! * the first classified flow of an app is its **dominant** flow: it
+//!   goes through real admission control and its decision sticks,
+//! * subsequent flows of the same app (analytics, ads, control
+//!   channels) **inherit** the dominant decision without consuming an
+//!   additional admission slot,
+//! * when an app's last flow departs, the group dissolves and the slot
+//!   is released.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use exbox_net::{AppClass, FlowKey};
+
+use crate::baselines::{AdmissionController, Decision, FlowRequest};
+use crate::matrix::{FlowKind, TrafficMatrix};
+
+/// Identity of an app session at gateway granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppKey {
+    /// The client device.
+    pub client: Ipv4Addr,
+    /// The application class.
+    pub class: AppClass,
+}
+
+impl AppKey {
+    /// Derive the app key for a flow of a known class.
+    pub fn of(flow: &FlowKey, class: AppClass) -> Self {
+        AppKey {
+            client: flow.client_ip,
+            class,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct AppState {
+    decision: Decision,
+    kind: FlowKind,
+    demand_bps: f64,
+    /// Live flows of this app (the dominant flow is the first).
+    flows: Vec<FlowKey>,
+}
+
+/// Per-app admission layered over any [`AdmissionController`].
+#[derive(Debug, Default)]
+pub struct AppAdmission {
+    apps: HashMap<AppKey, AppState>,
+}
+
+impl AppAdmission {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live app groups.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Decide for one classified flow.
+    ///
+    /// The first flow of an app is dominant: the wrapped controller
+    /// decides and (on admit) is notified via
+    /// [`AdmissionController::on_admitted`]. Later flows of the same
+    /// app inherit the stored decision without touching the
+    /// controller — they ride the dominant flow's slot.
+    pub fn decide_flow(
+        &mut self,
+        controller: &mut dyn AdmissionController,
+        flow: &FlowKey,
+        req: &FlowRequest,
+    ) -> Decision {
+        let key = AppKey::of(flow, req.kind.class);
+        if let Some(app) = self.apps.get_mut(&key) {
+            if !app.flows.contains(flow) {
+                app.flows.push(*flow);
+            }
+            return app.decision;
+        }
+        let decision = controller.decide(req);
+        if decision == Decision::Admit {
+            controller.on_admitted(req);
+        }
+        self.apps.insert(
+            key,
+            AppState {
+                decision,
+                kind: req.kind,
+                demand_bps: req.demand_bps,
+                flows: vec![*flow],
+            },
+        );
+        decision
+    }
+
+    /// A flow ended. When it was the app's last flow, the app group
+    /// dissolves and (if it had been admitted) the wrapped controller
+    /// is told the slot is free. Returns `true` when the app ended.
+    pub fn flow_departed(
+        &mut self,
+        controller: &mut dyn AdmissionController,
+        flow: &FlowKey,
+        class: AppClass,
+    ) -> bool {
+        let key = AppKey::of(flow, class);
+        let Some(app) = self.apps.get_mut(&key) else {
+            return false;
+        };
+        app.flows.retain(|f| f != flow);
+        if !app.flows.is_empty() {
+            return false;
+        }
+        let app = self.apps.remove(&key).expect("checked above");
+        if app.decision == Decision::Admit {
+            controller.on_departure(app.kind, app.demand_bps);
+        }
+        true
+    }
+
+    /// The decision currently standing for an app, if any.
+    pub fn decision_for(&self, flow: &FlowKey, class: AppClass) -> Option<Decision> {
+        self.apps.get(&AppKey::of(flow, class)).map(|a| a.decision)
+    }
+
+    /// Traffic matrix counting *apps* (dominant flows), not raw flows
+    /// — the X encoding the paper suggests for app-based control.
+    pub fn app_matrix(&self) -> TrafficMatrix {
+        let mut m = TrafficMatrix::empty();
+        for app in self.apps.values() {
+            if app.decision == Decision::Admit {
+                m.add(app.kind);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::MaxClient;
+    use crate::matrix::SnrLevel;
+    use exbox_net::Protocol;
+
+    fn flow(client: u32, flow_id: u32) -> FlowKey {
+        FlowKey::synthetic(client, flow_id, 1, Protocol::Tcp)
+    }
+
+    fn req(class: AppClass, total_after: u32) -> FlowRequest {
+        let kind = FlowKind::new(class, SnrLevel::High);
+        let mut m = TrafficMatrix::empty();
+        for _ in 0..total_after {
+            m.add(kind);
+        }
+        FlowRequest {
+            kind,
+            demand_bps: 1_000_000.0,
+            resulting_matrix: m,
+        }
+    }
+
+    #[test]
+    fn subsidiary_flows_inherit_admit_without_slots() {
+        let mut mc = MaxClient::new(2);
+        let mut apps = AppAdmission::new();
+        // YouTube app on client 1: video flow + recommendations flow.
+        let video = flow(1, 1);
+        let recs = flow(1, 2);
+        assert_eq!(
+            apps.decide_flow(&mut mc, &video, &req(AppClass::Streaming, 1)),
+            Decision::Admit
+        );
+        assert_eq!(
+            apps.decide_flow(&mut mc, &recs, &req(AppClass::Streaming, 1)),
+            Decision::Admit
+        );
+        // Only ONE MaxClient slot consumed by the whole app.
+        assert_eq!(mc.active(), 1);
+        assert_eq!(apps.num_apps(), 1);
+    }
+
+    #[test]
+    fn subsidiary_flows_inherit_reject() {
+        let mut mc = MaxClient::new(0_u32.max(1)); // cap 1
+        let mut apps = AppAdmission::new();
+        // Fill the only slot with client 1's app.
+        apps.decide_flow(&mut mc, &flow(1, 1), &req(AppClass::Web, 1));
+        // Client 2's app is rejected; its second flow inherits that.
+        let d1 = apps.decide_flow(&mut mc, &flow(2, 5), &req(AppClass::Web, 2));
+        let d2 = apps.decide_flow(&mut mc, &flow(2, 6), &req(AppClass::Web, 2));
+        assert_eq!(d1, Decision::Reject);
+        assert_eq!(d2, Decision::Reject);
+    }
+
+    #[test]
+    fn different_classes_on_one_client_are_different_apps() {
+        let mut mc = MaxClient::new(10);
+        let mut apps = AppAdmission::new();
+        apps.decide_flow(&mut mc, &flow(1, 1), &req(AppClass::Web, 1));
+        apps.decide_flow(&mut mc, &flow(1, 2), &req(AppClass::Streaming, 2));
+        assert_eq!(apps.num_apps(), 2);
+        assert_eq!(mc.active(), 2);
+    }
+
+    #[test]
+    fn app_slot_released_when_last_flow_departs() {
+        let mut mc = MaxClient::new(1);
+        let mut apps = AppAdmission::new();
+        let f1 = flow(1, 1);
+        let f2 = flow(1, 2);
+        apps.decide_flow(&mut mc, &f1, &req(AppClass::Streaming, 1));
+        apps.decide_flow(&mut mc, &f2, &req(AppClass::Streaming, 1));
+        assert_eq!(mc.active(), 1);
+        // First flow leaves: app persists.
+        assert!(!apps.flow_departed(&mut mc, &f1, AppClass::Streaming));
+        assert_eq!(mc.active(), 1);
+        // Last flow leaves: slot released.
+        assert!(apps.flow_departed(&mut mc, &f2, AppClass::Streaming));
+        assert_eq!(mc.active(), 0);
+        assert_eq!(apps.num_apps(), 0);
+    }
+
+    #[test]
+    fn rejected_app_departure_releases_nothing() {
+        let mut mc = MaxClient::new(1);
+        let mut apps = AppAdmission::new();
+        apps.decide_flow(&mut mc, &flow(1, 1), &req(AppClass::Web, 1));
+        let f = flow(2, 9);
+        assert_eq!(
+            apps.decide_flow(&mut mc, &f, &req(AppClass::Web, 2)),
+            Decision::Reject
+        );
+        apps.flow_departed(&mut mc, &f, AppClass::Web);
+        // The admitted app still holds its slot.
+        assert_eq!(mc.active(), 1);
+    }
+
+    #[test]
+    fn app_matrix_counts_admitted_apps() {
+        let mut mc = MaxClient::new(1);
+        let mut apps = AppAdmission::new();
+        apps.decide_flow(&mut mc, &flow(1, 1), &req(AppClass::Streaming, 1));
+        apps.decide_flow(&mut mc, &flow(1, 2), &req(AppClass::Streaming, 1));
+        apps.decide_flow(&mut mc, &flow(2, 3), &req(AppClass::Web, 2)); // rejected
+        let m = apps.app_matrix();
+        assert_eq!(m.total(), 1, "one admitted app, counted once");
+    }
+
+    #[test]
+    fn decision_lookup() {
+        let mut mc = MaxClient::new(5);
+        let mut apps = AppAdmission::new();
+        let f = flow(1, 1);
+        assert_eq!(apps.decision_for(&f, AppClass::Web), None);
+        apps.decide_flow(&mut mc, &f, &req(AppClass::Web, 1));
+        assert_eq!(apps.decision_for(&f, AppClass::Web), Some(Decision::Admit));
+    }
+}

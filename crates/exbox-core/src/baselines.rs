@@ -1,0 +1,329 @@
+//! Admission controllers: ExBox and the two industry baselines.
+//!
+//! The paper compares against the approaches real products ship
+//! (§5.3):
+//!
+//! * **RateBased** — "used exclusively by many vendors (Cisco,
+//!   Ruckus) and industry software (Microsoft)": admit flow `g` only
+//!   while `C − Σ c_f ≥ c_g` for capacity `C` and per-flow declared
+//!   rates `c_f`.
+//! * **MaxClient** — Aruba/IBM-style: admit up to a fixed number of
+//!   flows, reject the rest.
+//!
+//! All controllers implement [`AdmissionController`], so the
+//! evaluation harness and the figure binaries swap them freely.
+
+use exbox_ml::Label;
+use exbox_net::AppClass;
+
+use crate::admittance::{AdmittanceClassifier, Phase};
+use crate::matrix::{FlowKind, TrafficMatrix};
+
+/// An admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Let the flow through.
+    Admit,
+    /// Discontinue / deprioritise the flow.
+    Reject,
+}
+
+impl Decision {
+    /// As a classifier label (+1 admit).
+    pub fn as_label(self) -> Label {
+        match self {
+            Decision::Admit => Label::Pos,
+            Decision::Reject => Label::Neg,
+        }
+    }
+}
+
+/// One arriving flow as the controller sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRequest {
+    /// The flow's (class, SNR-level) cell.
+    pub kind: FlowKind,
+    /// Declared/estimated rate demand in bits/s (used by RateBased).
+    pub demand_bps: f64,
+    /// The traffic matrix that would result from admitting it.
+    pub resulting_matrix: TrafficMatrix,
+}
+
+/// Common interface for admission controllers.
+pub trait AdmissionController {
+    /// Stable controller name for reporting (matches the paper's
+    /// figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Decide on an arriving flow.
+    fn decide(&mut self, req: &FlowRequest) -> Decision;
+
+    /// Notify that the flow was actually admitted (e.g. during
+    /// another controller's bootstrap, or because policy overrode the
+    /// decision).
+    fn on_admitted(&mut self, _req: &FlowRequest) {}
+
+    /// Notify that a flow departed.
+    fn on_departure(&mut self, _kind: FlowKind, _demand_bps: f64) {}
+
+    /// Feed an observed outcome: the matrix that was in effect and
+    /// whether every flow's QoE remained acceptable. Learning
+    /// controllers train on this; baselines ignore it.
+    fn on_observation(&mut self, _matrix: TrafficMatrix, _label: Label) {}
+
+    /// `true` while the controller admits everything to gather
+    /// training data (ExBox's bootstrap phase).
+    fn is_bootstrapping(&self) -> bool {
+        false
+    }
+
+    /// Re-synchronise internal load state to an externally observed
+    /// traffic matrix (trace-based evaluation replays matrices rather
+    /// than individual departures). `demand` maps a class to its
+    /// declared per-flow rate. Stateless controllers ignore this.
+    fn sync_load(&mut self, _matrix: &TrafficMatrix, _demand: &dyn Fn(AppClass) -> f64) {}
+}
+
+/// Pure rate-based admission control.
+#[derive(Debug, Clone)]
+pub struct RateBased {
+    capacity_bps: f64,
+    committed_bps: f64,
+}
+
+impl RateBased {
+    /// Capacity `C` — the paper sets it to the maximum UDP throughput
+    /// measured on the testbed.
+    ///
+    /// # Panics
+    /// Panics unless the capacity is positive.
+    pub fn new(capacity_bps: f64) -> Self {
+        assert!(
+            capacity_bps > 0.0 && capacity_bps.is_finite(),
+            "capacity must be positive"
+        );
+        RateBased {
+            capacity_bps,
+            committed_bps: 0.0,
+        }
+    }
+
+    /// Currently committed bandwidth.
+    pub fn committed_bps(&self) -> f64 {
+        self.committed_bps
+    }
+}
+
+impl AdmissionController for RateBased {
+    fn name(&self) -> &'static str {
+        "RateBased"
+    }
+
+    fn decide(&mut self, req: &FlowRequest) -> Decision {
+        if self.capacity_bps - self.committed_bps >= req.demand_bps {
+            Decision::Admit
+        } else {
+            Decision::Reject
+        }
+    }
+
+    fn on_admitted(&mut self, req: &FlowRequest) {
+        self.committed_bps += req.demand_bps;
+    }
+
+    fn on_departure(&mut self, _kind: FlowKind, demand_bps: f64) {
+        self.committed_bps = (self.committed_bps - demand_bps).max(0.0);
+    }
+
+    fn sync_load(&mut self, matrix: &TrafficMatrix, demand: &dyn Fn(AppClass) -> f64) {
+        self.committed_bps = AppClass::ALL
+            .iter()
+            .map(|&c| matrix.class_total(c) as f64 * demand(c))
+            .sum();
+    }
+}
+
+/// Maximum-client-count admission control.
+#[derive(Debug, Clone)]
+pub struct MaxClient {
+    max_flows: u32,
+    active: u32,
+}
+
+impl MaxClient {
+    /// Cap on simultaneous flows (the paper uses 10, following Aruba
+    /// and IBM defaults).
+    ///
+    /// # Panics
+    /// Panics if `max_flows == 0`.
+    pub fn new(max_flows: u32) -> Self {
+        assert!(max_flows > 0, "flow cap must be positive");
+        MaxClient {
+            max_flows,
+            active: 0,
+        }
+    }
+
+    /// Currently counted flows.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+}
+
+impl AdmissionController for MaxClient {
+    fn name(&self) -> &'static str {
+        "MaxClient"
+    }
+
+    fn decide(&mut self, _req: &FlowRequest) -> Decision {
+        if self.active < self.max_flows {
+            Decision::Admit
+        } else {
+            Decision::Reject
+        }
+    }
+
+    fn on_admitted(&mut self, _req: &FlowRequest) {
+        self.active += 1;
+    }
+
+    fn on_departure(&mut self, _kind: FlowKind, _demand_bps: f64) {
+        self.active = self.active.saturating_sub(1);
+    }
+
+    fn sync_load(&mut self, matrix: &TrafficMatrix, _demand: &dyn Fn(AppClass) -> f64) {
+        self.active = matrix.total();
+    }
+}
+
+/// ExBox as an [`AdmissionController`]: wraps the Admittance
+/// Classifier; admits everything while bootstrapping, then classifies.
+#[derive(Debug)]
+pub struct ExBoxController {
+    classifier: AdmittanceClassifier,
+}
+
+impl ExBoxController {
+    /// Wrap a configured Admittance Classifier.
+    pub fn new(classifier: AdmittanceClassifier) -> Self {
+        ExBoxController { classifier }
+    }
+
+    /// Access the underlying classifier (e.g. for decision values in
+    /// network selection).
+    pub fn classifier(&self) -> &AdmittanceClassifier {
+        &self.classifier
+    }
+}
+
+impl AdmissionController for ExBoxController {
+    fn name(&self) -> &'static str {
+        "ExBox"
+    }
+
+    fn decide(&mut self, req: &FlowRequest) -> Decision {
+        match self.classifier.classify(&req.resulting_matrix) {
+            Label::Pos => Decision::Admit,
+            Label::Neg => Decision::Reject,
+        }
+    }
+
+    fn on_observation(&mut self, matrix: TrafficMatrix, label: Label) {
+        self.classifier.observe(matrix, label);
+    }
+
+    fn is_bootstrapping(&self) -> bool {
+        self.classifier.phase() == Phase::Bootstrap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admittance::AdmittanceConfig;
+    use crate::matrix::SnrLevel;
+    use exbox_net::AppClass;
+
+    fn req(demand_bps: f64, total_after: u32) -> FlowRequest {
+        let kind = FlowKind::new(AppClass::Streaming, SnrLevel::High);
+        let mut m = TrafficMatrix::empty();
+        for _ in 0..total_after {
+            m.add(kind);
+        }
+        FlowRequest {
+            kind,
+            demand_bps,
+            resulting_matrix: m,
+        }
+    }
+
+    #[test]
+    fn rate_based_tracks_commitments() {
+        let mut rb = RateBased::new(10_000_000.0);
+        let r = req(4_000_000.0, 1);
+        assert_eq!(rb.decide(&r), Decision::Admit);
+        rb.on_admitted(&r);
+        assert_eq!(rb.decide(&r), Decision::Admit);
+        rb.on_admitted(&r);
+        // 8 of 10 Mbps committed; a third 4 Mbps flow exceeds C.
+        assert_eq!(rb.decide(&r), Decision::Reject);
+        rb.on_departure(r.kind, 4_000_000.0);
+        assert_eq!(rb.decide(&r), Decision::Admit);
+    }
+
+    #[test]
+    fn rate_based_ignores_qoe_feedback() {
+        let mut rb = RateBased::new(10_000_000.0);
+        rb.on_observation(TrafficMatrix::empty(), Label::Neg);
+        assert_eq!(rb.decide(&req(1.0, 1)), Decision::Admit);
+    }
+
+    #[test]
+    fn rate_based_never_negative_commitment() {
+        let mut rb = RateBased::new(1e6);
+        rb.on_departure(FlowKind::new(AppClass::Web, SnrLevel::Low), 5e6);
+        assert_eq!(rb.committed_bps(), 0.0);
+    }
+
+    #[test]
+    fn max_client_caps_count() {
+        let mut mc = MaxClient::new(2);
+        let r = req(1.0, 1);
+        assert_eq!(mc.decide(&r), Decision::Admit);
+        mc.on_admitted(&r);
+        mc.on_admitted(&r);
+        assert_eq!(mc.decide(&r), Decision::Reject);
+        mc.on_departure(r.kind, 1.0);
+        assert_eq!(mc.decide(&r), Decision::Admit);
+        assert_eq!(mc.active(), 1);
+    }
+
+    #[test]
+    fn exbox_admits_all_during_bootstrap() {
+        let mut ex = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig::default()));
+        assert!(ex.is_bootstrapping());
+        assert_eq!(ex.decide(&req(1e9, 100)), Decision::Admit);
+    }
+
+    #[test]
+    fn exbox_learns_and_then_rejects() {
+        let mut ex = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig::default()));
+        // Ground truth: <= 4 flows OK.
+        for n in 0..70u32 {
+            let total = n % 9;
+            let label = if total <= 4 { Label::Pos } else { Label::Neg };
+            ex.on_observation(req(1.0, total).resulting_matrix, label);
+        }
+        assert!(!ex.is_bootstrapping(), "should be online");
+        assert_eq!(ex.decide(&req(1.0, 2)), Decision::Admit);
+        assert_eq!(ex.decide(&req(1.0, 8)), Decision::Reject);
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(RateBased::new(1.0).name(), "RateBased");
+        assert_eq!(MaxClient::new(1).name(), "MaxClient");
+        let ex = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig::default()));
+        assert_eq!(ex.name(), "ExBox");
+    }
+}

@@ -1,0 +1,264 @@
+//! The IQX hypothesis: a generic QoE ↔ QoS relationship.
+//!
+//! Fiedler, Hoßfeld & Tran-Gia (IEEE Network 2010;
+//! their ref. 44) propose that quality of experience relates to quality of
+//! service through an exponential law:
+//!
+//! ```text
+//! QoE = α + β · e^(−γ · QoS)
+//! ```
+//!
+//! ExBox fits one such model per application class from a training
+//! device's measurements (paper §3.2, Fig. 12) and then estimates QoE
+//! for every flow purely from network-side QoS. The sign of β encodes
+//! the metric direction: page load time *falls* as QoS rises (β > 0),
+//! PSNR *rises* (β < 0).
+//!
+//! Fitting: for a fixed γ the model is linear in (α, β), so the
+//! least-squares fit reduces to a 1-D search over γ with a closed-form
+//! linear solve inside — numerically robust with no step-size tuning,
+//! unlike a general Levenberg–Marquardt.
+
+/// A fitted IQX model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IqxModel {
+    /// Asymptotic QoE as QoS → ∞.
+    pub alpha: f64,
+    /// Magnitude/direction of the exponential term.
+    pub beta: f64,
+    /// Decay rate of QoS influence (≥ 0).
+    pub gamma: f64,
+}
+
+impl IqxModel {
+    /// Evaluate the model at a QoS value.
+    pub fn qoe(&self, qos: f64) -> f64 {
+        self.alpha + self.beta * (-self.gamma * qos).exp()
+    }
+
+    /// Root-mean-square error against a dataset of `(qos, qoe)` points.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn rmse(&self, data: &[(f64, f64)]) -> f64 {
+        assert!(!data.is_empty(), "rmse needs at least one point");
+        let sq: f64 = data
+            .iter()
+            .map(|&(q, e)| {
+                let d = self.qoe(q) - e;
+                d * d
+            })
+            .sum();
+        (sq / data.len() as f64).sqrt()
+    }
+
+    /// Least-squares fit over `(qos, qoe)` pairs.
+    ///
+    /// γ is searched on a log grid spanning `[1e-3, 1e3] / qos_scale`
+    /// followed by a golden-section refinement; α and β come from the
+    /// closed-form linear solve at each γ.
+    ///
+    /// # Panics
+    /// Panics with fewer than 3 points (the model has 3 parameters) or
+    /// non-finite inputs.
+    pub fn fit(data: &[(f64, f64)]) -> IqxModel {
+        assert!(data.len() >= 3, "IQX fit needs at least 3 points");
+        assert!(
+            data.iter().all(|&(q, e)| q.is_finite() && e.is_finite()),
+            "IQX fit requires finite data"
+        );
+        // Scale-aware γ grid: γ·QoS should sweep through O(1).
+        let qmax = data.iter().map(|&(q, _)| q.abs()).fold(0.0, f64::max);
+        let scale = if qmax > 0.0 { 1.0 / qmax } else { 1.0 };
+
+        // As γ → 0 the model degenerates to a line with |β| → ∞ and
+        // the least squares happily takes that limit on near-linear
+        // data. Constrain |β| to a multiple of the observed QoE range
+        // so the fit stays a *bona fide* exponential (this also keeps
+        // extrapolation sane — gigantic α/β pairs are numerically
+        // fragile at QoS values outside the training sweep).
+        let (emin, emax) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, e)| {
+            (lo.min(e), hi.max(e))
+        });
+        let beta_cap = 3.0 * (emax - emin).max(1e-9);
+
+        let sse_at = |gamma: f64| -> (f64, f64, f64) {
+            let (alpha, beta) = linear_solve(data, gamma);
+            if beta.abs() > beta_cap {
+                return (f64::INFINITY, alpha, beta);
+            }
+            let m = IqxModel { alpha, beta, gamma };
+            let sse: f64 = data
+                .iter()
+                .map(|&(q, e)| {
+                    let d = m.qoe(q) - e;
+                    d * d
+                })
+                .sum();
+            (sse, alpha, beta)
+        };
+
+        // Log-grid scan.
+        let mut best = (f64::INFINITY, 0.0, 0.0, 0.0); // (sse, a, b, g)
+        for i in 0..=60 {
+            let gamma = scale * 10f64.powf(-3.0 + 6.0 * i as f64 / 60.0);
+            let (sse, a, b) = sse_at(gamma);
+            if sse < best.0 {
+                best = (sse, a, b, gamma);
+            }
+        }
+        // Golden-section refinement around the best grid point.
+        let phi = 0.618_033_988_749_895;
+        let (mut lo, mut hi) = (best.3 / 3.0, best.3 * 3.0);
+        for _ in 0..50 {
+            let g1 = hi - phi * (hi - lo);
+            let g2 = lo + phi * (hi - lo);
+            if sse_at(g1).0 < sse_at(g2).0 {
+                hi = g2;
+            } else {
+                lo = g1;
+            }
+        }
+        let gamma = 0.5 * (lo + hi);
+        let (sse, alpha, beta) = sse_at(gamma);
+        if sse <= best.0 {
+            IqxModel { alpha, beta, gamma }
+        } else if best.0.is_finite() {
+            IqxModel {
+                alpha: best.1,
+                beta: best.2,
+                gamma: best.3,
+            }
+        } else {
+            // Every candidate violated the β constraint (pathological
+            // data); fall back to the flat model at the mean.
+            let mean = data.iter().map(|&(_, e)| e).sum::<f64>() / data.len() as f64;
+            IqxModel {
+                alpha: mean,
+                beta: 0.0,
+                gamma: scale,
+            }
+        }
+    }
+}
+
+/// Closed-form least squares for (α, β) at fixed γ: regress `qoe` on
+/// `[1, e^(−γ·qos)]`.
+fn linear_solve(data: &[(f64, f64)], gamma: f64) -> (f64, f64) {
+    let n = data.len() as f64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(q, e) in data {
+        let x = (-gamma * q).exp();
+        sx += x;
+        sy += e;
+        sxx += x * x;
+        sxy += x * e;
+    }
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-12 {
+        // Degenerate (constant regressor): flat model at the mean.
+        (sy / n, 0.0)
+    } else {
+        let beta = (n * sxy - sx * sy) / det;
+        let alpha = (sy - beta * sx) / n;
+        (alpha, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(alpha: f64, beta: f64, gamma: f64, noise: f64) -> Vec<(f64, f64)> {
+        let model = IqxModel { alpha, beta, gamma };
+        (0..60)
+            .map(|i| {
+                let q = i as f64 / 59.0; // normalised QoS in [0, 1]
+                // Deterministic "noise" for reproducibility.
+                let n = noise * ((i * 2_654_435_761u64 as usize) % 17 ) as f64 / 17.0 - noise / 2.0;
+                (q, model.qoe(q) + n)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_decaying_metric() {
+        // Page-load-time-like: high at bad QoS, asymptote ~1 s.
+        let data = synth(1.0, 12.0, 5.0, 0.0);
+        let fit = IqxModel::fit(&data);
+        assert!(fit.rmse(&data) < 0.01, "rmse {}", fit.rmse(&data));
+        assert!((fit.alpha - 1.0).abs() < 0.1, "alpha {}", fit.alpha);
+        assert!((fit.beta - 12.0).abs() < 0.5, "beta {}", fit.beta);
+        assert!((fit.gamma - 5.0).abs() < 0.5, "gamma {}", fit.gamma);
+    }
+
+    #[test]
+    fn recovers_rising_metric() {
+        // PSNR-like: β < 0, rises toward α.
+        let data = synth(42.0, -30.0, 4.0, 0.0);
+        let fit = IqxModel::fit(&data);
+        assert!(fit.rmse(&data) < 0.05);
+        assert!(fit.beta < 0.0);
+        assert!((fit.qoe(1.0) - (42.0 - 30.0 * (-4.0f64).exp())).abs() < 0.5);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let data = synth(2.0, 8.0, 6.0, 1.0);
+        let fit = IqxModel::fit(&data);
+        // RMSE should approach the noise floor (uniform ±0.5 ⇒ rms ≈0.3).
+        assert!(fit.rmse(&data) < 0.6, "rmse {}", fit.rmse(&data));
+        // Shape preserved: QoE at good QoS far below QoE at bad QoS.
+        assert!(fit.qoe(0.0) > fit.qoe(1.0) + 4.0);
+    }
+
+    #[test]
+    fn monotone_in_qos_for_positive_beta() {
+        let m = IqxModel {
+            alpha: 1.0,
+            beta: 5.0,
+            gamma: 3.0,
+        };
+        let mut last = f64::INFINITY;
+        for i in 0..20 {
+            let v = m.qoe(i as f64 / 10.0);
+            assert!(v <= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn constant_data_fits_flat_model() {
+        let data: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 7.0)).collect();
+        let fit = IqxModel::fit(&data);
+        assert!(fit.rmse(&data) < 1e-6);
+        assert!((fit.qoe(100.0) - 7.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fit_scale_invariance_in_qos() {
+        // QoS in [0, 1e6] instead of [0, 1]: γ grid must adapt.
+        let model = IqxModel {
+            alpha: 3.0,
+            beta: 9.0,
+            gamma: 4e-6,
+        };
+        let data: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let q = i as f64 * 2e4;
+                (q, model.qoe(q))
+            })
+            .collect();
+        let fit = IqxModel::fit(&data);
+        assert!(fit.rmse(&data) < 0.05, "rmse {}", fit.rmse(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_panics() {
+        let _ = IqxModel::fit(&[(0.0, 1.0), (1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,405 @@
+//! The ExBox middlebox: the packet-facing assembly (paper Fig. 5).
+//!
+//! Wires the substrates into the gateway-resident pipeline:
+//!
+//! 1. every packet updates the flow table; the first packets of a new
+//!    flow run through early traffic classification (§4.2: "a flow
+//!    needs to be admitted briefly before any admission control
+//!    decision is made"),
+//! 2. once classified, the flow's `(class, SNR-level)` forms the
+//!    arrival tuple and the Admittance Classifier decides,
+//! 3. admitted flows are QoS-metered; periodic polls estimate QoE via
+//!    the fitted IQX models, feed `(X, Y)` observations back into the
+//!    classifier, and re-evaluate admitted flows whose circumstances
+//!    changed (§4.3 — mobility, app adaptation).
+
+use std::collections::{HashMap, HashSet};
+
+use exbox_ml::Label;
+use exbox_net::{Duration, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
+
+use crate::admittance::{AdmittanceClassifier, Phase};
+use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
+use crate::qoe::QoeEstimator;
+
+/// What the datapath should do with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Forward normally.
+    Forward,
+    /// Drop: the flow was rejected by admission control.
+    Drop,
+}
+
+/// Outcome of a periodic poll for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollVerdict {
+    /// Flow keeps its admission.
+    Keep,
+    /// Flow should be discontinued or offloaded (§4.3).
+    Revoke,
+}
+
+#[derive(Debug)]
+struct FlowState {
+    kind: FlowKind,
+    meter: QosMeter,
+}
+
+/// Configuration for the middlebox shell.
+#[derive(Debug, Clone)]
+pub struct MiddleboxConfig {
+    /// Packets buffered before early classification fires.
+    pub classify_window: usize,
+    /// Poll cadence for QoE estimation and re-evaluation.
+    pub poll_interval: Duration,
+}
+
+impl Default for MiddleboxConfig {
+    fn default() -> Self {
+        MiddleboxConfig {
+            classify_window: 8,
+            poll_interval: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The assembled middlebox for one cell.
+#[derive(Debug)]
+pub struct Middlebox {
+    cfg: MiddleboxConfig,
+    table: FlowTable,
+    early: EarlyClassifier,
+    admittance: AdmittanceClassifier,
+    estimator: QoeEstimator,
+    matrix: TrafficMatrix,
+    flows: HashMap<FlowKey, FlowState>,
+    rejected: HashSet<FlowKey>,
+    last_poll: Instant,
+}
+
+impl Middlebox {
+    /// Assemble a middlebox from a trained QoE estimator and a fresh
+    /// (or pre-trained) Admittance Classifier.
+    pub fn new(
+        cfg: MiddleboxConfig,
+        estimator: QoeEstimator,
+        admittance: AdmittanceClassifier,
+    ) -> Self {
+        let window = cfg.classify_window;
+        Middlebox {
+            cfg,
+            table: FlowTable::new(),
+            early: EarlyClassifier::with_default_profiles(window),
+            admittance,
+            estimator,
+            matrix: TrafficMatrix::empty(),
+            flows: HashMap::new(),
+            rejected: HashSet::new(),
+            last_poll: Instant::ZERO,
+        }
+    }
+
+    /// Register a known server endpoint with the early classifier
+    /// (the DNS/SNI prior; see `exbox_net::EarlyClassifier`).
+    pub fn learn_server_hint(&mut self, server: std::net::Ipv4Addr, class: exbox_net::AppClass) {
+        self.early.learn_server_hint(server, class);
+    }
+
+    /// Current traffic matrix as the middlebox believes it.
+    pub fn matrix(&self) -> TrafficMatrix {
+        self.matrix
+    }
+
+    /// The wrapped Admittance Classifier.
+    pub fn admittance(&self) -> &AdmittanceClassifier {
+        &self.admittance
+    }
+
+    /// Number of currently admitted flows.
+    pub fn admitted_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Process one packet crossing the gateway. `snr` is the client's
+    /// current SNR level as reported by the AP/eNodeB (§3.3).
+    pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
+        if self.rejected.contains(&pkt.flow) {
+            return Action::Drop;
+        }
+        self.table.observe(pkt);
+        if self.flows.contains_key(&pkt.flow) {
+            return Action::Forward;
+        }
+        // Unclassified flow: keep feeding the early classifier. The
+        // buffered packets are forwarded (brief pre-admission, §4.2).
+        match self.early.observe(pkt) {
+            None => Action::Forward,
+            Some(class) => {
+                let kind = FlowKind::new(class, snr);
+                let resulting = self.matrix.with_arrival(kind);
+                match self.admittance.classify(&resulting) {
+                    Label::Pos => {
+                        self.matrix = resulting;
+                        self.flows.insert(
+                            pkt.flow,
+                            FlowState {
+                                kind,
+                                meter: QosMeter::new(),
+                            },
+                        );
+                        Action::Forward
+                    }
+                    Label::Neg => {
+                        self.rejected.insert(pkt.flow);
+                        self.early.forget(&pkt.flow);
+                        Action::Drop
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a delivery report for an admitted flow (from the AP's
+    /// transmission-status feed in a real deployment, or from the
+    /// simulator here).
+    pub fn record_delivery(&mut self, key: &FlowKey, sent: Instant, received: Instant, size: u32) {
+        if let Some(fs) = self.flows.get_mut(key) {
+            fs.meter.deliver(sent, received, size);
+        }
+    }
+
+    /// Record a drop report for an admitted flow.
+    pub fn record_drop(&mut self, key: &FlowKey) {
+        if let Some(fs) = self.flows.get_mut(key) {
+            fs.meter.drop_packet();
+        }
+    }
+
+    /// A flow ended (FIN/idle-eviction): release its slot.
+    pub fn flow_departed(&mut self, key: &FlowKey) {
+        if let Some(fs) = self.flows.remove(key) {
+            self.matrix.remove(fs.kind);
+        }
+        self.rejected.remove(key);
+        self.early.forget(key);
+        self.table.remove(key);
+    }
+
+    /// Periodic poll (paper §4.3): estimate every admitted flow's QoE
+    /// from its metered QoS, feed the aggregate observation to the
+    /// Admittance Classifier, and re-evaluate each flow against the
+    /// (possibly re-learnt) region. Returns the flows to revoke, in
+    /// deterministic (sorted) order. A no-op before `poll_interval`
+    /// has elapsed since the last poll.
+    pub fn poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        if now.saturating_since(self.last_poll) < self.cfg.poll_interval {
+            return Vec::new();
+        }
+        self.last_poll = now;
+        if self.flows.is_empty() {
+            return Vec::new();
+        }
+
+        // Estimate acceptability per flow; the matrix label is the
+        // conjunction (a matrix is achievable iff ALL flows are OK).
+        let mut all_ok = true;
+        let mut measured_any = false;
+        for fs in self.flows.values() {
+            let sample = fs.meter.sample();
+            if sample.throughput_bps <= 0.0 {
+                continue; // idle flow: no evidence this window
+            }
+            measured_any = true;
+            if !self.estimator.acceptable(fs.kind.class, &sample) {
+                all_ok = false;
+            }
+        }
+        if measured_any {
+            let label = if all_ok { Label::Pos } else { Label::Neg };
+            self.admittance.observe(self.matrix, label);
+        }
+
+        // Re-evaluate admitted flows against the current region; an
+        // inadmissible flow is revoked (offload/discontinue is policy,
+        // the middlebox just reports).
+        let mut verdicts: Vec<(FlowKey, PollVerdict)> = Vec::new();
+        if self.admittance.phase() == Phase::Online {
+            let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+            keys.sort();
+            for key in keys {
+                let kind = self.flows[&key].kind;
+                // X_m for an ongoing flow is the current matrix (it
+                // already contains the flow).
+                let verdict = match self.admittance.classify(&self.matrix) {
+                    Label::Pos => PollVerdict::Keep,
+                    Label::Neg => PollVerdict::Revoke,
+                };
+                if verdict == PollVerdict::Revoke {
+                    self.matrix.remove(kind);
+                    self.flows.remove(&key);
+                    self.rejected.insert(key);
+                    verdicts.push((key, verdict));
+                    // Removing one flow may already fix the matrix;
+                    // re-check before revoking more.
+                    if self.admittance.classify(&self.matrix) == Label::Pos {
+                        break;
+                    }
+                } else {
+                    verdicts.push((key, verdict));
+                }
+            }
+        }
+        // Fresh measurement windows for the next poll.
+        for fs in self.flows.values_mut() {
+            fs.meter.reset();
+        }
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admittance::AdmittanceConfig;
+    use crate::qoe::{paper_directions, train_estimator, QoeEstimator};
+    use exbox_net::{AppClass, Direction, Protocol};
+
+    fn estimator() -> QoeEstimator {
+        let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+            (0..20)
+                .map(|i| {
+                    let q = i as f64 / 19.0;
+                    (q, a + b * (-g * q).exp())
+                })
+                .collect()
+        };
+        train_estimator(
+            &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+            QoeEstimator::paper_thresholds(),
+            paper_directions(),
+            crate::qoe::QosScale::new(1e3, 1e8),
+        )
+    }
+
+    fn streaming_pkts(key: FlowKey, n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                Packet::new(
+                    Instant::from_millis(2 * i as u64),
+                    1400,
+                    key,
+                    Direction::Downlink,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn mb() -> Middlebox {
+        Middlebox::new(
+            MiddleboxConfig::default(),
+            estimator(),
+            AdmittanceClassifier::new(AdmittanceConfig::default()),
+        )
+    }
+
+    #[test]
+    fn classifies_then_admits_during_bootstrap() {
+        let mut m = mb();
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(key, 10) {
+            assert_eq!(m.process_packet(&p, SnrLevel::High), Action::Forward);
+        }
+        assert_eq!(m.admitted_flows(), 1);
+        assert_eq!(m.matrix().total(), 1);
+    }
+
+    #[test]
+    fn rejected_flow_packets_are_dropped() {
+        // Pre-train the admittance classifier to reject everything
+        // beyond 1 flow.
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        for n in 0..80u32 {
+            let total = n % 8;
+            let mut mat = TrafficMatrix::empty();
+            for _ in 0..total {
+                mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+            }
+            let y = if total <= 1 { Label::Pos } else { Label::Neg };
+            ac.observe(mat, y);
+        }
+        assert_eq!(ac.phase(), Phase::Online);
+        let mut m = Middlebox::new(MiddleboxConfig::default(), estimator(), ac);
+
+        let k1 = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(k1, 10) {
+            m.process_packet(&p, SnrLevel::High);
+        }
+        assert_eq!(m.admitted_flows(), 1);
+
+        // Second flow exceeds the learnt region.
+        let k2 = FlowKey::synthetic(2, 2, 1, Protocol::Tcp);
+        let pkts = streaming_pkts(k2, 12);
+        let actions: Vec<Action> = pkts.iter().map(|p| m.process_packet(&p, SnrLevel::High)).collect();
+        assert_eq!(actions.last(), Some(&Action::Drop));
+        assert_eq!(m.admitted_flows(), 1);
+        // Subsequent packets of the rejected flow keep dropping.
+        assert_eq!(
+            m.process_packet(&streaming_pkts(k2, 13)[12], SnrLevel::High),
+            Action::Drop
+        );
+    }
+
+    #[test]
+    fn departure_frees_matrix_slot() {
+        let mut m = mb();
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(key, 10) {
+            m.process_packet(&p, SnrLevel::High);
+        }
+        assert_eq!(m.matrix().total(), 1);
+        m.flow_departed(&key);
+        assert_eq!(m.matrix().total(), 0);
+        assert_eq!(m.admitted_flows(), 0);
+    }
+
+    #[test]
+    fn poll_feeds_observations_to_classifier() {
+        let mut m = mb();
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(key, 10) {
+            m.process_packet(&p, SnrLevel::High);
+        }
+        // Healthy QoS deliveries.
+        for i in 0..50u64 {
+            m.record_delivery(
+                &key,
+                Instant::from_millis(i * 10),
+                Instant::from_millis(i * 10 + 5),
+                1400,
+            );
+        }
+        let before = m.admittance().num_samples();
+        let verdicts = m.poll(Instant::from_secs(5));
+        assert!(m.admittance().num_samples() > before, "poll must observe");
+        assert!(verdicts.is_empty() || verdicts.iter().all(|(_, v)| *v == PollVerdict::Keep));
+    }
+
+    #[test]
+    fn poll_respects_interval() {
+        let mut m = mb();
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(key, 10) {
+            m.process_packet(&p, SnrLevel::High);
+        }
+        m.record_delivery(&key, Instant::ZERO, Instant::from_millis(5), 1400);
+        let _ = m.poll(Instant::from_secs(5));
+        // Immediately again: below the interval, no-op.
+        m.record_delivery(&key, Instant::ZERO, Instant::from_millis(5), 1400);
+        let before = m.admittance().num_samples();
+        let v = m.poll(Instant::from_secs(5) + Duration::from_millis(100));
+        assert!(v.is_empty());
+        assert_eq!(m.admittance().num_samples(), before);
+    }
+}

@@ -1,0 +1,190 @@
+//! Persistence for the QoE Estimator — the §4.4 model-sharing path.
+//!
+//! "If ExBox can be deployed widely, it is also possible to share IQX
+//! models over different networks of similar characteristics. This
+//! will reduce the training effort substantially." A trained
+//! [`QoeEstimator`] serialises to a small, diffable text file that a
+//! fleet of gateways can distribute:
+//!
+//! ```text
+//! exbox-qoe v1
+//! scale <min_index> <max_index>
+//! class web lower 3 <alpha> <beta> <gamma>
+//! class streaming lower 5 <alpha> <beta> <gamma>
+//! class conferencing higher 25 <alpha> <beta> <gamma>
+//! ```
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use exbox_net::AppClass;
+
+use crate::iqx::IqxModel;
+use crate::qoe::{ClassQoeModel, MetricDirection, QoeEstimator, QosScale};
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Write the estimator in the text format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn save_estimator<W: Write>(est: &QoeEstimator, mut out: W) -> io::Result<()> {
+    writeln!(out, "exbox-qoe v1")?;
+    let (min_index, max_index) = est.scale().bounds();
+    writeln!(out, "scale {min_index} {max_index}")?;
+    for class in AppClass::ALL {
+        let m = est.model(class);
+        let dir = match m.direction {
+            MetricDirection::LowerIsBetter => "lower",
+            MetricDirection::HigherIsBetter => "higher",
+        };
+        writeln!(
+            out,
+            "class {} {} {} {} {} {}",
+            class.name(),
+            dir,
+            m.threshold,
+            m.iqx.alpha,
+            m.iqx.beta,
+            m.iqx.gamma
+        )?;
+    }
+    Ok(())
+}
+
+/// Read an estimator written by [`save_estimator`].
+///
+/// # Errors
+/// `InvalidData` on malformed input or missing classes.
+pub fn load_estimator<R: Read>(input: R) -> io::Result<QoeEstimator> {
+    let mut lines = BufReader::new(input).lines();
+    let header = lines.next().ok_or_else(|| bad("empty estimator file"))??;
+    if header.trim() != "exbox-qoe v1" {
+        return Err(bad(format!("unsupported header {header:?}")));
+    }
+
+    let mut scale = None;
+    let mut models: [Option<ClassQoeModel>; AppClass::COUNT] = [None; AppClass::COUNT];
+
+    for line in lines {
+        let line = line?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => continue,
+            ["scale", lo, hi] => {
+                let lo: f64 = lo.parse().map_err(|_| bad("bad scale min"))?;
+                let hi: f64 = hi.parse().map_err(|_| bad("bad scale max"))?;
+                if !(lo > 0.0 && hi > lo && hi.is_finite()) {
+                    return Err(bad("scale bounds out of range"));
+                }
+                scale = Some(QosScale::new(lo, hi));
+            }
+            ["class", name, dir, thr, a, b, g] => {
+                let class = AppClass::ALL
+                    .into_iter()
+                    .find(|c| c.name() == *name)
+                    .ok_or_else(|| bad(format!("unknown class {name}")))?;
+                let direction = match *dir {
+                    "lower" => MetricDirection::LowerIsBetter,
+                    "higher" => MetricDirection::HigherIsBetter,
+                    other => return Err(bad(format!("unknown direction {other}"))),
+                };
+                let threshold: f64 = thr.parse().map_err(|_| bad("bad threshold"))?;
+                let alpha: f64 = a.parse().map_err(|_| bad("bad alpha"))?;
+                let beta: f64 = b.parse().map_err(|_| bad("bad beta"))?;
+                let gamma: f64 = g.parse().map_err(|_| bad("bad gamma"))?;
+                if ![threshold, alpha, beta, gamma].iter().all(|v| v.is_finite()) {
+                    return Err(bad("non-finite model values"));
+                }
+                models[class.index()] = Some(ClassQoeModel {
+                    iqx: IqxModel { alpha, beta, gamma },
+                    threshold,
+                    direction,
+                });
+            }
+            _ => return Err(bad(format!("unknown line {line:?}"))),
+        }
+    }
+
+    let scale = scale.ok_or_else(|| bad("missing scale"))?;
+    let models = [
+        models[0].ok_or_else(|| bad("missing class web"))?,
+        models[1].ok_or_else(|| bad("missing class streaming"))?,
+        models[2].ok_or_else(|| bad("missing class conferencing"))?,
+    ];
+    Ok(QoeEstimator::new(models, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qoe::{paper_directions, train_estimator};
+    use exbox_net::{Duration, QosSample};
+
+    fn estimator() -> QoeEstimator {
+        let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+            (0..20)
+                .map(|i| {
+                    let q = i as f64 / 19.0;
+                    (q, a + b * (-g * q).exp())
+                })
+                .collect()
+        };
+        train_estimator(
+            &[mk(1.0, 11.0, 4.0), mk(2.0, 20.0, 4.0), mk(42.0, -30.0, 1.2)],
+            QoeEstimator::paper_thresholds(),
+            paper_directions(),
+            QosScale::new(1e3, 1e8),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_estimates() {
+        let est = estimator();
+        let mut buf = Vec::new();
+        save_estimator(&est, &mut buf).unwrap();
+        let loaded = load_estimator(&buf[..]).unwrap();
+        let samples = [
+            QosSample {
+                throughput_bps: 5e6,
+                mean_delay: Duration::from_millis(30),
+                loss_ratio: 0.0,
+            },
+            QosSample {
+                throughput_bps: 2e5,
+                mean_delay: Duration::from_millis(300),
+                loss_ratio: 0.1,
+            },
+        ];
+        for class in AppClass::ALL {
+            for s in &samples {
+                assert!((est.estimate(class, s) - loaded.estimate(class, s)).abs() < 1e-9);
+                assert_eq!(est.acceptable(class, s), loaded.acceptable(class, s));
+            }
+        }
+    }
+
+    #[test]
+    fn format_is_inspectable() {
+        let mut buf = Vec::new();
+        save_estimator(&estimator(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("exbox-qoe v1\n"));
+        assert!(text.contains("class web lower 3"));
+        assert!(text.contains("class conferencing higher 25"));
+    }
+
+    #[test]
+    fn rejects_missing_class() {
+        let text = "exbox-qoe v1\nscale 1000 100000000\nclass web lower 3 1 11 4\n";
+        assert!(load_estimator(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_header_and_scale() {
+        assert!(load_estimator(&b"nope\n"[..]).is_err());
+        let text = "exbox-qoe v1\nscale -1 5\nclass web lower 3 1 11 4\n";
+        assert!(load_estimator(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The QoE Estimator (paper §3.2).
+//!
+//! ExBox estimates per-flow QoE on the *network side*: a training
+//! device measures real QoE under controlled QoS profiles once, an
+//! IQX model is fitted per application class, and thereafter QoE is
+//! predicted purely from passive QoS measurements at the gateway.
+//! Pre-defined thresholds (paper ref. 39) then map each estimate to
+//! `Y ∈ {+1, −1}`.
+
+use exbox_net::{AppClass, QosSample};
+
+use crate::iqx::IqxModel;
+
+/// Normalisation of the raw QoS index (`throughput / delay`) onto the
+/// `[0, 1]` scale the IQX models are fitted on.
+///
+/// The raw index spans several orders of magnitude between a starved
+/// and a healthy flow, so the scale is logarithmic: the training
+/// sweep's worst observed index maps to 0, its best to 1, and
+/// everything interpolates on `ln`. (A linear scale would squash the
+/// entire unusable-to-mediocre range into a sliver near 0 and make
+/// the fitted curves useless for discrimination.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosScale {
+    ln_min: f64,
+    ln_max: f64,
+}
+
+impl QosScale {
+    /// Build from the worst and best raw QoS indices observed during
+    /// training.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_index < max_index`.
+    pub fn new(min_index: f64, max_index: f64) -> Self {
+        assert!(
+            min_index > 0.0 && min_index.is_finite(),
+            "min index must be positive"
+        );
+        assert!(
+            max_index > min_index && max_index.is_finite(),
+            "max index must exceed min index"
+        );
+        QosScale {
+            ln_min: min_index.ln(),
+            ln_max: max_index.ln(),
+        }
+    }
+
+    /// The raw (min, max) index bounds this scale was built from.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.ln_min.exp(), self.ln_max.exp())
+    }
+
+    /// Normalise a raw index onto `[0, 1]` (clamped).
+    pub fn normalize(&self, raw_index: f64) -> f64 {
+        if raw_index <= 0.0 {
+            return 0.0;
+        }
+        ((raw_index.ln() - self.ln_min) / (self.ln_max - self.ln_min)).clamp(0.0, 1.0)
+    }
+}
+
+/// Whether smaller or larger values of a QoE metric mean happier
+/// users (page load time vs PSNR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricDirection {
+    /// Smaller is better (page load time, startup delay).
+    LowerIsBetter,
+    /// Larger is better (PSNR).
+    HigherIsBetter,
+}
+
+/// Fitted QoE model plus acceptability threshold for one class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassQoeModel {
+    /// The fitted IQX curve mapping normalised QoS to the QoE metric.
+    pub iqx: IqxModel,
+    /// Acceptability threshold in the metric's native unit.
+    pub threshold: f64,
+    /// Direction of the metric.
+    pub direction: MetricDirection,
+}
+
+impl ClassQoeModel {
+    /// Is the QoE estimate at this (normalised) QoS acceptable?
+    pub fn acceptable_at(&self, normalized_qos: f64) -> bool {
+        let qoe = self.iqx.qoe(normalized_qos);
+        match self.direction {
+            MetricDirection::LowerIsBetter => qoe <= self.threshold,
+            MetricDirection::HigherIsBetter => qoe >= self.threshold,
+        }
+    }
+}
+
+/// Per-class QoE estimation from gateway QoS samples.
+#[derive(Debug, Clone)]
+pub struct QoeEstimator {
+    models: [ClassQoeModel; AppClass::COUNT],
+    scale: QosScale,
+}
+
+impl QoeEstimator {
+    /// Build from per-class models (indexed by [`AppClass::index`])
+    /// and the QoS normalisation scale fitted during training.
+    pub fn new(models: [ClassQoeModel; AppClass::COUNT], scale: QosScale) -> Self {
+        QoeEstimator { models, scale }
+    }
+
+    /// The model for one class.
+    pub fn model(&self, class: AppClass) -> &ClassQoeModel {
+        &self.models[class.index()]
+    }
+
+    /// Normalise a raw QoS sample onto the `[0, 1]` scale the IQX
+    /// models were fitted on.
+    pub fn normalize(&self, qos: &QosSample) -> f64 {
+        self.scale.normalize(qos.qos_index())
+    }
+
+    /// The normalisation scale.
+    pub fn scale(&self) -> QosScale {
+        self.scale
+    }
+
+    /// Estimated QoE metric value for a flow of `class` with measured
+    /// `qos`.
+    pub fn estimate(&self, class: AppClass, qos: &QosSample) -> f64 {
+        self.model(class).iqx.qoe(self.normalize(qos))
+    }
+
+    /// Thresholded acceptability: the `Y ∈ {+1, −1}` mapping.
+    pub fn acceptable(&self, class: AppClass, qos: &QosSample) -> bool {
+        self.model(class).acceptable_at(self.normalize(qos))
+    }
+
+    /// Default thresholds from the paper: 3 s page load (§5.3),
+    /// 5 s startup delay (§2), 25 dB PSNR.
+    pub fn paper_thresholds() -> [f64; AppClass::COUNT] {
+        [3.0, 5.0, 25.0]
+    }
+}
+
+/// Train a [`QoeEstimator`] from per-class `(normalized_qos, qoe)`
+/// training sweeps — the paper's controlled training-device runs
+/// (§5.3 "Estimating QoE using IQX"). Thresholds are supplied per
+/// class in the metric's native unit.
+///
+/// # Panics
+/// Panics if any class has fewer than 3 training points.
+pub fn train_estimator(
+    sweeps: &[Vec<(f64, f64)>; AppClass::COUNT],
+    thresholds: [f64; AppClass::COUNT],
+    directions: [MetricDirection; AppClass::COUNT],
+    scale: QosScale,
+) -> QoeEstimator {
+    let models = [
+        ClassQoeModel {
+            iqx: IqxModel::fit(&sweeps[0]),
+            threshold: thresholds[0],
+            direction: directions[0],
+        },
+        ClassQoeModel {
+            iqx: IqxModel::fit(&sweeps[1]),
+            threshold: thresholds[1],
+            direction: directions[1],
+        },
+        ClassQoeModel {
+            iqx: IqxModel::fit(&sweeps[2]),
+            threshold: thresholds[2],
+            direction: directions[2],
+        },
+    ];
+    QoeEstimator::new(models, scale)
+}
+
+/// Canonical metric directions for the paper's three classes:
+/// page load time ↓, startup delay ↓, PSNR ↑.
+pub fn paper_directions() -> [MetricDirection; AppClass::COUNT] {
+    [
+        MetricDirection::LowerIsBetter,
+        MetricDirection::LowerIsBetter,
+        MetricDirection::HigherIsBetter,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exbox_net::Duration;
+
+    fn sample(throughput_bps: f64, delay_ms: u64) -> QosSample {
+        QosSample {
+            throughput_bps,
+            mean_delay: Duration::from_millis(delay_ms),
+            loss_ratio: 0.0,
+        }
+    }
+
+    fn estimator() -> QoeEstimator {
+        // Synthetic but shape-correct sweeps on normalised QoS [0,1].
+        let plt: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let q = i as f64 / 29.0;
+                (q, 1.0 + 11.0 * (-5.0 * q).exp())
+            })
+            .collect();
+        let startup: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let q = i as f64 / 29.0;
+                (q, 2.0 + 20.0 * (-6.0 * q).exp())
+            })
+            .collect();
+        let psnr: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let q = i as f64 / 29.0;
+                (q, 42.0 - 30.0 * (-4.0 * q).exp())
+            })
+            .collect();
+        train_estimator(
+            &[plt, startup, psnr],
+            QoeEstimator::paper_thresholds(),
+            paper_directions(),
+            // Scale: index 1e3 (starved) .. 1e8 (10 Mbps at 100 ms).
+            QosScale::new(1e3, 1e8),
+        )
+    }
+
+    #[test]
+    fn good_qos_is_acceptable_for_all_classes() {
+        let est = estimator();
+        let good = sample(20_000_000.0, 20); // index 1e9, clamps to 1
+        for class in AppClass::ALL {
+            assert!(est.acceptable(class, &good), "{class} rejected good QoS");
+        }
+    }
+
+    #[test]
+    fn terrible_qos_is_unacceptable_for_all_classes() {
+        let est = estimator();
+        let bad = sample(1_000.0, 1_000); // index 1e3 => scale floor
+        for class in AppClass::ALL {
+            assert!(!est.acceptable(class, &bad), "{class} accepted awful QoS");
+        }
+    }
+
+    #[test]
+    fn estimates_follow_direction() {
+        let est = estimator();
+        let good = sample(20_000_000.0, 20);
+        let bad = sample(1_000.0, 1_000);
+        // Delay-like metrics shrink with better QoS.
+        assert!(est.estimate(AppClass::Web, &good) < est.estimate(AppClass::Web, &bad));
+        // PSNR grows with better QoS.
+        assert!(
+            est.estimate(AppClass::Conferencing, &good)
+                > est.estimate(AppClass::Conferencing, &bad)
+        );
+    }
+
+    #[test]
+    fn normalization_clamps_to_unit() {
+        let est = estimator();
+        let huge = sample(1e9, 1);
+        assert!(est.normalize(&huge) <= 1.0);
+        let idle = sample(0.0, 0);
+        assert_eq!(est.normalize(&idle), 0.0);
+    }
+
+    #[test]
+    fn qos_scale_is_log_linear() {
+        let s = QosScale::new(1e2, 1e6);
+        assert_eq!(s.normalize(1e2), 0.0);
+        assert_eq!(s.normalize(1e6), 1.0);
+        assert!((s.normalize(1e4) - 0.5).abs() < 1e-12);
+        assert_eq!(s.normalize(1.0), 0.0); // below min clamps
+        assert_eq!(s.normalize(1e9), 1.0); // above max clamps
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn qos_scale_rejects_inverted_range() {
+        let _ = QosScale::new(1e6, 1e2);
+    }
+
+    #[test]
+    fn acceptability_boundary_is_threshold_crossing() {
+        let est = estimator();
+        let model = est.model(AppClass::Web);
+        // Find the QoS where estimated PLT crosses 3 s; acceptability
+        // must flip exactly there.
+        let mut flip = None;
+        for i in 0..1000 {
+            let q = i as f64 / 999.0;
+            let acc = model.acceptable_at(q);
+            if acc {
+                flip = Some(q);
+                break;
+            }
+        }
+        let q_flip = flip.expect("threshold crossing exists");
+        assert!(!model.acceptable_at(q_flip - 0.01));
+        assert!(model.acceptable_at(q_flip + 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_min_panics() {
+        let _ = QosScale::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Network selection across multiple cells (paper §4.1).
+//!
+//! In a hybrid deployment (WiFi APs + LTE small cells behind one
+//! gateway, Fig. 1), ExBox keeps one Admittance Classifier per cell.
+//! A new flow is steered to a cell that classifies it admissible; if
+//! several do, "ExBox can select the best suited network based on how
+//! much 'inside' the capacity region the new test point is. There is
+//! a straightforward mechanism to do this in SVM by evaluating how
+//! far away from the separating hyperplane the test point lies."
+
+use exbox_ml::Label;
+
+use crate::admittance::AdmittanceClassifier;
+use crate::matrix::{FlowKind, TrafficMatrix};
+
+/// One candidate cell: its classifier and its current traffic matrix.
+#[derive(Debug)]
+pub struct NetworkCell {
+    /// Operator-facing cell name (e.g. "wifi-ap1", "lte-enb2").
+    pub name: String,
+    /// The cell's learnt ExCR boundary.
+    pub classifier: AdmittanceClassifier,
+    /// The cell's current traffic matrix.
+    pub matrix: TrafficMatrix,
+}
+
+impl NetworkCell {
+    /// Create a cell.
+    pub fn new(name: impl Into<String>, classifier: AdmittanceClassifier) -> Self {
+        NetworkCell {
+            name: name.into(),
+            classifier,
+            matrix: TrafficMatrix::empty(),
+        }
+    }
+}
+
+/// Outcome of a selection attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// Steer the flow to this cell (index into the selector's cells).
+    Steer {
+        /// Index of the chosen cell.
+        cell: usize,
+        /// Decision value at the chosen cell (depth inside its ExCR).
+        score: f64,
+    },
+    /// No cell can take the flow without QoE damage.
+    RejectEverywhere,
+}
+
+/// Multi-cell selector.
+#[derive(Debug, Default)]
+pub struct NetworkSelector {
+    cells: Vec<NetworkCell>,
+}
+
+impl NetworkSelector {
+    /// Empty selector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a cell; returns its index.
+    pub fn add_cell(&mut self, cell: NetworkCell) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Access a cell.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn cell(&self, i: usize) -> &NetworkCell {
+        &self.cells[i]
+    }
+
+    /// Mutable access to a cell.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn cell_mut(&mut self, i: usize) -> &mut NetworkCell {
+        &mut self.cells[i]
+    }
+
+    /// Number of registered cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cells are registered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Pick the best cell for an arriving flow of `kind`: among the
+    /// cells whose classifier answers +1 (or is still bootstrapping —
+    /// those admit by definition), choose the one with the highest
+    /// decision value, i.e. the point deepest inside a capacity
+    /// region. Bootstrapping cells score 0.
+    pub fn select(&self, kind: FlowKind) -> Selection {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cell) in self.cells.iter().enumerate() {
+            let resulting = cell.matrix.with_arrival(kind);
+            if cell.classifier.classify(&resulting) != Label::Pos {
+                continue;
+            }
+            let score = cell.classifier.decision_value(&resulting).unwrap_or(0.0);
+            if best.map_or(true, |(_, s)| score > s) {
+                best = Some((i, score));
+            }
+        }
+        match best {
+            Some((cell, score)) => Selection::Steer { cell, score },
+            None => Selection::RejectEverywhere,
+        }
+    }
+
+    /// Commit a steering decision: record the arrival in the chosen
+    /// cell's matrix.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range cell index.
+    pub fn commit(&mut self, cell: usize, kind: FlowKind) {
+        self.cells[cell].matrix.add(kind);
+    }
+
+    /// Record a departure from a cell.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range cell index.
+    pub fn depart(&mut self, cell: usize, kind: FlowKind) {
+        self.cells[cell].matrix.remove(kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admittance::{AdmittanceClassifier, AdmittanceConfig};
+    use crate::matrix::SnrLevel;
+    use exbox_net::AppClass;
+
+    fn kind() -> FlowKind {
+        FlowKind::new(AppClass::Streaming, SnrLevel::High)
+    }
+
+    /// Train a classifier to accept totals <= cap.
+    fn trained(cap: u32) -> AdmittanceClassifier {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        for w in 0..5u32 {
+            for s in 0..5u32 {
+                for c in 0..3u32 {
+                    let mut m = TrafficMatrix::empty();
+                    for _ in 0..w {
+                        m.add(FlowKind::new(AppClass::Web, SnrLevel::High));
+                    }
+                    for _ in 0..s {
+                        m.add(kind());
+                    }
+                    for _ in 0..c {
+                        m.add(FlowKind::new(AppClass::Conferencing, SnrLevel::Low));
+                    }
+                    let y = if m.total() <= cap {
+                        exbox_ml::Label::Pos
+                    } else {
+                        exbox_ml::Label::Neg
+                    };
+                    ac.observe(m, y);
+                }
+            }
+        }
+        assert_eq!(ac.phase(), crate::admittance::Phase::Online);
+        ac
+    }
+
+    #[test]
+    fn selects_emptier_cell() {
+        let mut sel = NetworkSelector::new();
+        let a = sel.add_cell(NetworkCell::new("wifi", trained(6)));
+        let b = sel.add_cell(NetworkCell::new("lte", trained(6)));
+        // Load cell a with 4 flows; cell b stays empty.
+        for _ in 0..4 {
+            sel.commit(a, kind());
+        }
+        match sel.select(kind()) {
+            Selection::Steer { cell, .. } => assert_eq!(cell, b, "should pick the empty cell"),
+            Selection::RejectEverywhere => panic!("unexpected reject"),
+        }
+    }
+
+    #[test]
+    fn rejects_when_all_cells_full() {
+        let mut sel = NetworkSelector::new();
+        let a = sel.add_cell(NetworkCell::new("wifi", trained(4)));
+        let b = sel.add_cell(NetworkCell::new("lte", trained(4)));
+        for _ in 0..6 {
+            sel.commit(a, kind());
+            sel.commit(b, kind());
+        }
+        assert_eq!(sel.select(kind()), Selection::RejectEverywhere);
+    }
+
+    #[test]
+    fn departure_reopens_capacity() {
+        let mut sel = NetworkSelector::new();
+        let a = sel.add_cell(NetworkCell::new("wifi", trained(4)));
+        for _ in 0..6 {
+            sel.commit(a, kind());
+        }
+        assert_eq!(sel.select(kind()), Selection::RejectEverywhere);
+        for _ in 0..4 {
+            sel.depart(a, kind());
+        }
+        assert!(matches!(sel.select(kind()), Selection::Steer { cell, .. } if cell == a));
+    }
+
+    #[test]
+    fn bootstrapping_cell_accepts() {
+        let mut sel = NetworkSelector::new();
+        sel.add_cell(NetworkCell::new(
+            "fresh",
+            AdmittanceClassifier::new(AdmittanceConfig::default()),
+        ));
+        assert!(matches!(sel.select(kind()), Selection::Steer { .. }));
+    }
+
+    #[test]
+    fn empty_selector_rejects() {
+        let sel = NetworkSelector::new();
+        assert_eq!(sel.select(kind()), Selection::RejectEverywhere);
+    }
+}

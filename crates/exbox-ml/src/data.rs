@@ -1,0 +1,340 @@
+//! Dataset container for binary classification.
+//!
+//! A [`Dataset`] holds dense `f64` feature vectors with ±1 labels, the
+//! exact shape of the Admittance Classifier's training tuples
+//! `(X_m, Y_m)` from the paper: `X_m` encodes the traffic matrix plus
+//! the arriving flow's (class, SNR-level) and `Y_m ∈ {+1, −1}` records
+//! whether admitting the flow kept every flow's QoE acceptable.
+
+use std::fmt;
+
+/// Binary class label, `+1` (admissible) or `−1` (inadmissible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// `+1`: admitting the flow keeps all QoE acceptable.
+    Pos,
+    /// `−1`: admitting the flow makes some flow's QoE unacceptable.
+    Neg,
+}
+
+impl Label {
+    /// The label as a signed float (`+1.0` / `−1.0`), the form used by
+    /// the SMO and SGD solvers.
+    #[inline]
+    pub fn signum(self) -> f64 {
+        match self {
+            Label::Pos => 1.0,
+            Label::Neg => -1.0,
+        }
+    }
+
+    /// Build a label from any signed value; `v >= 0` maps to [`Label::Pos`].
+    #[inline]
+    pub fn from_signum(v: f64) -> Self {
+        if v >= 0.0 {
+            Label::Pos
+        } else {
+            Label::Neg
+        }
+    }
+
+    /// Logical negation of the label.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Label::Pos => Label::Neg,
+            Label::Neg => Label::Pos,
+        }
+    }
+
+    /// `true` for [`Label::Pos`].
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        matches!(self, Label::Pos)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Pos => write!(f, "+1"),
+            Label::Neg => write!(f, "-1"),
+        }
+    }
+}
+
+/// A dense labelled dataset with fixed dimensionality.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    dims: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<Label>,
+}
+
+impl Dataset {
+    /// Create an empty dataset whose samples will have `dims` features.
+    pub fn new(dims: usize) -> Self {
+        Dataset {
+            dims,
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+
+    /// Build a dataset from parallel feature/label vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree in length or any row has the
+    /// wrong dimensionality.
+    pub fn from_rows(dims: usize, xs: Vec<Vec<f64>>, ys: Vec<Label>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "feature/label length mismatch");
+        let mut ds = Dataset::new(dims);
+        for (x, y) in xs.into_iter().zip(ys) {
+            ds.push(x, y);
+        }
+        ds
+    }
+
+    /// Append one labelled sample.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dims()` or any feature is non-finite;
+    /// non-finite features would silently poison kernel computations.
+    pub fn push(&mut self, x: Vec<f64>, y: Label) {
+        assert_eq!(
+            x.len(),
+            self.dims,
+            "sample has {} features, dataset expects {}",
+            x.len(),
+            self.dims
+        );
+        assert!(
+            x.iter().all(|v| v.is_finite()),
+            "non-finite feature in sample"
+        );
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the dataset has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Feature vector of sample `i`.
+    #[inline]
+    pub fn x(&self, i: usize) -> &[f64] {
+        &self.xs[i]
+    }
+
+    /// Label of sample `i`.
+    #[inline]
+    pub fn y(&self, i: usize) -> Label {
+        self.ys[i]
+    }
+
+    /// Iterator over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], Label)> {
+        self.xs.iter().map(|v| v.as_slice()).zip(self.ys.iter().copied())
+    }
+
+    /// Count of positive samples.
+    pub fn num_pos(&self) -> usize {
+        self.ys.iter().filter(|y| y.is_pos()).count()
+    }
+
+    /// Count of negative samples.
+    pub fn num_neg(&self) -> usize {
+        self.len() - self.num_pos()
+    }
+
+    /// `true` when both classes are present — a prerequisite for
+    /// training any discriminative classifier. The Admittance
+    /// Classifier's bootstrap phase keeps observing until this holds.
+    pub fn has_both_classes(&self) -> bool {
+        self.num_pos() > 0 && self.num_neg() > 0
+    }
+
+    /// A new dataset containing the samples at `indices` (cloned).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.dims);
+        for &i in indices {
+            out.push(self.xs[i].clone(), self.ys[i]);
+        }
+        out
+    }
+
+    /// Deterministically shuffle sample order with an xorshift stream
+    /// derived from `seed` (Fisher–Yates).
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for i in (1..self.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            self.xs.swap(i, j);
+            self.ys.swap(i, j);
+        }
+    }
+
+    /// Split into `n` folds with near-equal sizes, preserving current
+    /// order (shuffle first for randomised folds). Returns the index
+    /// sets of each fold.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > self.len()`.
+    pub fn fold_indices(&self, n: usize) -> Vec<Vec<usize>> {
+        assert!(n > 0, "fold count must be positive");
+        assert!(
+            n <= self.len(),
+            "cannot split {} samples into {} folds",
+            self.len(),
+            n
+        );
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..self.len() {
+            folds[i % n].push(i);
+        }
+        folds
+    }
+
+    /// Concatenate another dataset of the same dimensionality.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.dims, other.dims, "dataset dimensionality mismatch");
+        for (x, y) in other.iter() {
+            self.push(x.to_vec(), y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0, 0.0], Label::Pos);
+        ds.push(vec![1.0, 0.0], Label::Pos);
+        ds.push(vec![5.0, 5.0], Label::Neg);
+        ds.push(vec![6.0, 5.0], Label::Neg);
+        ds
+    }
+
+    #[test]
+    fn push_and_access() {
+        let ds = toy();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.x(2), &[5.0, 5.0]);
+        assert_eq!(ds.y(0), Label::Pos);
+        assert_eq!(ds.num_pos(), 2);
+        assert_eq!(ds.num_neg(), 2);
+        assert!(ds.has_both_classes());
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn push_wrong_dims_panics() {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![1.0], Label::Pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn push_nan_panics() {
+        let mut ds = Dataset::new(1);
+        ds.push(vec![f64::NAN], Label::Pos);
+    }
+
+    #[test]
+    fn label_signum_roundtrip() {
+        assert_eq!(Label::from_signum(Label::Pos.signum()), Label::Pos);
+        assert_eq!(Label::from_signum(Label::Neg.signum()), Label::Neg);
+        assert_eq!(Label::Pos.flip(), Label::Neg);
+        assert_eq!(Label::Neg.flip(), Label::Pos);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a = toy();
+        let mut b = toy();
+        a.shuffle(7);
+        b.shuffle(7);
+        for i in 0..a.len() {
+            assert_eq!(a.x(i), b.x(i));
+            assert_eq!(a.y(i), b.y(i));
+        }
+        // same multiset of rows
+        let mut rows: Vec<Vec<f64>> = (0..a.len()).map(|i| a.x(i).to_vec()).collect();
+        rows.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mut orig: Vec<Vec<f64>> = (0..4).map(|i| toy().x(i).to_vec()).collect();
+        orig.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(rows, orig);
+    }
+
+    #[test]
+    fn shuffle_different_seeds_differ() {
+        // With 52 samples, two seeds colliding on the identical
+        // permutation is vanishingly unlikely.
+        let mut big = Dataset::new(1);
+        for i in 0..52 {
+            big.push(vec![i as f64], Label::Pos);
+        }
+        let mut a = big.clone();
+        let mut b = big.clone();
+        a.shuffle(1);
+        b.shuffle(2);
+        let same = (0..a.len()).all(|i| a.x(i) == b.x(i));
+        assert!(!same);
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let ds = toy();
+        let folds = ds.fold_indices(3);
+        let mut all: Vec<usize> = folds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn subset_extracts_rows() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.x(0), &[6.0, 5.0]);
+        assert_eq!(sub.y(1), Label::Pos);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = toy();
+        let b = toy();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 8);
+    }
+}

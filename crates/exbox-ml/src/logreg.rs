@@ -1,0 +1,206 @@
+//! Logistic regression — the "alternative learning module".
+//!
+//! The paper (§3) stresses that "the actual learning technique is not
+//! central to the concept of ExBox and can be implemented as a
+//! separate module that can be refined as needed". This module makes
+//! that claim testable: a second classifier family behind the same
+//! [`Classifier`] trait, used by the `ablation_classifier` benchmark
+//! to compare against the SVM.
+
+use crate::data::Dataset;
+use crate::{Classifier, TrainClassifier};
+
+/// Trainer for L2-regularised logistic regression via full-batch
+/// gradient descent. The loss is
+/// `(1/n) Σ log(1 + exp(−yᵢ(w·xᵢ + b))) + λ/2 ‖w‖²`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegressionTrainer {
+    lambda: f64,
+    lr: f64,
+    epochs: u32,
+}
+
+impl Default for LogisticRegressionTrainer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogisticRegressionTrainer {
+    /// Defaults: `λ = 1e-4`, learning rate 0.5, 300 epochs.
+    pub fn new() -> Self {
+        LogisticRegressionTrainer {
+            lambda: 1e-4,
+            lr: 0.5,
+            epochs: 300,
+        }
+    }
+
+    /// L2 regularisation strength (≥ 0).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be >= 0");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Gradient-descent step size (> 0).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+        self
+    }
+
+    /// Number of full-batch gradient steps.
+    pub fn epochs(mut self, epochs: u32) -> Self {
+        assert!(epochs > 0, "epochs must be positive");
+        self.epochs = epochs;
+        self
+    }
+
+    /// Train a model — inherent alias for [`TrainClassifier::fit`].
+    pub fn train(&self, data: &Dataset) -> LogisticRegression {
+        self.fit(data)
+    }
+}
+
+impl TrainClassifier for LogisticRegressionTrainer {
+    type Model = LogisticRegression;
+
+    fn fit(&self, data: &Dataset) -> LogisticRegression {
+        assert!(!data.is_empty(), "cannot train on empty dataset");
+        let n = data.len() as f64;
+        let dims = data.dims();
+        if !data.has_both_classes() {
+            return LogisticRegression {
+                w: vec![0.0; dims],
+                b: data.y(0).signum(),
+            };
+        }
+        let mut w = vec![0.0f64; dims];
+        let mut b = 0.0f64;
+        for _ in 0..self.epochs {
+            let mut gw = vec![0.0f64; dims];
+            let mut gb = 0.0f64;
+            for (x, y) in data.iter() {
+                let y = y.signum();
+                let z = y * (crate::kernel::dot(&w, x) + b);
+                // d/dz log(1+e^{-z}) = -sigmoid(-z)
+                let s = -sigmoid(-z) * y;
+                for (g, &xk) in gw.iter_mut().zip(x) {
+                    *g += s * xk;
+                }
+                gb += s;
+            }
+            for k in 0..dims {
+                w[k] -= self.lr * (gw[k] / n + self.lambda * w[k]);
+            }
+            b -= self.lr * gb / n;
+        }
+        LogisticRegression { w, b }
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    // Numerically stable in both tails.
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A trained logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LogisticRegression {
+    /// Estimated probability that `x` is [`crate::Label::Pos`].
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        sigmoid(self.decision_value(x))
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.w.len(), "input dimensionality mismatch");
+        crate::kernel::dot(&self.w, x) + self.b
+    }
+
+    fn dims(&self) -> usize {
+        self.w.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(1);
+        for i in 0..10 {
+            ds.push(vec![-1.0 - 0.2 * i as f64], Label::Pos);
+            ds.push(vec![1.0 + 0.2 * i as f64], Label::Neg);
+        }
+        ds
+    }
+
+    #[test]
+    fn separates_1d_clusters() {
+        let model = LogisticRegressionTrainer::new().train(&toy());
+        assert_eq!(model.predict(&[-2.0]), Label::Pos);
+        assert_eq!(model.predict(&[2.0]), Label::Neg);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_ordering() {
+        let model = LogisticRegressionTrainer::new().train(&toy());
+        let p_far_pos = model.probability(&[-3.0]);
+        let p_mid = model.probability(&[0.0]);
+        let p_far_neg = model.probability(&[3.0]);
+        assert!(p_far_pos > p_mid && p_mid > p_far_neg);
+        assert!((0.0..=1.0).contains(&p_far_pos));
+        assert!((0.0..=1.0).contains(&p_far_neg));
+        // Mid-point between symmetric clusters should be near 0.5.
+        assert!((p_mid - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn one_class_constant_model() {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0, 0.0], Label::Pos);
+        let m = LogisticRegressionTrainer::new().train(&ds);
+        assert_eq!(m.predict(&[5.0, -5.0]), Label::Pos);
+    }
+
+    #[test]
+    fn regularisation_shrinks_weights() {
+        let strong = LogisticRegressionTrainer::new().lambda(1.0).train(&toy());
+        let weak = LogisticRegressionTrainer::new().lambda(0.0).train(&toy());
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(strong.weights()) < norm(weak.weights()));
+    }
+}

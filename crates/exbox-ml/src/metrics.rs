@@ -1,0 +1,193 @@
+//! Binary-classification metrics.
+//!
+//! The paper evaluates admission control with three metrics (§5.3):
+//!
+//! * **precision** — correctly admitted / all admitted ("few mistakes
+//!   in preserving network QoE"),
+//! * **recall** — correctly admitted / all that *could* have been
+//!   admitted (catches overly conservative controllers),
+//! * **accuracy** — fraction of all decisions (admit *or* reject) that
+//!   were correct.
+//!
+//! In this mapping, "admit" is the positive class, so a false positive
+//! is a flow that was admitted but degraded someone's QoE.
+
+use crate::data::Label;
+
+/// Counts of the four outcomes of binary decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Admitted and genuinely admissible.
+    pub tp: u64,
+    /// Admitted but inadmissible (QoE damage — what precision tracks).
+    pub fp: u64,
+    /// Rejected and genuinely inadmissible.
+    pub tn: u64,
+    /// Rejected but admissible (lost service — what recall tracks).
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one `(predicted, actual)` decision.
+    pub fn record(&mut self, predicted: Label, actual: Label) {
+        match (predicted, actual) {
+            (Label::Pos, Label::Pos) => self.tp += 1,
+            (Label::Pos, Label::Neg) => self.fp += 1,
+            (Label::Neg, Label::Neg) => self.tn += 1,
+            (Label::Neg, Label::Pos) => self.fn_ += 1,
+        }
+    }
+
+    /// Merge counts from another matrix.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of recorded decisions.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Derive the scalar metrics. Undefined ratios (zero denominators)
+    /// are reported as 1.0 — a controller that admitted nothing made
+    /// no precision mistakes, which matches the paper's framing of
+    /// precision as "mistakes in preserving the network QoE".
+    pub fn metrics(&self) -> BinaryMetrics {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let precision = ratio(self.tp, self.tp + self.fp);
+        let recall = ratio(self.tp, self.tp + self.fn_);
+        let accuracy = ratio(self.tp + self.tn, self.total());
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        BinaryMetrics {
+            precision,
+            recall,
+            accuracy,
+            f1,
+        }
+    }
+}
+
+/// Scalar summary of a [`ConfusionMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// (TP + TN) / total.
+    pub accuracy: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "precision={:.3} recall={:.3} accuracy={:.3} f1={:.3}",
+            self.precision, self.recall, self.accuracy, self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..5 {
+            cm.record(Label::Pos, Label::Pos);
+            cm.record(Label::Neg, Label::Neg);
+        }
+        let m = cm.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn known_counts() {
+        let cm = ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            tn: 6,
+            fn_: 4,
+        };
+        let m = cm.metrics();
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.accuracy - 14.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_controller_has_high_precision_low_recall() {
+        // Rejects everything except one obviously safe flow.
+        let cm = ConfusionMatrix {
+            tp: 1,
+            fp: 0,
+            tn: 5,
+            fn_: 9,
+        };
+        let m = cm.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert!(m.recall < 0.2);
+    }
+
+    #[test]
+    fn empty_matrix_is_vacuously_perfect() {
+        let m = ConfusionMatrix::new().metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.tp, 2);
+        assert_eq!(a.fp, 4);
+        assert_eq!(a.tn, 6);
+        assert_eq!(a.fn_, 8);
+        assert_eq!(a.total(), 20);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = ConfusionMatrix {
+            tp: 1,
+            fp: 1,
+            tn: 1,
+            fn_: 1,
+        }
+        .metrics();
+        let s = format!("{m}");
+        assert!(s.contains("precision=0.500"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Feature scaling.
+//!
+//! SVMs are scale-sensitive: traffic-matrix counts (0–50) and SNR
+//! level indices (0–1) live on different ranges, so the Admittance
+//! Classifier standardises features before training. Scalers are
+//! fitted on the training set only and then applied to incoming test
+//! points, exactly as a deployed middlebox must.
+
+use crate::data::Dataset;
+
+/// Zero-mean / unit-variance standardisation.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit the scaler on a dataset.
+    ///
+    /// Features with zero variance get `std = 1` so they pass through
+    /// centred but un-scaled (avoids division by zero).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit scaler on empty dataset");
+        let d = data.dims();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for (x, _) in data.iter() {
+            for (m, &v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for (x, _) in data.iter() {
+            for k in 0..d {
+                let dv = x[k] - mean[k];
+                var[k] += dv * dv;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Transform one feature vector.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Transform a whole dataset (labels preserved).
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(data.dims());
+        for (x, y) in data.iter() {
+            out.push(self.transform(x), y);
+        }
+        out
+    }
+
+    /// Per-feature means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations learned at fit time.
+    pub fn stds(&self) -> &[f64] {
+        &self.std
+    }
+}
+
+/// Min-max scaling to `[0, 1]` per feature.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    min: Vec<f64>,
+    range: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit the scaler on a dataset. Constant features get range 1 so
+    /// they map to 0.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit scaler on empty dataset");
+        let d = data.dims();
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        for (x, _) in data.iter() {
+            for k in 0..d {
+                min[k] = min[k].min(x[k]);
+                max[k] = max[k].max(x[k]);
+            }
+        }
+        let range = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| {
+                let r = hi - lo;
+                if r > 1e-12 {
+                    r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        MinMaxScaler { min, range }
+    }
+
+    /// Transform one feature vector. Values outside the fitted range
+    /// extrapolate beyond `[0, 1]` (they are *not* clamped, so the
+    /// classifier can still see "further outside than ever observed").
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.min.len(), "dimensionality mismatch");
+        x.iter()
+            .zip(self.min.iter().zip(&self.range))
+            .map(|(&v, (&lo, &r))| (v - lo) / r)
+            .collect()
+    }
+
+    /// Transform a whole dataset (labels preserved).
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(data.dims());
+        for (x, y) in data.iter() {
+            out.push(self.transform(x), y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push(vec![0.0, 10.0], Label::Pos);
+        d.push(vec![2.0, 10.0], Label::Pos);
+        d.push(vec![4.0, 10.0], Label::Neg);
+        d
+    }
+
+    #[test]
+    fn standard_scaler_centres_and_scales() {
+        let s = StandardScaler::fit(&ds());
+        let t = s.transform_dataset(&ds());
+        // Column 0: mean 2, population std sqrt(8/3).
+        let col0: Vec<f64> = (0..3).map(|i| t.x(i)[0]).collect();
+        let mean: f64 = col0.iter().sum::<f64>() / 3.0;
+        let var: f64 = col0.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_scaler_constant_feature_passthrough() {
+        let s = StandardScaler::fit(&ds());
+        // Column 1 is constant 10 -> std forced to 1, transform = v-10.
+        assert_eq!(s.transform(&[2.0, 10.0])[1], 0.0);
+        assert_eq!(s.transform(&[2.0, 12.0])[1], 2.0);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let s = MinMaxScaler::fit(&ds());
+        let lo = s.transform(&[0.0, 10.0]);
+        let hi = s.transform(&[4.0, 10.0]);
+        assert_eq!(lo[0], 0.0);
+        assert_eq!(hi[0], 1.0);
+    }
+
+    #[test]
+    fn minmax_extrapolates_outside_range() {
+        let s = MinMaxScaler::fit(&ds());
+        assert!(s.transform(&[8.0, 10.0])[0] > 1.0);
+        assert!(s.transform(&[-4.0, 10.0])[0] < 0.0);
+    }
+
+    #[test]
+    fn scalers_preserve_labels() {
+        let s = StandardScaler::fit(&ds());
+        let t = s.transform_dataset(&ds());
+        assert_eq!(t.y(0), Label::Pos);
+        assert_eq!(t.y(2), Label::Neg);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_empty_panics() {
+        let _ = StandardScaler::fit(&Dataset::new(1));
+    }
+}

@@ -1,0 +1,590 @@
+//! Soft-margin SVM trained with Sequential Minimal Optimization.
+//!
+//! This is the learning engine of the paper's Admittance Classifier
+//! (§3.1): a binary SVM whose separating hyperplane *is* the boundary
+//! of the Experiential Capacity Region. The implementation follows
+//! Platt's SMO in the simplified form popularised by the Stanford
+//! CS229 notes, extended with:
+//!
+//! * an incrementally-maintained error cache (`E_i = f(x_i) − y_i`),
+//! * an optional precomputed Gram matrix for small/medium datasets,
+//! * per-class cost weighting to handle the class imbalance typical of
+//!   admission datasets (most observed traffic matrices are
+//!   admissible until the network saturates),
+//! * deterministic, seedable index selection.
+//!
+//! The dual problem solved is
+//!
+//! ```text
+//! max Σαᵢ − ½ ΣΣ αᵢαⱼ yᵢyⱼ K(xᵢ,xⱼ)   s.t. 0 ≤ αᵢ ≤ Cᵢ, Σαᵢyᵢ = 0
+//! ```
+
+use crate::data::{Dataset, Label};
+use crate::kernel::Kernel;
+use crate::{Classifier, TrainClassifier};
+
+/// Hyper-parameters and driver for SMO training.
+#[derive(Debug, Clone)]
+pub struct SvmTrainer {
+    kernel: Kernel,
+    c: f64,
+    pos_weight: f64,
+    neg_weight: f64,
+    tol: f64,
+    max_passes: u32,
+    max_iters: u64,
+    gram_limit: usize,
+    seed: u64,
+}
+
+impl SvmTrainer {
+    /// Create a trainer with the given kernel and defaults:
+    /// `C = 1.0`, tolerance `1e-3`, 5 quiescent passes, balanced class
+    /// weights, Gram matrix cached for up to 4096 samples.
+    pub fn new(kernel: Kernel) -> Self {
+        SvmTrainer {
+            kernel,
+            c: 1.0,
+            pos_weight: 1.0,
+            neg_weight: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 2_000_000,
+            gram_limit: 4096,
+            seed: 0xE5B0,
+        }
+    }
+
+    /// Set the soft-margin cost `C` (> 0). Larger values penalise
+    /// violations harder and fit the training data more tightly.
+    ///
+    /// # Panics
+    /// Panics unless `c` is positive and finite.
+    pub fn c(mut self, c: f64) -> Self {
+        assert!(c > 0.0 && c.is_finite(), "C must be positive");
+        self.c = c;
+        self
+    }
+
+    /// Multiply the cost for positive / negative samples, i.e. the
+    /// effective costs become `C·w⁺` and `C·w⁻`. Useful when
+    /// inadmissible samples are rare but expensive to misclassify.
+    ///
+    /// # Panics
+    /// Panics unless both weights are positive and finite.
+    pub fn class_weights(mut self, pos: f64, neg: f64) -> Self {
+        assert!(pos > 0.0 && pos.is_finite(), "pos weight must be positive");
+        assert!(neg > 0.0 && neg.is_finite(), "neg weight must be positive");
+        self.pos_weight = pos;
+        self.neg_weight = neg;
+        self
+    }
+
+    /// KKT violation tolerance (default `1e-3`).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive");
+        self.tol = tol;
+        self
+    }
+
+    /// Number of consecutive full passes without any α update before
+    /// training stops (default 5).
+    pub fn max_passes(mut self, passes: u32) -> Self {
+        assert!(passes > 0, "max_passes must be positive");
+        self.max_passes = passes;
+        self
+    }
+
+    /// Hard cap on total inner-loop iterations as a divergence backstop.
+    pub fn max_iters(mut self, iters: u64) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Largest sample count for which the full Gram matrix is
+    /// precomputed (`n²` doubles of memory). Above this, kernel values
+    /// are recomputed on demand.
+    pub fn gram_limit(mut self, limit: usize) -> Self {
+        self.gram_limit = limit;
+        self
+    }
+
+    /// Seed for the deterministic second-index selection stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Train a model — inherent alias for [`TrainClassifier::fit`].
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn train(&self, data: &Dataset) -> SvmModel {
+        self.fit(data)
+    }
+
+    fn cost_for(&self, y: Label) -> f64 {
+        match y {
+            Label::Pos => self.c * self.pos_weight,
+            Label::Neg => self.c * self.neg_weight,
+        }
+    }
+}
+
+impl TrainClassifier for SvmTrainer {
+    type Model = SvmModel;
+
+    fn fit(&self, data: &Dataset) -> SvmModel {
+        assert!(!data.is_empty(), "cannot train SVM on empty dataset");
+        let n = data.len();
+        let dims = data.dims();
+
+        // Degenerate one-class datasets: return a constant classifier
+        // at the majority sign. The bootstrap phase guards against
+        // this, but figure harnesses may hit it with tiny batches.
+        if !data.has_both_classes() {
+            let sign = data.y(0).signum();
+            return SvmModel {
+                kernel: self.kernel,
+                support: Vec::new(),
+                coef: Vec::new(),
+                bias: sign,
+                dims,
+            };
+        }
+
+        let ys: Vec<f64> = (0..n).map(|i| data.y(i).signum()).collect();
+        let costs: Vec<f64> = (0..n).map(|i| self.cost_for(data.y(i))).collect();
+
+        // Gram cache (row-major upper storage kept simple: full matrix).
+        let gram: Option<Vec<f64>> = if n <= self.gram_limit {
+            let mut g = vec![0.0; n * n];
+            for i in 0..n {
+                for j in i..n {
+                    let v = self.kernel.eval(data.x(i), data.x(j));
+                    g[i * n + j] = v;
+                    g[j * n + i] = v;
+                }
+            }
+            Some(g)
+        } else {
+            None
+        };
+        let kval = |i: usize, j: usize| -> f64 {
+            match &gram {
+                Some(g) => g[i * n + j],
+                None => self.kernel.eval(data.x(i), data.x(j)),
+            }
+        };
+
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        // err[i] = f(x_i) − y_i; with all α = 0, f(x) = b = 0.
+        let mut err: Vec<f64> = ys.iter().map(|y| -y).collect();
+
+        // xorshift64* stream for the second-index heuristic.
+        let mut rng_state = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next_rand = move || {
+            rng_state ^= rng_state >> 12;
+            rng_state ^= rng_state << 25;
+            rng_state ^= rng_state >> 27;
+            rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+
+        let mut quiescent_passes = 0u32;
+        let mut iters = 0u64;
+
+        while quiescent_passes < self.max_passes && iters < self.max_iters {
+            let mut num_changed = 0usize;
+            for i in 0..n {
+                iters += 1;
+                if iters >= self.max_iters {
+                    break;
+                }
+                let ei = err[i];
+                let yi = ys[i];
+                let ci = costs[i];
+                let r = yi * ei;
+                // KKT check with tolerance.
+                if !((r < -self.tol && alpha[i] < ci) || (r > self.tol && alpha[i] > 0.0)) {
+                    continue;
+                }
+
+                // Second-choice heuristic: pick j maximising |Ei − Ej|
+                // among current non-bound multipliers, falling back to
+                // a random index.
+                let mut j = usize::MAX;
+                let mut best = -1.0;
+                for (cand, &e) in err.iter().enumerate() {
+                    if cand == i {
+                        continue;
+                    }
+                    if alpha[cand] > 0.0 && alpha[cand] < costs[cand] {
+                        let gap = (ei - e).abs();
+                        if gap > best {
+                            best = gap;
+                            j = cand;
+                        }
+                    }
+                }
+                if j == usize::MAX {
+                    j = (next_rand() % (n as u64 - 1)) as usize;
+                    if j >= i {
+                        j += 1;
+                    }
+                }
+
+                let ej = err[j];
+                let yj = ys[j];
+                let cj = costs[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+
+                // Feasible segment for α_j.
+                let (lo, hi) = if yi != yj {
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (cj + aj_old - ai_old).min(cj),
+                    )
+                } else {
+                    (
+                        (ai_old + aj_old - ci).max(0.0),
+                        (ai_old + aj_old).min(cj),
+                    )
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+
+                let eta = 2.0 * kval(i, j) - kval(i, i) - kval(j, j);
+                if eta >= -1e-12 {
+                    // Non-negative curvature along the constraint: skip
+                    // (full Platt would evaluate the segment ends; the
+                    // random restart makes progress regardless).
+                    continue;
+                }
+
+                let mut aj_new = aj_old - yj * (ei - ej) / eta;
+                aj_new = aj_new.clamp(lo, hi);
+                if (aj_new - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai_new = ai_old + yi * yj * (aj_old - aj_new);
+
+                // Bias update (Platt eqs. 20–21).
+                let b1 = b - ei
+                    - yi * (ai_new - ai_old) * kval(i, i)
+                    - yj * (aj_new - aj_old) * kval(i, j);
+                let b2 = b - ej
+                    - yi * (ai_new - ai_old) * kval(i, j)
+                    - yj * (aj_new - aj_old) * kval(j, j);
+                let b_new = if ai_new > 0.0 && ai_new < ci {
+                    b1
+                } else if aj_new > 0.0 && aj_new < cj {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+
+                // Incremental error-cache update:
+                // f(x) gains Δαᵢ yᵢ K(xᵢ,x) + Δαⱼ yⱼ K(xⱼ,x) + Δb.
+                let dai = ai_new - ai_old;
+                let daj = aj_new - aj_old;
+                let db = b_new - b;
+                for (t, e) in err.iter_mut().enumerate() {
+                    *e += dai * yi * kval(i, t) + daj * yj * kval(j, t) + db;
+                }
+
+                alpha[i] = ai_new;
+                alpha[j] = aj_new;
+                b = b_new;
+                num_changed += 1;
+            }
+            if num_changed == 0 {
+                quiescent_passes += 1;
+            } else {
+                quiescent_passes = 0;
+            }
+        }
+
+        // Extract support vectors.
+        let mut support = Vec::new();
+        let mut coef = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                support.push(data.x(i).to_vec());
+                coef.push(alpha[i] * ys[i]);
+            }
+        }
+        SvmModel {
+            kernel: self.kernel,
+            support,
+            coef,
+            bias: b,
+            dims,
+        }
+    }
+}
+
+/// A trained SVM: support vectors, their signed coefficients
+/// `αᵢ yᵢ`, and the bias term.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    kernel: Kernel,
+    support: Vec<Vec<f64>>,
+    coef: Vec<f64>,
+    bias: f64,
+    dims: usize,
+}
+
+impl SvmModel {
+    /// Number of support vectors retained by training.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Bias term `b` of the decision function.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Iterate over `(coefficient αᵢ·yᵢ, support vector)` pairs.
+    pub fn support_iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.coef
+            .iter()
+            .copied()
+            .zip(self.support.iter().map(|v| v.as_slice()))
+    }
+
+    /// Reassemble a model from raw parts (used by persistence).
+    ///
+    /// # Panics
+    /// Panics if `support` and `coef` lengths differ or any support
+    /// vector has the wrong dimensionality.
+    pub fn from_parts(
+        kernel: Kernel,
+        support: Vec<Vec<f64>>,
+        coef: Vec<f64>,
+        bias: f64,
+        dims: usize,
+    ) -> SvmModel {
+        assert_eq!(support.len(), coef.len(), "support/coef length mismatch");
+        assert!(
+            support.iter().all(|x| x.len() == dims),
+            "support vector dimensionality mismatch"
+        );
+        SvmModel {
+            kernel,
+            support,
+            coef,
+            bias,
+            dims,
+        }
+    }
+
+    /// For a **linear** kernel, reconstruct the explicit weight vector
+    /// `w = Σ αᵢ yᵢ xᵢ`. Returns `None` for non-linear kernels where
+    /// `w` lives in feature space.
+    pub fn linear_weights(&self) -> Option<Vec<f64>> {
+        if self.kernel != Kernel::Linear {
+            return None;
+        }
+        let mut w = vec![0.0; self.dims];
+        for (sv, &c) in self.support.iter().zip(&self.coef) {
+            for (wk, &xk) in w.iter_mut().zip(sv) {
+                *wk += c * xk;
+            }
+        }
+        Some(w)
+    }
+}
+
+impl Classifier for SvmModel {
+    fn decision_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims, "input dimensionality mismatch");
+        let mut f = self.bias;
+        for (sv, &c) in self.support.iter().zip(&self.coef) {
+            f += c * self.kernel.eval(sv, x);
+        }
+        f
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> Dataset {
+        // Two well-separated clusters on the x-axis.
+        let mut ds = Dataset::new(2);
+        for i in 0..10 {
+            ds.push(vec![-3.0 - 0.1 * i as f64, i as f64 * 0.05], Label::Pos);
+            ds.push(vec![3.0 + 0.1 * i as f64, -(i as f64) * 0.05], Label::Neg);
+        }
+        ds
+    }
+
+    #[test]
+    fn separates_linear_clusters_with_linear_kernel() {
+        let model = SvmTrainer::new(Kernel::Linear).c(10.0).train(&linearly_separable());
+        assert_eq!(model.predict(&[-3.0, 0.0]), Label::Pos);
+        assert_eq!(model.predict(&[3.0, 0.0]), Label::Neg);
+        // Margin signs on the training data itself.
+        for (x, y) in linearly_separable().iter() {
+            assert_eq!(model.predict(x), y, "misclassified training point {x:?}");
+        }
+    }
+
+    #[test]
+    fn separates_linear_clusters_with_rbf_kernel() {
+        let model = SvmTrainer::new(Kernel::rbf(0.5)).c(10.0).train(&linearly_separable());
+        for (x, y) in linearly_separable().iter() {
+            assert_eq!(model.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary_xor() {
+        // XOR demands a non-linear boundary.
+        let mut ds = Dataset::new(2);
+        for _ in 0..4 {
+            ds.push(vec![0.0, 0.0], Label::Pos);
+            ds.push(vec![1.0, 1.0], Label::Pos);
+            ds.push(vec![0.0, 1.0], Label::Neg);
+            ds.push(vec![1.0, 0.0], Label::Neg);
+        }
+        let model = SvmTrainer::new(Kernel::rbf(4.0)).c(100.0).train(&ds);
+        assert_eq!(model.predict(&[0.0, 0.0]), Label::Pos);
+        assert_eq!(model.predict(&[1.0, 1.0]), Label::Pos);
+        assert_eq!(model.predict(&[0.0, 1.0]), Label::Neg);
+        assert_eq!(model.predict(&[1.0, 0.0]), Label::Neg);
+    }
+
+    #[test]
+    fn learns_capacity_region_like_boundary() {
+        // A convex "capacity region": admissible iff 2a + 3b <= 24,
+        // the same family of shapes the ExCR takes in Fig. 2c.
+        let mut ds = Dataset::new(2);
+        for a in 0..12 {
+            for b in 0..12 {
+                let y = if 2 * a + 3 * b <= 24 { Label::Pos } else { Label::Neg };
+                ds.push(vec![a as f64, b as f64], y);
+            }
+        }
+        let model = SvmTrainer::new(Kernel::rbf(0.05)).c(50.0).train(&ds);
+        let mut correct = 0;
+        let mut total = 0;
+        for (x, y) in ds.iter() {
+            total += 1;
+            if model.predict(x) == y {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.93, "training accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn decision_value_sign_matches_predict() {
+        let model = SvmTrainer::new(Kernel::Linear).train(&linearly_separable());
+        for x in [[-5.0, 1.0], [5.0, -1.0], [0.1, 0.0]] {
+            let dv = model.decision_value(&x);
+            let p = model.predict(&x);
+            assert_eq!(p, Label::from_signum(dv));
+        }
+    }
+
+    #[test]
+    fn one_class_dataset_yields_constant_model() {
+        let mut ds = Dataset::new(1);
+        ds.push(vec![1.0], Label::Pos);
+        ds.push(vec![2.0], Label::Pos);
+        let model = SvmTrainer::new(Kernel::Linear).train(&ds);
+        assert_eq!(model.predict(&[100.0]), Label::Pos);
+        assert_eq!(model.predict(&[-100.0]), Label::Pos);
+        assert_eq!(model.num_support_vectors(), 0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = linearly_separable();
+        let m1 = SvmTrainer::new(Kernel::rbf(0.5)).seed(9).train(&ds);
+        let m2 = SvmTrainer::new(Kernel::rbf(0.5)).seed(9).train(&ds);
+        assert_eq!(m1.bias(), m2.bias());
+        assert_eq!(m1.num_support_vectors(), m2.num_support_vectors());
+        for x in [[0.5, 0.5], [-2.0, 1.0]] {
+            assert_eq!(m1.decision_value(&x), m2.decision_value(&x));
+        }
+    }
+
+    #[test]
+    fn gram_and_on_demand_paths_agree() {
+        let ds = linearly_separable();
+        let with_gram = SvmTrainer::new(Kernel::rbf(0.5)).gram_limit(1000).train(&ds);
+        let no_gram = SvmTrainer::new(Kernel::rbf(0.5)).gram_limit(0).train(&ds);
+        for x in [[-3.0, 0.0], [3.0, 0.0], [0.0, 0.0]] {
+            let a = with_gram.decision_value(&x);
+            let b = no_gram.decision_value(&x);
+            assert!((a - b).abs() < 1e-9, "gram path diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn linear_weights_reconstruction() {
+        let model = SvmTrainer::new(Kernel::Linear).c(10.0).train(&linearly_separable());
+        let w = model.linear_weights().expect("linear kernel has weights");
+        assert_eq!(w.len(), 2);
+        // Boundary is near x0 = 0 with Pos on the negative side, so
+        // w0 must be strongly negative relative to w1.
+        assert!(w[0] < 0.0);
+        assert!(w[0].abs() > w[1].abs());
+        // w·x + b must match decision_value for linear kernels.
+        let x = [1.5, -0.3];
+        let manual = w[0] * x[0] + w[1] * x[1] + model.bias();
+        assert!((manual - model.decision_value(&x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rbf_weights_are_none() {
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).train(&linearly_separable());
+        assert!(model.linear_weights().is_none());
+    }
+
+    #[test]
+    fn class_weighting_shifts_boundary_toward_minority() {
+        // 1 negative vs many positives with overlap; upweighting the
+        // negative class must recover its neighbourhood.
+        let mut ds = Dataset::new(1);
+        for i in 0..20 {
+            ds.push(vec![i as f64 * 0.1], Label::Pos);
+        }
+        ds.push(vec![2.5], Label::Neg);
+        ds.push(vec![2.6], Label::Neg);
+        let balanced = SvmTrainer::new(Kernel::rbf(2.0)).c(1.0).train(&ds);
+        let weighted = SvmTrainer::new(Kernel::rbf(2.0))
+            .c(1.0)
+            .class_weights(1.0, 10.0)
+            .train(&ds);
+        let dv_b = balanced.decision_value(&[2.55]);
+        let dv_w = weighted.decision_value(&[2.55]);
+        assert!(
+            dv_w < dv_b,
+            "upweighting negatives should push decision value down ({dv_w} !< {dv_b})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        let ds = Dataset::new(1);
+        let _ = SvmTrainer::new(Kernel::Linear).train(&ds);
+    }
+}

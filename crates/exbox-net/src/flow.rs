@@ -1,0 +1,250 @@
+//! Gateway flow table.
+//!
+//! The middlebox watches every packet crossing the gateway and keeps
+//! per-flow accounting — the passive, network-side view that the
+//! paper's blackbox stance requires ("the network must be probed to
+//! learn its characteristics", §2.1). The table also performs idle
+//! eviction so long-running gateways do not accumulate dead flows.
+
+use std::collections::HashMap;
+
+use crate::packet::{Direction, FlowKey, Packet};
+use crate::time::{Duration, Instant};
+
+/// Accumulated statistics for one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// First packet timestamp.
+    pub first_seen: Instant,
+    /// Most recent packet timestamp.
+    pub last_seen: Instant,
+    /// Packets counted per direction (uplink, downlink).
+    pub packets_up: u64,
+    /// Downlink packet count.
+    pub packets_down: u64,
+    /// Uplink byte count.
+    pub bytes_up: u64,
+    /// Downlink byte count.
+    pub bytes_down: u64,
+}
+
+impl FlowStats {
+    fn new(ts: Instant) -> Self {
+        FlowStats {
+            first_seen: ts,
+            last_seen: ts,
+            packets_up: 0,
+            packets_down: 0,
+            bytes_up: 0,
+            bytes_down: 0,
+        }
+    }
+
+    /// Total packets in both directions.
+    pub fn packets(&self) -> u64 {
+        self.packets_up + self.packets_down
+    }
+
+    /// Total bytes in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Flow age from first to last packet.
+    pub fn duration(&self) -> Duration {
+        self.last_seen.saturating_since(self.first_seen)
+    }
+
+    /// Mean downlink throughput in bits/s over the flow lifetime.
+    /// Zero-length flows report 0 rather than dividing by zero.
+    pub fn mean_downlink_bps(&self) -> f64 {
+        let secs = self.duration().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_down as f64 * 8.0 / secs
+        }
+    }
+}
+
+/// Flow table keyed by 5-tuple.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, FlowStats>,
+}
+
+impl FlowTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one packet, creating the flow entry on first sight.
+    /// Returns `true` when this packet created a new flow — the signal
+    /// the middlebox uses to kick off classification and admission.
+    pub fn observe(&mut self, pkt: &Packet) -> bool {
+        let is_new = !self.flows.contains_key(&pkt.flow);
+        let stats = self
+            .flows
+            .entry(pkt.flow)
+            .or_insert_with(|| FlowStats::new(pkt.timestamp));
+        stats.last_seen = stats.last_seen.max(pkt.timestamp);
+        match pkt.direction {
+            Direction::Uplink => {
+                stats.packets_up += 1;
+                stats.bytes_up += pkt.size as u64;
+            }
+            Direction::Downlink => {
+                stats.packets_down += 1;
+                stats.bytes_down += pkt.size as u64;
+            }
+        }
+        is_new
+    }
+
+    /// Look up a flow's stats.
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowStats> {
+        self.flows.get(key)
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Remove a flow explicitly (e.g. when the admission controller
+    /// discontinues it). Returns the final stats if it existed.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<FlowStats> {
+        self.flows.remove(key)
+    }
+
+    /// Evict flows idle since before `now − idle_timeout`; returns the
+    /// evicted `(key, stats)` pairs sorted by key for deterministic
+    /// iteration order downstream.
+    pub fn evict_idle(&mut self, now: Instant, idle_timeout: Duration) -> Vec<(FlowKey, FlowStats)> {
+        let cutoff = Instant::from_nanos(now.as_nanos().saturating_sub(idle_timeout.as_nanos()));
+        let dead: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, s)| s.last_seen < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out: Vec<(FlowKey, FlowStats)> = dead
+            .into_iter()
+            .map(|k| {
+                let s = self.flows.remove(&k).expect("key collected above");
+                (k, s)
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Iterate over all `(key, stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &FlowStats)> {
+        self.flows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+
+    fn pkt(ts_ms: u64, size: u32, flow_id: u32, dir: Direction) -> Packet {
+        Packet::new(
+            Instant::from_millis(ts_ms),
+            size,
+            FlowKey::synthetic(1, flow_id, 1, Protocol::Udp),
+            dir,
+            0,
+        )
+    }
+
+    #[test]
+    fn observe_creates_then_updates() {
+        let mut t = FlowTable::new();
+        assert!(t.observe(&pkt(0, 100, 1, Direction::Downlink)));
+        assert!(!t.observe(&pkt(10, 200, 1, Direction::Downlink)));
+        assert!(t.observe(&pkt(20, 300, 2, Direction::Uplink)));
+        assert_eq!(t.len(), 2);
+        let s = t.get(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        assert_eq!(s.packets_down, 2);
+        assert_eq!(s.bytes_down, 300);
+        assert_eq!(s.packets_up, 0);
+        assert_eq!(s.duration(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn direction_accounting_is_separate() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(0, 100, 1, Direction::Uplink));
+        t.observe(&pkt(1, 900, 1, Direction::Downlink));
+        let s = t.get(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        assert_eq!(s.bytes_up, 100);
+        assert_eq!(s.bytes_down, 900);
+        assert_eq!(s.packets(), 2);
+        assert_eq!(s.bytes(), 1000);
+    }
+
+    #[test]
+    fn mean_downlink_bps() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(0, 1250, 1, Direction::Downlink));
+        t.observe(&pkt(1000, 1250, 1, Direction::Downlink));
+        let s = t.get(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        // 2500 bytes over 1 s = 20 kbps.
+        assert!((s.mean_downlink_bps() - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_flow_reports_zero_rate() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(5, 100, 1, Direction::Downlink));
+        let s = t.get(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        assert_eq!(s.mean_downlink_bps(), 0.0);
+    }
+
+    #[test]
+    fn evict_idle_removes_only_stale() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(0, 100, 1, Direction::Downlink));
+        t.observe(&pkt(5_000, 100, 2, Direction::Downlink));
+        let evicted = t.evict_idle(Instant::from_millis(6_000), Duration::from_millis(2_000));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, FlowKey::synthetic(1, 1, 1, Protocol::Udp));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn evict_idle_handles_timeout_longer_than_clock() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(100, 100, 1, Direction::Downlink));
+        let evicted = t.evict_idle(Instant::from_millis(200), Duration::from_secs(60));
+        assert!(evicted.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_stats() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(0, 42, 1, Direction::Uplink));
+        let s = t.remove(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        assert_eq!(s.bytes_up, 42);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_timestamps_do_not_regress_last_seen() {
+        let mut t = FlowTable::new();
+        t.observe(&pkt(100, 10, 1, Direction::Downlink));
+        t.observe(&pkt(50, 10, 1, Direction::Downlink));
+        let s = t.get(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        assert_eq!(s.last_seen, Instant::from_millis(100));
+    }
+}

@@ -1,0 +1,320 @@
+//! Traffic shaping: token bucket + netem-style impairments.
+//!
+//! The paper shapes its testbeds with the Linux `tc` and `netem`
+//! utilities — throttling bandwidth, adding latency and injecting
+//! loss — to (a) sweep QoS profiles for IQX model fitting (Fig. 12)
+//! and (b) change network behaviour mid-run to test online adaptation
+//! (Fig. 11). [`NetemLink`] is the equivalent knob in this codebase:
+//! a deterministic, seeded model of a shaped bottleneck link.
+
+use crate::time::{Duration, Instant};
+
+/// Classic token-bucket rate limiter.
+///
+/// Tokens are bytes; the bucket refills at `rate_bps / 8` bytes per
+/// second up to `burst_bytes`. A packet conforms when enough tokens
+/// are available at its arrival instant.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: u64,
+    tokens: f64,
+    last_update: Instant,
+}
+
+impl TokenBucket {
+    /// Create a bucket that starts full.
+    ///
+    /// # Panics
+    /// Panics if `rate_bps == 0` or `burst_bytes == 0`.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0, "rate must be positive");
+        assert!(burst_bytes > 0, "burst must be positive");
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            last_update: Instant::ZERO,
+        }
+    }
+
+    /// Refill tokens up to `now`. Out-of-order calls are ignored
+    /// (time never flows backwards for the bucket).
+    fn refill(&mut self, now: Instant) {
+        if now <= self.last_update {
+            return;
+        }
+        let elapsed = (now - self.last_update).as_secs_f64();
+        self.tokens =
+            (self.tokens + elapsed * self.rate_bps as f64 / 8.0).min(self.burst_bytes as f64);
+        self.last_update = now;
+    }
+
+    /// Try to send `size` bytes at `now`; returns `true` and consumes
+    /// tokens when the packet conforms.
+    pub fn try_consume(&mut self, now: Instant, size: u32) -> bool {
+        self.refill(now);
+        if self.tokens >= size as f64 {
+            self.tokens -= size as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current token level in bytes (after refilling to `now`).
+    pub fn tokens_at(&mut self, now: Instant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Configured rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+}
+
+/// A shaped bottleneck link: serialisation at a configured rate
+/// through a FIFO of bounded depth, plus constant added delay and
+/// Bernoulli random loss — the `tc tbf` + `netem delay/loss`
+/// combination from the paper's methodology.
+#[derive(Debug, Clone)]
+pub struct NetemLink {
+    rate_bps: u64,
+    added_delay: Duration,
+    loss_prob: f64,
+    queue_limit_bytes: u64,
+    /// Time at which the serialiser frees up.
+    busy_until: Instant,
+    /// Bytes currently queued (including the packet in service).
+    queued_bytes: u64,
+    rng_state: u64,
+}
+
+/// Outcome of offering one packet to a [`NetemLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// Packet will be delivered at the contained instant.
+    Deliver(Instant),
+    /// Packet was dropped by random loss.
+    RandomLoss,
+    /// Packet was dropped because the queue overflowed.
+    QueueOverflow,
+}
+
+impl NetemLink {
+    /// Create a link.
+    ///
+    /// * `rate_bps` — serialisation rate (0 is invalid).
+    /// * `added_delay` — constant propagation delay added to every
+    ///   delivered packet.
+    /// * `loss_prob` — i.i.d. drop probability in `[0, 1)`.
+    /// * `queue_limit_bytes` — FIFO depth; arrivals beyond it tail-drop.
+    /// * `seed` — RNG seed for the loss process.
+    ///
+    /// # Panics
+    /// Panics on a zero rate, an out-of-range loss probability, or a
+    /// zero queue limit.
+    pub fn new(
+        rate_bps: u64,
+        added_delay: Duration,
+        loss_prob: f64,
+        queue_limit_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(rate_bps > 0, "rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability must be in [0, 1)"
+        );
+        assert!(queue_limit_bytes > 0, "queue limit must be positive");
+        NetemLink {
+            rate_bps,
+            added_delay,
+            loss_prob,
+            queue_limit_bytes,
+            busy_until: Instant::ZERO,
+            queued_bytes: 0,
+            rng_state: seed | 1,
+        }
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // xorshift64* mapped to [0, 1).
+        self.rng_state ^= self.rng_state >> 12;
+        self.rng_state ^= self.rng_state << 25;
+        self.rng_state ^= self.rng_state >> 27;
+        let v = self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Offer a packet of `size` bytes arriving at `arrival`; returns
+    /// its fate. Delivery time accounts for queueing behind earlier
+    /// packets, serialisation at the link rate, and the added delay.
+    pub fn offer(&mut self, arrival: Instant, size: u32) -> LinkVerdict {
+        // Drain the queue model: whatever has fully serialised by
+        // `arrival` is no longer occupying the FIFO.
+        if arrival >= self.busy_until {
+            self.queued_bytes = 0;
+        }
+        if self.next_uniform() < self.loss_prob {
+            return LinkVerdict::RandomLoss;
+        }
+        if self.queued_bytes + size as u64 > self.queue_limit_bytes {
+            return LinkVerdict::QueueOverflow;
+        }
+        let start = self.busy_until.max(arrival);
+        let done = start + Duration::transmission(size as u64, self.rate_bps);
+        self.busy_until = done;
+        self.queued_bytes += size as u64;
+        LinkVerdict::Deliver(done + self.added_delay)
+    }
+
+    /// Reconfigure the link mid-run — this is the Fig. 11 experiment's
+    /// "throttle the network with `tc`" step. Queue state carries over.
+    pub fn reconfigure(&mut self, rate_bps: u64, added_delay: Duration, loss_prob: f64) {
+        assert!(rate_bps > 0, "rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability must be in [0, 1)"
+        );
+        self.rate_bps = rate_bps;
+        self.added_delay = added_delay;
+        self.loss_prob = loss_prob;
+    }
+
+    /// Configured serialisation rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Configured constant delay.
+    pub fn added_delay(&self) -> Duration {
+        self.added_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_starts_full_and_drains() {
+        let mut b = TokenBucket::new(8_000, 1_000); // 1000 B/s refill
+        assert!(b.try_consume(Instant::ZERO, 600));
+        assert!(b.try_consume(Instant::ZERO, 400));
+        assert!(!b.try_consume(Instant::ZERO, 1));
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut b = TokenBucket::new(8_000, 1_000);
+        assert!(b.try_consume(Instant::ZERO, 1_000));
+        assert!(!b.try_consume(Instant::from_millis(1), 500));
+        // After 0.5 s, 500 bytes of tokens have accumulated.
+        assert!(b.try_consume(Instant::from_millis(500), 500));
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(8_000, 1_000);
+        b.try_consume(Instant::ZERO, 1_000);
+        // 1 hour passes; tokens must cap at burst, not accumulate.
+        assert!((b.tokens_at(Instant::from_secs(3600)) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_ignores_time_reversal() {
+        let mut b = TokenBucket::new(8_000, 1_000);
+        b.try_consume(Instant::from_secs(1), 1_000);
+        // An out-of-order query at t=0 must not panic or refill.
+        assert!(!b.try_consume(Instant::ZERO, 100));
+    }
+
+    #[test]
+    fn link_serialises_back_to_back() {
+        // 1 Mbps link, 1250-byte packets => 10 ms each.
+        let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.0, 1 << 20, 7);
+        let a = l.offer(Instant::ZERO, 1250);
+        let b = l.offer(Instant::ZERO, 1250);
+        assert_eq!(a, LinkVerdict::Deliver(Instant::from_millis(10)));
+        assert_eq!(b, LinkVerdict::Deliver(Instant::from_millis(20)));
+    }
+
+    #[test]
+    fn link_adds_constant_delay() {
+        let mut l = NetemLink::new(1_000_000, Duration::from_millis(50), 0.0, 1 << 20, 7);
+        match l.offer(Instant::ZERO, 1250) {
+            LinkVerdict::Deliver(t) => assert_eq!(t, Instant::from_millis(60)),
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn link_idle_gap_resets_queue() {
+        let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.0, 2_000, 7);
+        assert!(matches!(l.offer(Instant::ZERO, 1250), LinkVerdict::Deliver(_)));
+        // Arrives long after the first finished: queue empty again.
+        match l.offer(Instant::from_secs(1), 1250) {
+            LinkVerdict::Deliver(t) => {
+                assert_eq!(t, Instant::from_secs(1) + Duration::from_millis(10));
+            }
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn link_overflows_bounded_queue() {
+        let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.0, 3_000, 7);
+        assert!(matches!(l.offer(Instant::ZERO, 1250), LinkVerdict::Deliver(_)));
+        assert!(matches!(l.offer(Instant::ZERO, 1250), LinkVerdict::Deliver(_)));
+        // Third back-to-back packet exceeds 3000 queued bytes.
+        assert_eq!(l.offer(Instant::ZERO, 1250), LinkVerdict::QueueOverflow);
+    }
+
+    #[test]
+    fn link_loss_rate_approximates_configured() {
+        let mut l = NetemLink::new(1_000_000_000, Duration::ZERO, 0.25, 1 << 30, 42);
+        let mut lost = 0;
+        let n = 20_000;
+        for i in 0..n {
+            if matches!(
+                l.offer(Instant::from_millis(i), 100),
+                LinkVerdict::RandomLoss
+            ) {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed loss {rate}");
+    }
+
+    #[test]
+    fn link_loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.5, 1 << 30, seed);
+            (0..64)
+                .map(|i| matches!(l.offer(Instant::from_millis(i), 10), LinkVerdict::RandomLoss))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn reconfigure_changes_rate() {
+        let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.0, 1 << 20, 7);
+        l.reconfigure(500_000, Duration::from_millis(200), 0.0);
+        match l.offer(Instant::ZERO, 1250) {
+            // 20 ms serialisation at 500 kbps + 200 ms delay.
+            LinkVerdict::Deliver(t) => assert_eq!(t, Instant::from_millis(220)),
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_panics() {
+        let _ = NetemLink::new(1_000, Duration::ZERO, 1.5, 1, 0);
+    }
+}

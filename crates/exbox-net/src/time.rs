@@ -1,0 +1,283 @@
+//! Simulated clock types.
+//!
+//! The whole workspace (datapath, simulator, testbed harness) shares a
+//! single notion of time: an [`Instant`] is nanoseconds since the
+//! start of a run, a [`Duration`] is a nanosecond span. Plain `u64`
+//! nanoseconds give ~584 years of range — plenty for 16-second
+//! simulation runs — while staying trivially ordered and hashable,
+//! which the discrete-event queue relies on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time (nanoseconds since run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The run origin, t = 0.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Instant(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Instant(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Instant(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since run start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since run start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier`
+    /// is actually later (robust against reordered samples).
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative or non-finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be non-negative");
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` for the zero span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// How long `bytes` take to serialise onto a link of `bits_per_sec`.
+    ///
+    /// # Panics
+    /// Panics if `bits_per_sec == 0`.
+    pub fn transmission(bytes: u64, bits_per_sec: u64) -> Duration {
+        assert!(bits_per_sec > 0, "link rate must be positive");
+        // bytes*8 / bps seconds -> scale to ns with u128 to avoid overflow.
+        let ns = (bytes as u128 * 8 * 1_000_000_000) / bits_per_sec as u128;
+        Duration(ns as u64)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Instant::from_secs(1), Instant::from_millis(1000));
+        assert_eq!(Duration::from_millis(1), Duration::from_micros(1000));
+        assert_eq!(Duration::from_secs_f64(0.5), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::from_secs(2) + Duration::from_millis(500);
+        assert_eq!(t.as_nanos(), 2_500_000_000);
+        assert_eq!(t - Instant::from_secs(1), Duration::from_millis(1500));
+        assert_eq!(Duration::from_secs(1) * 3, Duration::from_secs(3));
+        assert_eq!(Duration::from_secs(3) / 3, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn saturating_since_handles_reorder() {
+        let early = Instant::from_secs(1);
+        let late = Instant::from_secs(2);
+        assert_eq!(late.saturating_since(early), Duration::from_secs(1));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn transmission_time() {
+        // 1500 bytes at 12 Mbps = 1 ms.
+        assert_eq!(
+            Duration::transmission(1500, 12_000_000),
+            Duration::from_millis(1)
+        );
+        // 1 byte at 8 bps = 1 s.
+        assert_eq!(Duration::transmission(1, 8), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn transmission_no_overflow_at_large_sizes() {
+        let d = Duration::transmission(u32::MAX as u64, 1_000);
+        assert!(d.as_secs_f64() > 3e7);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Duration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Instant::from_secs(1) < Instant::from_secs(2));
+        assert!(Duration::from_millis(999) < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = Duration::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Application-level QoE ground truth.
+//!
+//! The paper measures QoE *on the device*: page load time from an
+//! instrumented WebView, video startup delay from YouTube player
+//! events, PSNR from screen-recorded Hangouts video (§5.2). The
+//! simulator equivalents reconstruct the same app-level events from
+//! packet fates:
+//!
+//! * **web** — a page's load time is the span from its request to the
+//!   delivery of its last object packet,
+//! * **streaming** — startup delay is when cumulative delivered media
+//!   bytes first cover the player's startup buffer,
+//! * **conferencing** — received-video PSNR from a codec distortion
+//!   model driven by effective frame loss (lost + uselessly-late
+//!   packets) — the two impairments that actually destroy frames.
+//!
+//! Thresholds for acceptability follow the paper (§5.3 uses 3 s page
+//! load and 5 s startup delay; PSNR ≥ 25 dB is the conventional
+//! "fair" floor from its ref. 66).
+
+use exbox_net::{Direction, Duration, Instant};
+
+use crate::outcome::FlowOutcome;
+
+/// Default acceptability threshold: web page load time ≤ 3 s (§5.3).
+pub const WEB_PLT_THRESHOLD: Duration = Duration::from_secs(3);
+/// Default acceptability threshold: startup delay ≤ 5 s (§2, Fig. 3).
+pub const STREAMING_STARTUP_THRESHOLD: Duration = Duration::from_secs(5);
+/// Default acceptability threshold: PSNR ≥ 25 dB.
+pub const CONFERENCING_PSNR_THRESHOLD_DB: f64 = 25.0;
+
+/// Page load times of a web flow, one entry per observed page.
+///
+/// A page *starts* at an uplink request that follows ≥ 1 s of uplink
+/// silence (the think-time gap); the per-object GETs inside a page
+/// burst arrive within milliseconds of each other and do not open new
+/// pages. A page whose downlink objects never fully arrive gets
+/// `None` — an unloadable page.
+pub fn page_load_times(flow: &FlowOutcome) -> Vec<Option<Duration>> {
+    const THINK_GAP: Duration = Duration::from_secs(1);
+    let uplinks: Vec<Instant> = flow
+        .packets
+        .iter()
+        .filter(|p| p.direction == Direction::Uplink)
+        .map(|p| p.offered)
+        .collect();
+    let mut requests: Vec<Instant> = Vec::new();
+    for (i, &t) in uplinks.iter().enumerate() {
+        if i == 0 || t.saturating_since(uplinks[i - 1]) >= THINK_GAP {
+            requests.push(t);
+        }
+    }
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let mut plts = Vec::with_capacity(requests.len());
+    for (i, &req) in requests.iter().enumerate() {
+        let next = requests.get(i + 1).copied();
+        // Downlink packets belonging to this page: offered after the
+        // request and before the next one.
+        let page_pkts: Vec<_> = flow
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink)
+            .filter(|p| p.offered >= req && next.map_or(true, |n| p.offered < n))
+            .collect();
+        if page_pkts.is_empty() {
+            continue; // request fired at flow end; no page to measure
+        }
+        let all_delivered = page_pkts.iter().all(|p| p.delivered.is_some());
+        if !all_delivered {
+            plts.push(None);
+            continue;
+        }
+        let last = page_pkts
+            .iter()
+            .filter_map(|p| p.delivered)
+            .max()
+            .expect("non-empty page");
+        plts.push(Some(last.saturating_since(req)));
+    }
+    plts
+}
+
+/// Median page load time; pages that never loaded dominate (any
+/// `None` page among the worse half forces `None`).
+pub fn median_page_load_time(flow: &FlowOutcome) -> Option<Duration> {
+    let mut plts = page_load_times(flow);
+    if plts.is_empty() {
+        return None;
+    }
+    // Sort with None (never loaded) as worst.
+    plts.sort_by_key(|p| p.map_or(u64::MAX, |d| d.as_nanos()));
+    plts[plts.len() / 2]
+}
+
+/// Video startup delay: time from the flow's first packet until
+/// cumulative delivered downlink bytes reach `startup_bytes`.
+/// `None` when the buffer never fills — "the video does not even
+/// play", as the paper observes for all-low-SNR placements (Fig. 3).
+pub fn startup_delay(flow: &FlowOutcome, startup_bytes: u64) -> Option<Duration> {
+    let start = flow.start()?;
+    let mut deliveries: Vec<(Instant, u32)> = flow
+        .packets
+        .iter()
+        .filter(|p| p.direction == Direction::Downlink)
+        .filter_map(|p| p.delivered.map(|at| (at, p.size)))
+        .collect();
+    deliveries.sort_by_key(|&(at, _)| at);
+    let mut cum = 0u64;
+    for (at, size) in deliveries {
+        cum += size as u64;
+        if cum >= startup_bytes {
+            return Some(at.saturating_since(start));
+        }
+    }
+    None
+}
+
+/// Received-video PSNR in dB for a conferencing flow.
+///
+/// Codec distortion model: a frame is destroyed when any of its
+/// packets is lost *or* arrives after the playout deadline
+/// (`late_deadline`, default 400 ms — the conversational limit).
+/// PSNR then decays exponentially in the effective frame-loss rate,
+/// from a pristine ceiling of 42 dB to a floor of ≈10 dB (unusable),
+/// the standard shape of packet-loss-vs-PSNR curves for motion video.
+pub fn conferencing_psnr_db(flow: &FlowOutcome, late_deadline: Duration) -> f64 {
+    let down: Vec<_> = flow
+        .packets
+        .iter()
+        .filter(|p| p.direction == Direction::Downlink)
+        .collect();
+    if down.is_empty() {
+        return 10.0;
+    }
+    let bad = down
+        .iter()
+        .filter(|p| match p.delivered {
+            None => true,
+            Some(at) => at.saturating_since(p.offered) > late_deadline,
+        })
+        .count();
+    let eff_loss = bad as f64 / down.len() as f64;
+    // Decay constant 5: PSNR crosses the 25 dB "fair" floor at ≈15–20%
+    // effective frame loss, the conventional point where concealment
+    // stops hiding damage in motion video.
+    10.0 + 32.0 * (-5.0 * eff_loss).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::PacketOutcome;
+    use crate::phy::SnrLevel;
+    use exbox_net::{AppClass, FlowKey, Protocol};
+
+    fn mk_flow(packets: Vec<PacketOutcome>, class: AppClass) -> FlowOutcome {
+        FlowOutcome {
+            key: FlowKey::synthetic(1, 1, 1, Protocol::Tcp),
+            class,
+            snr: SnrLevel::High,
+            packets,
+        }
+    }
+
+    fn up(ms: u64) -> PacketOutcome {
+        PacketOutcome {
+            offered: Instant::from_millis(ms),
+            size: 300,
+            direction: Direction::Uplink,
+            delivered: Some(Instant::from_millis(ms + 1)),
+        }
+    }
+
+    fn down(off_ms: u64, del_ms: Option<u64>, size: u32) -> PacketOutcome {
+        PacketOutcome {
+            offered: Instant::from_millis(off_ms),
+            size,
+            direction: Direction::Downlink,
+            delivered: del_ms.map(Instant::from_millis),
+        }
+    }
+
+    #[test]
+    fn plt_spans_request_to_last_delivery() {
+        let flow = mk_flow(
+            vec![
+                up(0),
+                down(20, Some(100), 1000),
+                down(25, Some(450), 1000),
+                up(5000),
+                down(5020, Some(5200), 1000),
+            ],
+            AppClass::Web,
+        );
+        let plts = page_load_times(&flow);
+        assert_eq!(
+            plts,
+            vec![
+                Some(Duration::from_millis(450)),
+                Some(Duration::from_millis(200))
+            ]
+        );
+    }
+
+    #[test]
+    fn plt_page_with_loss_is_none() {
+        let flow = mk_flow(
+            vec![up(0), down(20, Some(100), 1000), down(25, None, 1000)],
+            AppClass::Web,
+        );
+        assert_eq!(page_load_times(&flow), vec![None]);
+        assert_eq!(median_page_load_time(&flow), None);
+    }
+
+    #[test]
+    fn median_plt_odd_pages() {
+        let flow = mk_flow(
+            vec![
+                up(0),
+                down(10, Some(1000), 100),
+                up(2000),
+                down(2010, Some(2100), 100),
+                up(4000),
+                down(4010, Some(4500), 100),
+            ],
+            AppClass::Web,
+        );
+        // PLTs: 1000, 100, 500 -> sorted 100, 500, 1000 -> median 500.
+        assert_eq!(median_page_load_time(&flow), Some(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn startup_delay_when_buffer_fills() {
+        let flow = mk_flow(
+            vec![
+                down(0, Some(100), 600),
+                down(1, Some(300), 600),
+                down(2, Some(900), 600),
+            ],
+            AppClass::Streaming,
+        );
+        // Needs 1500 bytes: filled by the third delivery at 900 ms.
+        assert_eq!(
+            startup_delay(&flow, 1500),
+            Some(Duration::from_millis(900))
+        );
+        // 1200 bytes: filled at the second delivery.
+        assert_eq!(
+            startup_delay(&flow, 1200),
+            Some(Duration::from_millis(300))
+        );
+    }
+
+    #[test]
+    fn startup_delay_none_when_starved() {
+        let flow = mk_flow(
+            vec![down(0, Some(10), 600), down(1, None, 600), down(2, None, 600)],
+            AppClass::Streaming,
+        );
+        assert_eq!(startup_delay(&flow, 1500), None);
+    }
+
+    #[test]
+    fn psnr_pristine_vs_lossy() {
+        let clean = mk_flow(
+            (0..100).map(|i| down(i * 30, Some(i * 30 + 20), 1000)).collect(),
+            AppClass::Conferencing,
+        );
+        let lossy = mk_flow(
+            (0..100)
+                .map(|i| down(i * 30, if i % 3 == 0 { None } else { Some(i * 30 + 20) }, 1000))
+                .collect(),
+            AppClass::Conferencing,
+        );
+        let p_clean = conferencing_psnr_db(&clean, Duration::from_millis(400));
+        let p_lossy = conferencing_psnr_db(&lossy, Duration::from_millis(400));
+        assert!(p_clean > 40.0, "clean PSNR {p_clean}");
+        assert!(p_lossy < 28.0, "lossy PSNR {p_lossy}");
+        assert!(p_lossy >= 10.0);
+    }
+
+    #[test]
+    fn psnr_counts_late_packets_as_loss() {
+        let late = mk_flow(
+            (0..100).map(|i| down(i * 30, Some(i * 30 + 900), 1000)).collect(),
+            AppClass::Conferencing,
+        );
+        let p = conferencing_psnr_db(&late, Duration::from_millis(400));
+        assert!(p < 12.0, "all-late PSNR {p}");
+    }
+
+    #[test]
+    fn psnr_empty_flow_is_floor() {
+        let empty = mk_flow(vec![], AppClass::Conferencing);
+        assert_eq!(conferencing_psnr_db(&empty, Duration::from_millis(400)), 10.0);
+    }
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(WEB_PLT_THRESHOLD, Duration::from_secs(3));
+        assert_eq!(STREAMING_STARTUP_THRESHOLD, Duration::from_secs(5));
+        assert_eq!(CONFERENCING_PSNR_THRESHOLD_DB, 25.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Discrete-event queue.
+//!
+//! A minimal, deterministic event calendar: events fire in timestamp
+//! order, with insertion order breaking ties so reruns are
+//! bit-identical — the property every figure-regeneration binary
+//! depends on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use exbox_net::Instant;
+
+/// A deterministic discrete-event queue over event payloads `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Instant, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pop the earliest event.
+    pub fn next(&mut self) -> Option<(Instant, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(30), "c");
+        q.schedule(Instant::from_millis(10), "a");
+        q.schedule(Instant::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Instant::from_secs(1), ());
+        q.schedule(Instant::from_millis(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(1)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(10), 1);
+        assert_eq!(q.next(), Some((Instant::from_millis(10), 1)));
+        q.schedule(Instant::from_millis(5), 2);
+        q.schedule(Instant::from_millis(7), 3);
+        assert_eq!(q.next(), Some((Instant::from_millis(5), 2)));
+        q.schedule(Instant::from_millis(6), 4);
+        assert_eq!(q.next(), Some((Instant::from_millis(6), 4)));
+        assert_eq!(q.next(), Some((Instant::from_millis(7), 3)));
+        assert_eq!(q.next(), None);
+    }
+}

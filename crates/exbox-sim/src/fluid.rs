@@ -1,0 +1,551 @@
+//! Fluid (analytic) cell models for large parameter sweeps.
+//!
+//! The packet-level simulators in [`crate::wifi`] and [`crate::lte`]
+//! cost seconds per traffic matrix; the paper's scale-up studies
+//! (Fig. 2's 50×50 heatmap grid, Fig. 13's ≈21 000 samples, Fig. 14's
+//! populous networks) would take hours through them. This module is
+//! the standard fix: a flow-level *fluid* model computing each flow's
+//! steady-state throughput, delay and loss from max-min fair resource
+//! sharing — the same airtime/PRB arithmetic as the packet models,
+//! without per-packet events. Unit tests in `tests/` cross-validate
+//! the fluid model against the DES on small configurations.
+//!
+//! Resource accounting:
+//!
+//! * **WiFi** — the shared resource is airtime. A flow needs
+//!   `overhead + L/R(snr)` seconds per `L`-byte packet, so low-SNR
+//!   clients demand more airtime per bit (the rate anomaly).
+//! * **LTE** — the resource is PRBs·TTI. A UE at CQI `q` extracts
+//!   `bytes_per_prb(q)` from each PRB; round-robin splits PRBs
+//!   equally among backlogged UEs, proportional fair weights by
+//!   channel quality.
+
+use exbox_net::{AppClass, Duration, QosSample};
+
+use crate::phy::{lte_bytes_per_prb, lte_cqi_from_snr, wifi_phy_rate_bps, SnrLevel};
+
+/// A flow described at fluid granularity.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidFlow {
+    /// Application class (carried through to the result).
+    pub class: AppClass,
+    /// SNR level of the owning client.
+    pub snr: SnrLevel,
+    /// Long-run offered downlink rate in bits/s.
+    pub offered_bps: f64,
+    /// Typical packet size in bytes (airtime quantisation).
+    pub pkt_size: u32,
+}
+
+impl FluidFlow {
+    /// Convenience constructor.
+    pub fn new(class: AppClass, snr: SnrLevel, offered_bps: f64, pkt_size: u32) -> Self {
+        FluidFlow {
+            class,
+            snr,
+            offered_bps,
+            pkt_size,
+        }
+    }
+}
+
+/// Steady-state QoS prediction for one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidQos {
+    /// Achieved downlink throughput at the flow's steady offered
+    /// rate, bits/s.
+    pub throughput_bps: f64,
+    /// Burst capacity: the rate this flow would attain if it alone
+    /// demanded unbounded bandwidth while the other flows kept their
+    /// steady rates. Page downloads and playout-buffer fills run at
+    /// this rate, not at the long-run average.
+    pub burst_bps: f64,
+    /// Mean one-way delay.
+    pub delay: Duration,
+    /// Fraction of offered traffic not delivered.
+    pub loss_ratio: f64,
+}
+
+impl FluidQos {
+    /// Convert to the gateway's [`QosSample`] shape.
+    pub fn as_qos_sample(&self) -> QosSample {
+        QosSample {
+            throughput_bps: self.throughput_bps,
+            mean_delay: self.delay,
+            loss_ratio: self.loss_ratio,
+        }
+    }
+}
+
+/// Max-min fair allocation: split `capacity` among `demands` such
+/// that no flow gets more than it asked for, unmet demand is shared
+/// equally, and the result is Pareto-efficient. Returns allocations
+/// in input order.
+///
+/// # Panics
+/// Panics on a negative capacity or demand.
+pub fn maxmin_allocate(demands: &[f64], capacity: f64) -> Vec<f64> {
+    assert!(capacity >= 0.0, "capacity must be non-negative");
+    assert!(
+        demands.iter().all(|&d| d >= 0.0),
+        "demands must be non-negative"
+    );
+    let n = demands.len();
+    let mut alloc = vec![0.0; n];
+    let mut remaining = capacity;
+    let mut active: Vec<usize> = (0..n).collect();
+    // Iteratively satisfy the smallest demands at the fair share.
+    while !active.is_empty() && remaining > 1e-12 {
+        let share = remaining / active.len() as f64;
+        let mut satisfied = Vec::new();
+        for &i in &active {
+            if demands[i] - alloc[i] <= share {
+                satisfied.push(i);
+            }
+        }
+        if satisfied.is_empty() {
+            for &i in &active {
+                alloc[i] += share;
+            }
+            break;
+        }
+        for &i in &satisfied {
+            remaining -= demands[i] - alloc[i];
+            alloc[i] = demands[i];
+        }
+        active.retain(|i| !satisfied.contains(i));
+    }
+    alloc
+}
+
+/// Fluid WiFi cell parameters.
+#[derive(Debug, Clone)]
+pub struct FluidWifi {
+    /// Per-transmission fixed overhead (matches [`crate::wifi::WifiConfig`]).
+    pub per_tx_overhead: Duration,
+    /// Fraction of airtime usable after contention losses (the AP is
+    /// the dominant contender in downlink-heavy cells, so this stays
+    /// high).
+    pub efficiency: f64,
+    /// Queue depth in bytes used for the bufferbloat delay of
+    /// saturated flows.
+    pub queue_bytes: f64,
+    /// Baseline one-way delay at negligible load.
+    pub base_delay: Duration,
+}
+
+impl Default for FluidWifi {
+    fn default() -> Self {
+        FluidWifi {
+            per_tx_overhead: Duration::from_micros(190),
+            efficiency: 0.93,
+            queue_bytes: 3_000.0 * 1_400.0,
+            base_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl FluidWifi {
+    /// Airtime (seconds) this flow needs per second of wall-clock to
+    /// carry its offered rate. Exposed for calibration and tests.
+    pub fn airtime_demand(&self, f: &FluidFlow) -> f64 {
+        let rate = wifi_phy_rate_bps(f.snr.nominal_snr_db());
+        let bits_per_pkt = f.pkt_size as f64 * 8.0;
+        let airtime_per_pkt = self.per_tx_overhead.as_secs_f64() + bits_per_pkt / rate;
+        (f.offered_bps / bits_per_pkt) * airtime_per_pkt
+    }
+
+    /// Predict steady-state QoS for each flow.
+    ///
+    /// DCF grants stations equal *packet* opportunities, which makes
+    /// 802.11 throughput-fair, not airtime-fair — the root of the
+    /// rate anomaly. The allocator therefore waterfills a common
+    /// goodput level λ: each flow achieves `min(offered, λ)` bits/s,
+    /// where λ is set so total airtime hits the cell's capacity.
+    pub fn predict(&self, flows: &[FluidFlow]) -> Vec<FluidQos> {
+        // Airtime-seconds per delivered bit, per flow.
+        let t_per_bit: Vec<f64> = flows
+            .iter()
+            .map(|f| {
+                let rate = wifi_phy_rate_bps(f.snr.nominal_snr_db());
+                let bits = f.pkt_size as f64 * 8.0;
+                (self.per_tx_overhead.as_secs_f64() + bits / rate) / bits
+            })
+            .collect();
+        let airtime_at = |level: f64| -> f64 {
+            flows
+                .iter()
+                .zip(&t_per_bit)
+                .map(|(f, &t)| f.offered_bps.min(level) * t)
+                .sum()
+        };
+        let max_offered = flows.iter().map(|f| f.offered_bps).fold(0.0, f64::max);
+        let level = if airtime_at(max_offered) <= self.efficiency {
+            max_offered // undersubscribed: everyone gets their demand
+        } else {
+            // Binary search the waterfill level.
+            let (mut lo, mut hi) = (0.0, max_offered);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if airtime_at(mid) > self.efficiency {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            lo
+        };
+        let rho: f64 = airtime_at(level) / self.efficiency;
+        // Burst capacity per flow: waterfill level when flow i's
+        // demand is unbounded and the others keep theirs.
+        let burst_for = |i: usize| -> f64 {
+            let airtime_with = |lvl: f64| -> f64 {
+                flows
+                    .iter()
+                    .zip(&t_per_bit)
+                    .enumerate()
+                    .map(|(j, (f, &t))| {
+                        let demand = if j == i { f64::INFINITY } else { f.offered_bps };
+                        demand.min(lvl) * t
+                    })
+                    .sum()
+            };
+            let (mut lo, mut hi) = (0.0, 1.0 / t_per_bit[i].max(1e-12));
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if airtime_with(mid) > self.efficiency {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            lo
+        };
+        flows
+            .iter()
+            .zip(&t_per_bit)
+            .enumerate()
+            .map(|(i, (f, _))| {
+                let throughput = f.offered_bps.min(level);
+                let burst_bps = burst_for(i).max(throughput);
+                let frac = if f.offered_bps > 0.0 {
+                    throughput / f.offered_bps
+                } else {
+                    1.0
+                };
+                let loss = 1.0 - frac;
+                let delay = if frac < 0.999 {
+                    // Saturated: the queue stays full (bufferbloat).
+                    let d_s = if throughput > 0.0 {
+                        self.queue_bytes * 8.0 / throughput
+                    } else {
+                        10.0
+                    };
+                    Duration::from_secs_f64(d_s.min(10.0))
+                } else {
+                    // M/G/1-flavoured load scaling of the base delay.
+                    let scale = 1.0 / (1.0 - rho.min(0.95));
+                    Duration::from_secs_f64(self.base_delay.as_secs_f64() * scale)
+                };
+                FluidQos {
+                    throughput_bps: throughput,
+                    burst_bps,
+                    delay,
+                    loss_ratio: loss,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fluid LTE cell parameters.
+#[derive(Debug, Clone)]
+pub struct FluidLte {
+    /// PRBs per TTI.
+    pub prbs: usize,
+    /// Queue depth in bytes for saturated-flow delay.
+    pub queue_bytes: f64,
+    /// Baseline one-way delay at negligible load (TTI + HARQ mix).
+    pub base_delay: Duration,
+}
+
+impl Default for FluidLte {
+    fn default() -> Self {
+        FluidLte {
+            prbs: 50,
+            queue_bytes: 3_000.0 * 1_400.0,
+            base_delay: Duration::from_millis(4),
+        }
+    }
+}
+
+impl FluidLte {
+    /// PRB-seconds per second this flow demands.
+    fn prb_demand(&self, f: &FluidFlow) -> f64 {
+        let cqi = lte_cqi_from_snr(f.snr.nominal_snr_db());
+        let bytes_per_prb_sec = lte_bytes_per_prb(cqi) * 1_000.0; // per second of one PRB
+        (f.offered_bps / 8.0) / bytes_per_prb_sec
+    }
+
+    /// Predict steady-state QoS for each flow.
+    pub fn predict(&self, flows: &[FluidFlow]) -> Vec<FluidQos> {
+        let demands: Vec<f64> = flows.iter().map(|f| self.prb_demand(f)).collect();
+        let alloc = maxmin_allocate(&demands, self.prbs as f64);
+        let rho: f64 = alloc.iter().sum::<f64>() / self.prbs as f64;
+        // PRB-seconds per second per bit for each flow (inverse of
+        // its per-PRB extraction rate).
+        let prb_per_bit: Vec<f64> = flows
+            .iter()
+            .zip(&demands)
+            .map(|(f, &d)| if f.offered_bps > 0.0 { d / f.offered_bps } else { 0.0 })
+            .collect();
+        let burst_for = |i: usize| -> f64 {
+            let others: f64 = (0..flows.len())
+                .filter(|&j| j != i)
+                .map(|j| alloc[j])
+                .sum();
+            let spare = (self.prbs as f64 - others).max(alloc[i]);
+            if prb_per_bit[i] > 0.0 {
+                spare / prb_per_bit[i]
+            } else {
+                // Flow with zero offered rate: derive from its CQI.
+                let cqi = lte_cqi_from_snr(flows[i].snr.nominal_snr_db());
+                spare * lte_bytes_per_prb(cqi) * 1_000.0 * 8.0
+            }
+        };
+        flows
+            .iter()
+            .zip(demands.iter().zip(&alloc))
+            .enumerate()
+            .map(|(i, (f, (&d, &a)))| {
+                let frac = if d > 0.0 { (a / d).min(1.0) } else { 1.0 };
+                let throughput = f.offered_bps * frac;
+                let burst_bps = burst_for(i).max(throughput);
+                let loss = 1.0 - frac;
+                let delay = if frac < 0.999 {
+                    let d_s = if throughput > 0.0 {
+                        self.queue_bytes * 8.0 / throughput
+                    } else {
+                        10.0
+                    };
+                    Duration::from_secs_f64(d_s.min(10.0))
+                } else {
+                    let scale = 1.0 / (1.0 - rho.min(0.95));
+                    Duration::from_secs_f64(self.base_delay.as_secs_f64() * scale)
+                };
+                FluidQos {
+                    throughput_bps: throughput,
+                    burst_bps,
+                    delay,
+                    loss_ratio: loss,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fluid estimate of app-level QoE from a [`FluidQos`], mirroring the
+/// packet-level extractors in [`crate::appqoe`].
+pub mod qoe {
+    use super::FluidQos;
+    use exbox_net::Duration;
+
+    /// Startup delay: time to pull `startup_bytes` at the achieved
+    /// rate, `None` when the flow is fully starved (paper Fig. 3's
+    /// "does not even play").
+    pub fn startup_delay(q: &FluidQos, startup_bytes: u64) -> Option<Duration> {
+        if q.burst_bps <= 1.0 || q.loss_ratio > 0.95 {
+            return None;
+        }
+        let secs = startup_bytes as f64 * 8.0 / q.burst_bps + q.delay.as_secs_f64();
+        Some(Duration::from_secs_f64(secs))
+    }
+
+    /// Page load time for a page of `page_bytes`.
+    pub fn page_load_time(q: &FluidQos, page_bytes: u64) -> Option<Duration> {
+        if q.burst_bps <= 1.0 || q.loss_ratio > 0.3 {
+            // Lossy pages stall on retransmissions and effectively
+            // never finish within patience.
+            return None;
+        }
+        let secs = page_bytes as f64 * 8.0 / q.burst_bps + 2.0 * q.delay.as_secs_f64();
+        Some(Duration::from_secs_f64(secs))
+    }
+
+    /// Conferencing PSNR from loss + lateness (same distortion curve
+    /// as [`crate::appqoe::conferencing_psnr_db`]).
+    pub fn conferencing_psnr_db(q: &FluidQos, late_deadline: Duration) -> f64 {
+        let late = if q.delay > late_deadline { 1.0 } else { 0.0 };
+        let eff_loss = (q.loss_ratio + late).min(1.0);
+        10.0 + 32.0 * (-5.0 * eff_loss).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxmin_undersubscribed_gives_demands() {
+        let a = maxmin_allocate(&[0.2, 0.3], 1.0);
+        assert!((a[0] - 0.2).abs() < 1e-12);
+        assert!((a[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxmin_oversubscribed_equal_split() {
+        let a = maxmin_allocate(&[1.0, 1.0, 1.0], 0.9);
+        for v in &a {
+            assert!((v - 0.3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn maxmin_protects_small_demands() {
+        let a = maxmin_allocate(&[0.05, 2.0, 2.0], 1.0);
+        assert!((a[0] - 0.05).abs() < 1e-9, "small demand fully met");
+        assert!((a[1] - 0.475).abs() < 1e-9);
+        assert!((a[2] - 0.475).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_conserves_capacity() {
+        let demands = [0.3, 0.8, 0.1, 0.5];
+        let a = maxmin_allocate(&demands, 1.0);
+        let total: f64 = a.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+        // Oversubscribed: capacity fully used.
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    fn stream(snr: SnrLevel) -> FluidFlow {
+        FluidFlow::new(AppClass::Streaming, snr, 2_500_000.0, 1400)
+    }
+
+    #[test]
+    fn wifi_light_load_no_loss() {
+        let cell = FluidWifi::default();
+        let qos = cell.predict(&[stream(SnrLevel::High)]);
+        assert!((qos[0].throughput_bps - 2_500_000.0).abs() < 1.0);
+        assert_eq!(qos[0].loss_ratio, 0.0);
+        assert!(qos[0].delay < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn wifi_saturation_caps_throughput() {
+        let cell = FluidWifi::default();
+        let flows: Vec<FluidFlow> = (0..30).map(|_| stream(SnrLevel::High)).collect();
+        let qos = cell.predict(&flows);
+        // 30 x 2.5 Mbps = 75 Mbps >> ~25 Mbps airtime capacity.
+        let total: f64 = qos.iter().map(|q| q.throughput_bps).sum();
+        assert!(
+            (15_000_000.0..40_000_000.0).contains(&total),
+            "aggregate {total}"
+        );
+        assert!(qos[0].loss_ratio > 0.3);
+        assert!(qos[0].delay > Duration::from_millis(100), "bufferbloat expected");
+    }
+
+    #[test]
+    fn wifi_low_snr_flow_demands_more_airtime() {
+        let cell = FluidWifi::default();
+        let hi = cell.airtime_demand(&stream(SnrLevel::High));
+        let lo = cell.airtime_demand(&stream(SnrLevel::Low));
+        assert!(lo > hi * 1.2, "lo {lo} vs hi {hi}");
+    }
+
+    #[test]
+    fn wifi_rate_anomaly_in_fluid_model() {
+        // Saturating flows: DCF packet fairness means low-SNR peers
+        // drag the common waterfill level down for everyone.
+        let cell = FluidWifi::default();
+        let sat = |snr| FluidFlow::new(AppClass::Streaming, snr, 10_000_000.0, 1400);
+        let all_high: Vec<FluidFlow> = (0..4).map(|_| sat(SnrLevel::High)).collect();
+        let mut mixed = all_high.clone();
+        for f in mixed.iter_mut().take(2) {
+            f.snr = SnrLevel::Low;
+        }
+        let q_high = cell.predict(&all_high);
+        let q_mixed = cell.predict(&mixed);
+        // Flow 3 is high-SNR in both; the low-SNR peers must hurt it.
+        assert!(
+            q_mixed[3].throughput_bps < q_high[3].throughput_bps * 0.9,
+            "{} !< {}",
+            q_mixed[3].throughput_bps,
+            q_high[3].throughput_bps
+        );
+        // And all saturated flows share one goodput level (throughput
+        // fairness), the DCF signature.
+        let lvl = q_mixed[0].throughput_bps;
+        for q in &q_mixed {
+            assert!((q.throughput_bps - lvl).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn lte_capacity_scales_with_cqi() {
+        let cell = FluidLte::default();
+        let hi = cell.predict(&[FluidFlow::new(
+            AppClass::Streaming,
+            SnrLevel::High,
+            60_000_000.0,
+            1400,
+        )]);
+        let lo = cell.predict(&[FluidFlow::new(
+            AppClass::Streaming,
+            SnrLevel::Low,
+            60_000_000.0,
+            1400,
+        )]);
+        assert!(hi[0].throughput_bps > lo[0].throughput_bps * 1.5);
+    }
+
+    #[test]
+    fn lte_light_load_clean() {
+        let cell = FluidLte::default();
+        let q = cell.predict(&[FluidFlow::new(
+            AppClass::Web,
+            SnrLevel::High,
+            1_000_000.0,
+            1400,
+        )]);
+        assert_eq!(q[0].loss_ratio, 0.0);
+        assert!(q[0].delay < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn qoe_helpers_track_qos() {
+        let good = FluidQos {
+            throughput_bps: 10_000_000.0,
+            burst_bps: 10_000_000.0,
+            delay: Duration::from_millis(5),
+            loss_ratio: 0.0,
+        };
+        let bad = FluidQos {
+            throughput_bps: 300_000.0,
+            burst_bps: 300_000.0,
+            delay: Duration::from_secs(2),
+            loss_ratio: 0.4,
+        };
+        let s_good = qoe::startup_delay(&good, 2_500_000).unwrap();
+        let s_bad = qoe::startup_delay(&bad, 2_500_000).unwrap();
+        assert!(s_good < Duration::from_secs(5));
+        assert!(s_bad > Duration::from_secs(5));
+        assert!(qoe::page_load_time(&good, 1_500_000).unwrap() < Duration::from_secs(3));
+        assert_eq!(qoe::page_load_time(&bad, 1_500_000), None);
+        assert!(qoe::conferencing_psnr_db(&good, Duration::from_millis(400)) > 40.0);
+        assert!(qoe::conferencing_psnr_db(&bad, Duration::from_millis(400)) < 12.0);
+    }
+
+    #[test]
+    fn starved_flow_never_starts() {
+        let dead = FluidQos {
+            throughput_bps: 0.0,
+            burst_bps: 0.0,
+            delay: Duration::from_secs(10),
+            loss_ratio: 1.0,
+        };
+        assert_eq!(qoe::startup_delay(&dead, 1_000_000), None);
+        assert_eq!(qoe::page_load_time(&dead, 1_000_000), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # exbox-sim — discrete-event wireless cell simulator
+//!
+//! The paper evaluates ExBox on physical WiFi/LTE testbeds (§5) and
+//! scales up with ns-3 (§6). This crate is the Rust stand-in for both:
+//! deterministic simulations of a single cell — exactly the paper's
+//! scope ("by network we refer to coverage of a single WiFi access
+//! point or LTE eNodeB") — detailed enough to reproduce the phenomena
+//! the Experiential Capacity Region is made of:
+//!
+//! * [`event`] — deterministic discrete-event queue.
+//! * [`phy`] — path loss, SNR levels, 802.11n MCS and LTE CQI tables.
+//! * [`wifi`] — packet-level 802.11 DCF model: contention, collisions,
+//!   SNR-dependent rates and error rates, per-flow AP queues. Exhibits
+//!   the rate anomaly of the paper's Fig. 3.
+//! * [`lte`] — TTI/PRB eNodeB model with round-robin and
+//!   proportional-fair schedulers and HARQ.
+//! * [`fluid`] — flow-level analytic versions of both cells for the
+//!   large parameter sweeps (Fig. 2 grid, Fig. 13/14 scale-ups),
+//!   cross-validated against the packet models.
+//! * [`outcome`] — per-packet fates; derives the gateway-visible
+//!   [`exbox_net::QosSample`].
+//! * [`appqoe`] — application-level QoE ground truth (page load time,
+//!   startup delay, PSNR), reconstructed from packet fates the same
+//!   way the paper's instrumented apps measured them on-device.
+
+pub mod appqoe;
+pub mod event;
+pub mod fluid;
+pub mod lte;
+pub mod outcome;
+pub mod phy;
+pub mod wifi;
+
+pub use event::EventQueue;
+pub use fluid::{FluidFlow, FluidLte, FluidQos, FluidWifi};
+pub use lte::{run_lte, LteConfig, LteScheduler, LteUe, OfferedLteFlow};
+pub use outcome::{FlowOutcome, PacketOutcome};
+pub use phy::{Channel, SnrLevel};
+pub use wifi::{run_wifi, OfferedFlow, WifiClient, WifiConfig};

@@ -1,0 +1,514 @@
+//! Frame-level LTE downlink simulation.
+//!
+//! Models one eNodeB (the paper's §6.1 "indoor LTE network … with an
+//! eNodeB having 23 dBm transmit power"): a 1 ms TTI scheduler over a
+//! pool of physical resource blocks (PRBs). Each TTI, backlogged UEs
+//! share the PRB pool (round-robin or proportional-fair); a UE's
+//! per-PRB capacity follows its CQI (from SNR), so cell-edge UEs both
+//! get less out of each PRB *and* — under round-robin — drag down the
+//! cell's aggregate, the LTE analogue of the WiFi rate anomaly.
+//! First transmissions fail with a configurable BLER and are HARQ
+//! retransmitted 8 ms later (retransmissions are assumed to succeed,
+//! the standard abstraction).
+//!
+//! Uplink is modelled as an uncongested fixed-latency path: the
+//! paper's workloads are downlink-dominated (§6.2 "we only use the
+//! downlink flows in our simulation") and LTE uplink is scheduled
+//! (collision-free), so its queueing is negligible at these loads.
+
+use std::collections::VecDeque;
+
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet};
+use exbox_traffic::dist::Rng;
+
+use crate::outcome::{FlowOutcome, PacketOutcome};
+use crate::phy::{lte_bytes_per_prb, lte_cqi_from_snr, SnrLevel};
+use crate::wifi::{apply_backhaul, Backhaul};
+
+/// Downlink scheduler discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LteScheduler {
+    /// Equal PRB split among backlogged UEs each TTI.
+    RoundRobin,
+    /// Proportional fair: PRBs weighted by instantaneous-rate /
+    /// smoothed-throughput, favouring UEs that are behind relative to
+    /// their channel quality.
+    ProportionalFair,
+}
+
+/// Configuration of the LTE cell model.
+#[derive(Debug, Clone)]
+pub struct LteConfig {
+    /// PRBs per TTI (50 ≙ 10 MHz bandwidth).
+    pub prbs: usize,
+    /// Scheduler discipline.
+    pub scheduler: LteScheduler,
+    /// First-transmission block error rate (HARQ-recovered).
+    pub bler: f64,
+    /// HARQ retransmission delay.
+    pub harq_delay: Duration,
+    /// Per-flow downlink queue depth in packets (RLC buffering).
+    pub queue_limit: usize,
+    /// Fixed uplink latency.
+    pub uplink_latency: Duration,
+    /// Drain time after the last offered packet.
+    pub drain_grace: Duration,
+    /// RNG seed (BLER draws).
+    pub seed: u64,
+    /// Backhaul between servers and the PGW.
+    pub backhaul: Backhaul,
+}
+
+impl Default for LteConfig {
+    fn default() -> Self {
+        LteConfig {
+            prbs: 50,
+            scheduler: LteScheduler::RoundRobin,
+            bler: 0.1,
+            harq_delay: Duration::from_millis(8),
+            queue_limit: 3_000,
+            uplink_latency: Duration::from_millis(15),
+            drain_grace: Duration::from_secs(10),
+            seed: 0x17E,
+            backhaul: Backhaul::transparent(),
+        }
+    }
+}
+
+/// One user equipment in the cell.
+#[derive(Debug, Clone, Copy)]
+pub struct LteUe {
+    /// Link SNR in dB (drives CQI).
+    pub snr_db: f64,
+}
+
+impl LteUe {
+    /// UE at the nominal SNR of a discrete level.
+    pub fn at_level(level: SnrLevel) -> Self {
+        LteUe {
+            snr_db: level.nominal_snr_db(),
+        }
+    }
+}
+
+/// One flow offered to the cell (same shape as the WiFi module's).
+#[derive(Debug, Clone)]
+pub struct OfferedLteFlow {
+    /// Flow 5-tuple.
+    pub key: FlowKey,
+    /// Application class.
+    pub class: AppClass,
+    /// Index into the UE array.
+    pub ue: usize,
+    /// Offered packets, sorted by timestamp.
+    pub packets: Vec<Packet>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedPkt {
+    flow: usize,
+    idx: usize,
+    /// Bytes of this packet still to be scheduled.
+    remaining: u32,
+}
+
+/// Run the cell simulation; returns one [`FlowOutcome`] per flow, in
+/// input order.
+///
+/// # Panics
+/// Panics if a flow references a UE outside `ues` or its trace is not
+/// time-sorted.
+pub fn run_lte(cfg: &LteConfig, ues: &[LteUe], flows: &[OfferedLteFlow]) -> Vec<FlowOutcome> {
+    for f in flows {
+        assert!(f.ue < ues.len(), "flow references unknown UE");
+        assert!(
+            f.packets.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            "offered trace must be time-sorted"
+        );
+    }
+
+    let mut outcomes: Vec<Vec<PacketOutcome>> = flows
+        .iter()
+        .map(|f| {
+            f.packets
+                .iter()
+                .map(|p| PacketOutcome {
+                    offered: p.timestamp,
+                    size: p.size,
+                    direction: p.direction,
+                    delivered: None,
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-UE capacity per PRB per TTI.
+    let bytes_per_prb: Vec<f64> = ues
+        .iter()
+        .map(|u| lte_bytes_per_prb(lte_cqi_from_snr(u.snr_db)))
+        .collect();
+
+    // Uplink: fixed latency, no loss.
+    for (fi, f) in flows.iter().enumerate() {
+        for (pi, p) in f.packets.iter().enumerate() {
+            if p.direction == Direction::Uplink {
+                outcomes[fi][pi].delivered = Some(p.timestamp + cfg.uplink_latency);
+            }
+        }
+    }
+
+    // Downlink arrivals per TTI, bucketed up front for a simple frame
+    // loop (a TTI clock is more natural than a packet event queue
+    // here, and matches eNodeB operation).
+    let mut downlink_items = Vec::new();
+    for (fi, f) in flows.iter().enumerate() {
+        for (pi, p) in f.packets.iter().enumerate() {
+            if p.direction == Direction::Downlink {
+                downlink_items.push((p.timestamp, fi, pi, p.size));
+            }
+        }
+    }
+    let entries = apply_backhaul(&cfg.backhaul, downlink_items, cfg.seed ^ 0xBACC);
+    let mut last_offer = Instant::ZERO;
+    let mut arrivals: Vec<(Instant, usize, usize)> = Vec::new(); // (t, flow, idx)
+    for (fi, f) in flows.iter().enumerate() {
+        for (pi, p) in f.packets.iter().enumerate() {
+            match p.direction {
+                Direction::Downlink => {
+                    if let Some(at) = entries[&(fi, pi)] {
+                        arrivals.push((at, fi, pi));
+                        last_offer = last_offer.max(at);
+                    }
+                }
+                Direction::Uplink => last_offer = last_offer.max(p.timestamp),
+            }
+        }
+    }
+    arrivals.sort_by_key(|&(t, f, i)| (t, f, i));
+    let hard_stop = last_offer + cfg.drain_grace;
+
+    let mut rng = Rng::new(cfg.seed).derive(0x17E7);
+    // Per-flow RLC queues; UE-level backlog is derived.
+    let mut queues: Vec<VecDeque<QueuedPkt>> = vec![VecDeque::new(); flows.len()];
+    // HARQ retransmissions pending delivery: (deliver_at, flow, idx).
+    let mut harq: VecDeque<(Instant, usize, usize)> = VecDeque::new();
+    // PF smoothed throughput per UE (bytes/TTI).
+    let mut pf_avg: Vec<f64> = vec![1.0; ues.len()];
+    // Round-robin cursor across flows within a UE.
+    let mut flow_rr: Vec<usize> = vec![0; ues.len()];
+    // Flows per UE.
+    let mut ue_flows: Vec<Vec<usize>> = vec![Vec::new(); ues.len()];
+    for (fi, f) in flows.iter().enumerate() {
+        ue_flows[f.ue].push(fi);
+    }
+
+    let tti = Duration::from_millis(1);
+    let mut now = Instant::ZERO;
+    let mut next_arrival = 0usize;
+
+    while now <= hard_stop {
+        let tti_end = now + tti;
+
+        // Enqueue arrivals that land in this TTI.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].0 < tti_end {
+            let (_, fi, pi) = arrivals[next_arrival];
+            next_arrival += 1;
+            if queues[fi].len() < cfg.queue_limit {
+                queues[fi].push_back(QueuedPkt {
+                    flow: fi,
+                    idx: pi,
+                    remaining: flows[fi].packets[pi].size,
+                });
+            }
+        }
+
+        // Deliver HARQ retransmissions that matured.
+        while let Some(&(at, fi, pi)) = harq.front() {
+            if at >= tti_end {
+                break;
+            }
+            harq.pop_front();
+            outcomes[fi][pi].delivered = Some(at);
+        }
+
+        // Schedule this TTI.
+        let backlogged: Vec<usize> = (0..ues.len())
+            .filter(|&u| ue_flows[u].iter().any(|&fi| !queues[fi].is_empty()))
+            .collect();
+        if !backlogged.is_empty() {
+            // PRB allocation per UE.
+            let shares: Vec<usize> = match cfg.scheduler {
+                LteScheduler::RoundRobin => {
+                    let base = cfg.prbs / backlogged.len();
+                    let extra = cfg.prbs % backlogged.len();
+                    (0..backlogged.len())
+                        .map(|i| base + usize::from(i < extra))
+                        .collect()
+                }
+                LteScheduler::ProportionalFair => {
+                    // Weight ∝ instantaneous rate / smoothed average.
+                    let weights: Vec<f64> = backlogged
+                        .iter()
+                        .map(|&u| bytes_per_prb[u] / pf_avg[u].max(1e-9))
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut shares: Vec<usize> = weights
+                        .iter()
+                        .map(|w| ((w / total) * cfg.prbs as f64).floor() as usize)
+                        .collect();
+                    // Distribute the rounding remainder deterministically.
+                    let mut used: usize = shares.iter().sum();
+                    let n_shares = shares.len();
+                    let mut i = 0;
+                    while used < cfg.prbs {
+                        shares[i % n_shares] += 1;
+                        used += 1;
+                        i += 1;
+                    }
+                    shares
+                }
+            };
+
+            for (bi, &u) in backlogged.iter().enumerate() {
+                let mut budget = (shares[bi] as f64 * bytes_per_prb[u]) as u64;
+                let mut served = 0u64;
+                let nf = ue_flows[u].len();
+                // Serve this UE's flows round-robin within its budget.
+                let mut idle_rounds = 0usize;
+                while budget > 0 && idle_rounds < nf {
+                    let fi = ue_flows[u][flow_rr[u] % nf];
+                    flow_rr[u] = (flow_rr[u] + 1) % nf.max(1);
+                    let Some(head) = queues[fi].front_mut() else {
+                        idle_rounds += 1;
+                        continue;
+                    };
+                    idle_rounds = 0;
+                    let take = (head.remaining as u64).min(budget) as u32;
+                    head.remaining -= take;
+                    budget -= take as u64;
+                    served += take as u64;
+                    if head.remaining == 0 {
+                        let done = *head;
+                        queues[fi].pop_front();
+                        // BLER draw: failed first transmissions mature
+                        // through HARQ after harq_delay.
+                        if rng.chance(cfg.bler) {
+                            harq.push_back((tti_end + cfg.harq_delay, done.flow, done.idx));
+                        } else {
+                            outcomes[done.flow][done.idx].delivered = Some(tti_end);
+                        }
+                    }
+                }
+                pf_avg[u] = 0.9 * pf_avg[u] + 0.1 * served as f64;
+            }
+            // Decay the PF average of idle UEs.
+            for u in 0..ues.len() {
+                if !backlogged.contains(&u) {
+                    pf_avg[u] *= 0.9;
+                }
+            }
+        }
+
+        now = tti_end;
+        // Fast-forward across idle gaps to keep long sparse traces cheap.
+        if backlogged.is_empty() && harq.is_empty() {
+            if next_arrival >= arrivals.len() {
+                break;
+            }
+            let jump = arrivals[next_arrival].0;
+            if jump > now {
+                let whole_ttis = (jump.as_nanos() - now.as_nanos()) / 1_000_000;
+                now = now + Duration::from_millis(whole_ttis);
+            }
+        }
+    }
+
+    // Any HARQ stragglers within the grace window still deliver.
+    for (at, fi, pi) in harq {
+        if at <= hard_stop {
+            outcomes[fi][pi].delivered = Some(at);
+        }
+    }
+
+    flows
+        .iter()
+        .zip(outcomes)
+        .map(|(f, packets)| FlowOutcome {
+            key: f.key,
+            class: f.class,
+            snr: SnrLevel::classify(ues[f.ue].snr_db),
+            packets,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exbox_net::Protocol;
+
+    fn cbr_flow(id: u32, ue: usize, n: usize, size: u32, gap_us: u64) -> OfferedLteFlow {
+        let key = FlowKey::synthetic(id, id, 1, Protocol::Udp);
+        let packets = (0..n)
+            .map(|i| {
+                Packet::new(
+                    Instant::from_micros(i as u64 * gap_us),
+                    size,
+                    key,
+                    Direction::Downlink,
+                    i as u64,
+                )
+            })
+            .collect();
+        OfferedLteFlow {
+            key,
+            class: AppClass::Conferencing,
+            ue,
+            packets,
+        }
+    }
+
+    #[test]
+    fn light_load_fully_delivered_with_small_delay() {
+        let ues = vec![LteUe::at_level(SnrLevel::High)];
+        let flows = vec![cbr_flow(1, 0, 200, 1250, 10_000)]; // 1 Mbps
+        let out = run_lte(&LteConfig::default(), &ues, &flows);
+        assert_eq!(out[0].delivered_downlink(), 200);
+        let q = out[0].downlink_qos();
+        assert!(q.mean_delay < Duration::from_millis(15), "delay {}", q.mean_delay);
+    }
+
+    #[test]
+    fn cell_rate_tracks_cqi_capacity() {
+        let ues = vec![LteUe::at_level(SnrLevel::High)];
+        // Saturate: 1400 B every 200 us (56 Mbps offered), 3 s.
+        let flows = vec![cbr_flow(1, 0, 15_000, 1400, 200)];
+        let out = run_lte(&LteConfig::default(), &ues, &flows);
+        let q = out[0].downlink_qos();
+        // 50 PRBs * bytes_per_prb(15) * 1000 TTIs ≈ 29-45 Mbps.
+        assert!(
+            (20_000_000.0..50_000_000.0).contains(&q.throughput_bps),
+            "saturated LTE goodput {}",
+            q.throughput_bps
+        );
+    }
+
+    #[test]
+    fn low_cqi_ue_gets_less_throughput_under_rr() {
+        let ues = vec![
+            LteUe::at_level(SnrLevel::High),
+            LteUe::at_level(SnrLevel::Low),
+        ];
+        let flows = vec![
+            cbr_flow(1, 0, 10_000, 1400, 300),
+            cbr_flow(2, 1, 10_000, 1400, 300),
+        ];
+        let out = run_lte(&LteConfig::default(), &ues, &flows);
+        let hi = out[0].downlink_qos().throughput_bps;
+        let lo = out[1].downlink_qos().throughput_bps;
+        assert!(lo < hi, "low-CQI UE should be slower: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn harq_adds_bounded_delay() {
+        let cfg = LteConfig {
+            bler: 0.5,
+            ..LteConfig::default()
+        };
+        let ues = vec![LteUe::at_level(SnrLevel::High)];
+        let flows = vec![cbr_flow(1, 0, 500, 1000, 5_000)];
+        let out = run_lte(&cfg, &ues, &flows);
+        // Everything still arrives (HARQ recovers), later on average.
+        assert_eq!(out[0].delivered_downlink(), 500);
+        let q = out[0].downlink_qos();
+        assert!(q.mean_delay >= Duration::from_millis(4), "delay {}", q.mean_delay);
+    }
+
+    #[test]
+    fn uplink_has_fixed_latency() {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        let packets = vec![Packet::new(
+            Instant::from_millis(3),
+            200,
+            key,
+            Direction::Uplink,
+            0,
+        )];
+        let flows = vec![OfferedLteFlow {
+            key,
+            class: AppClass::Web,
+            ue: 0,
+            packets,
+        }];
+        let ues = vec![LteUe::at_level(SnrLevel::High)];
+        let out = run_lte(&LteConfig::default(), &ues, &flows);
+        assert_eq!(
+            out[0].packets[0].delivered,
+            Some(Instant::from_millis(18))
+        );
+    }
+
+    #[test]
+    fn pf_scheduler_serves_both_ues_on_static_channels() {
+        // With static channels, proportional fair converges to an
+        // equal-resource share (rate/average weights cancel), so PF
+        // must land near RR and starve nobody.
+        let ues = vec![
+            LteUe::at_level(SnrLevel::High),
+            LteUe::at_level(SnrLevel::Low),
+        ];
+        let flows = vec![
+            cbr_flow(1, 0, 12_000, 1400, 250),
+            cbr_flow(2, 1, 12_000, 1400, 250),
+        ];
+        let rr = run_lte(&LteConfig::default(), &ues, &flows);
+        let pf_cfg = LteConfig {
+            scheduler: LteScheduler::ProportionalFair,
+            ..LteConfig::default()
+        };
+        let pf = run_lte(&pf_cfg, &ues, &flows);
+        for (i, (r, p)) in rr.iter().zip(&pf).enumerate() {
+            let tr = r.downlink_qos().throughput_bps;
+            let tp = p.downlink_qos().throughput_bps;
+            assert!(tp > 0.0, "PF starved flow {i}");
+            let ratio = tp.max(tr) / tp.min(tr).max(1.0);
+            assert!(ratio < 1.5, "PF diverged from RR on flow {i}: {tp} vs {tr}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ues = vec![LteUe::at_level(SnrLevel::High)];
+        let flows = vec![cbr_flow(1, 0, 300, 1000, 2_000)];
+        let a = run_lte(&LteConfig::default(), &ues, &flows);
+        let b = run_lte(&LteConfig::default(), &ues, &flows);
+        assert_eq!(a[0].packets, b[0].packets);
+    }
+
+    #[test]
+    fn sparse_trace_fast_forward_is_correct() {
+        // Two packets an hour apart must both deliver (the TTI loop
+        // fast-forwards across the idle gap rather than spinning).
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        let packets = vec![
+            Packet::new(Instant::ZERO, 500, key, Direction::Downlink, 0),
+            Packet::new(Instant::from_secs(3600), 500, key, Direction::Downlink, 1),
+        ];
+        let flows = vec![OfferedLteFlow {
+            key,
+            class: AppClass::Web,
+            ue: 0,
+            packets,
+        }];
+        let ues = vec![LteUe::at_level(SnrLevel::High)];
+        let out = run_lte(&LteConfig::default(), &ues, &flows);
+        assert_eq!(out[0].delivered_downlink(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown UE")]
+    fn bad_ue_index_panics() {
+        let flows = vec![cbr_flow(1, 5, 1, 100, 1)];
+        let _ = run_lte(&LteConfig::default(), &[], &flows);
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation outcomes: what happened to each offered packet.
+//!
+//! Both cell simulators produce the same shape of result — per flow,
+//! the fate of every offered packet — from which the network-side QoS
+//! sample (what ExBox's gateway sees) and the application-level QoE
+//! ground truth (what the paper measured on instrumented phones) are
+//! both derived. Keeping raw outcomes, rather than pre-aggregated
+//! stats, is what lets the two views disagree the way they do in a
+//! real deployment.
+
+use exbox_net::{AppClass, Direction, FlowKey, Instant, QosMeter, QosSample};
+
+use crate::phy::SnrLevel;
+
+/// Fate of one offered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketOutcome {
+    /// When the application offered the packet to the network.
+    pub offered: Instant,
+    /// Bytes on the wire.
+    pub size: u32,
+    /// Travel direction.
+    pub direction: Direction,
+    /// Delivery time at the far end, or `None` if dropped.
+    pub delivered: Option<Instant>,
+}
+
+/// All outcomes for one flow.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The flow's 5-tuple.
+    pub key: FlowKey,
+    /// Application class of the flow.
+    pub class: AppClass,
+    /// SNR level of the owning client during the run.
+    pub snr: SnrLevel,
+    /// Per-packet fates, in offered order.
+    pub packets: Vec<PacketOutcome>,
+}
+
+impl FlowOutcome {
+    /// Network-side QoS over the flow's **downlink** packets — the
+    /// direction the paper's gateway measures (§6.2 uses downlink
+    /// flows only).
+    pub fn downlink_qos(&self) -> QosSample {
+        let mut meter = QosMeter::new();
+        for p in &self.packets {
+            if p.direction != Direction::Downlink {
+                continue;
+            }
+            match p.delivered {
+                Some(at) => meter.deliver(p.offered, at, p.size),
+                None => meter.drop_packet(),
+            }
+        }
+        meter.sample()
+    }
+
+    /// Count of delivered downlink packets.
+    pub fn delivered_downlink(&self) -> usize {
+        self.packets
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink && p.delivered.is_some())
+            .count()
+    }
+
+    /// First offered timestamp (flow start), if any packets exist.
+    pub fn start(&self) -> Option<Instant> {
+        self.packets.iter().map(|p| p.offered).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exbox_net::{Duration, Protocol};
+
+    fn outcome() -> FlowOutcome {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        FlowOutcome {
+            key,
+            class: AppClass::Streaming,
+            snr: SnrLevel::High,
+            packets: vec![
+                PacketOutcome {
+                    offered: Instant::ZERO,
+                    size: 1000,
+                    direction: Direction::Downlink,
+                    delivered: Some(Instant::from_millis(10)),
+                },
+                PacketOutcome {
+                    offered: Instant::from_millis(5),
+                    size: 1000,
+                    direction: Direction::Downlink,
+                    delivered: None,
+                },
+                PacketOutcome {
+                    offered: Instant::from_millis(20),
+                    size: 1000,
+                    direction: Direction::Downlink,
+                    delivered: Some(Instant::from_millis(40)),
+                },
+                PacketOutcome {
+                    offered: Instant::from_millis(1),
+                    size: 100,
+                    direction: Direction::Uplink,
+                    delivered: Some(Instant::from_millis(2)),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn qos_ignores_uplink() {
+        let q = outcome().downlink_qos();
+        // 2 delivered + 1 dropped downlink => loss 1/3.
+        assert!((q.loss_ratio - 1.0 / 3.0).abs() < 1e-12);
+        // Mean delay of delivered: (10 + 20)/2 = 15 ms.
+        assert_eq!(q.mean_delay, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn delivered_count_and_start() {
+        let o = outcome();
+        assert_eq!(o.delivered_downlink(), 2);
+        assert_eq!(o.start(), Some(Instant::ZERO));
+    }
+
+    #[test]
+    fn empty_flow_outcome() {
+        let mut o = outcome();
+        o.packets.clear();
+        assert_eq!(o.start(), None);
+        assert_eq!(o.downlink_qos().throughput_bps, 0.0);
+    }
+}

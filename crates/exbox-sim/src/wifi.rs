@@ -1,0 +1,660 @@
+//! Packet-level 802.11 DCF simulation.
+//!
+//! A discrete-event model of one WiFi cell (the paper's §6.1
+//! "802.11n 5 GHz WLAN with varying number of clients connected
+//! … through an access point"). The model captures the three
+//! mechanisms the ExCR depends on:
+//!
+//! 1. **Contention** — per-packet transmission opportunities are
+//!    granted uniformly at random among backlogged stations (the DCF
+//!    long-run behaviour), with collision probability growing in the
+//!    number of contenders; collisions waste airtime and trigger
+//!    retries.
+//! 2. **Rate anomaly** — airtime per packet is `overhead + size/rate`
+//!    where `rate` comes from the *receiving client's* SNR, so a
+//!    low-SNR client's packets occupy the medium longer and throttle
+//!    everyone (the Fig. 3 effect: high-SNR clients suffer when
+//!    low-SNR clients join).
+//! 3. **SNR-dependent loss** — residual packet error rates rise as
+//!    SNR falls, consuming the retry budget.
+//!
+//! The AP serves per-flow queues round-robin (WMM-style fair
+//! queueing); clients hold their own uplink queues. Queues are
+//! deliberately deep (`queue_limit`), reflecting real AP buffering —
+//! overload therefore shows up first as *delay* (bufferbloat), then as
+//! drops, exactly the progression that degrades streaming startup and
+//! conferencing PSNR in the paper's experiments.
+
+use std::collections::VecDeque;
+
+use exbox_net::{AppClass, Direction, FlowKey, Instant, Packet};
+use exbox_traffic::dist::Rng;
+
+use crate::event::EventQueue;
+use crate::outcome::{FlowOutcome, PacketOutcome};
+use crate::phy::{wifi_packet_error_rate, wifi_phy_rate_bps, SnrLevel};
+use exbox_net::Duration;
+
+/// A shaped backhaul between the remote servers and the cell — the
+/// paper's `tc`/`netem` throttling point (Fig. 11 shapes the network
+/// to 200 ms latency; Fig. 12 sweeps rate × latency). Downlink
+/// packets traverse it before reaching the AP/eNodeB queues.
+#[derive(Debug, Clone, Copy)]
+pub struct Backhaul {
+    /// Serialisation rate, bits/s.
+    pub rate_bps: u64,
+    /// Added constant delay.
+    pub delay: Duration,
+    /// Random loss probability in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl Backhaul {
+    /// An effectively transparent backhaul (1 Gbps, 0.3 ms — the
+    /// paper's §6.1 server links).
+    pub fn transparent() -> Self {
+        Backhaul {
+            rate_bps: 1_000_000_000,
+            delay: Duration::from_micros(300),
+            loss: 0.0,
+        }
+    }
+
+    /// The Fig. 11 throttled profile: 200 ms added latency.
+    pub fn throttled_200ms(rate_bps: u64) -> Self {
+        Backhaul {
+            rate_bps,
+            delay: Duration::from_millis(200),
+            loss: 0.0,
+        }
+    }
+}
+
+/// Shift downlink arrivals through the backhaul shaper; returns the
+/// per-(flow, idx) entry time at the cell, or `None` when dropped.
+pub(crate) fn apply_backhaul(
+    backhaul: &Backhaul,
+    mut items: Vec<(Instant, usize, usize, u32)>,
+    seed: u64,
+) -> std::collections::HashMap<(usize, usize), Option<Instant>> {
+    use exbox_net::shaper::LinkVerdict;
+    items.sort_by_key(|&(t, f, i, _)| (t, f, i));
+    let mut link = exbox_net::NetemLink::new(
+        backhaul.rate_bps,
+        backhaul.delay,
+        backhaul.loss,
+        64 << 20,
+        seed | 1,
+    );
+    items
+        .into_iter()
+        .map(|(t, f, i, size)| {
+            let entry = match link.offer(t, size) {
+                LinkVerdict::Deliver(at) => Some(at),
+                _ => None,
+            };
+            ((f, i), entry)
+        })
+        .collect()
+}
+
+/// Configuration of the WiFi cell model.
+#[derive(Debug, Clone)]
+pub struct WifiConfig {
+    /// Fixed per-transmission overhead: DIFS + mean backoff + PHY
+    /// preamble + SIFS + ACK (≈190 µs for 802.11n).
+    pub per_tx_overhead: Duration,
+    /// Per-flow queue depth in packets (AP buffering).
+    pub queue_limit: usize,
+    /// Retry budget per packet before it is dropped.
+    pub retry_limit: u32,
+    /// Per-station slot attempt probability in the collision model:
+    /// `P(collision) = 1 − (1 − τ)^(contenders−1)`.
+    pub tau: f64,
+    /// How long after the last offered packet the cell keeps draining
+    /// queues before declaring leftovers lost.
+    pub drain_grace: Duration,
+    /// RNG seed (contention winners, collisions, packet errors).
+    pub seed: u64,
+    /// Backhaul between servers and the AP.
+    pub backhaul: Backhaul,
+}
+
+impl Default for WifiConfig {
+    fn default() -> Self {
+        WifiConfig {
+            per_tx_overhead: Duration::from_micros(190),
+            queue_limit: 3_000,
+            retry_limit: 7,
+            tau: 1.0 / 32.0,
+            drain_grace: Duration::from_secs(10),
+            seed: 0x31F1,
+            backhaul: Backhaul::transparent(),
+        }
+    }
+}
+
+/// One wireless client in the cell.
+#[derive(Debug, Clone)]
+pub struct WifiClient {
+    /// Link SNR in dB (from placement via [`crate::phy::Channel`], or
+    /// set directly from an [`SnrLevel`] nominal value).
+    pub snr_db: f64,
+    /// Mobility: SNR changes at the given instants (paper §4.3 —
+    /// "the wireless link quality … can change depending on the
+    /// distance of device from AP"). Entries must be time-sorted;
+    /// before the first entry `snr_db` applies.
+    pub mobility: Vec<(Instant, f64)>,
+}
+
+impl WifiClient {
+    /// Client at the nominal SNR of a discrete level.
+    pub fn at_level(level: SnrLevel) -> Self {
+        WifiClient {
+            snr_db: level.nominal_snr_db(),
+            mobility: Vec::new(),
+        }
+    }
+
+    /// Stationary client at a raw SNR.
+    pub fn at_snr(snr_db: f64) -> Self {
+        WifiClient {
+            snr_db,
+            mobility: Vec::new(),
+        }
+    }
+
+    /// The client's SNR at a given instant.
+    pub fn snr_at(&self, t: Instant) -> f64 {
+        let mut snr = self.snr_db;
+        for &(at, v) in &self.mobility {
+            if at <= t {
+                snr = v;
+            } else {
+                break;
+            }
+        }
+        snr
+    }
+}
+
+/// One flow offered to the cell: its owning client and its offered
+/// packet trace (time-sorted).
+#[derive(Debug, Clone)]
+pub struct OfferedFlow {
+    /// Flow 5-tuple.
+    pub key: FlowKey,
+    /// Application class.
+    pub class: AppClass,
+    /// Index into the client array.
+    pub client: usize,
+    /// Offered packets, sorted by timestamp.
+    pub packets: Vec<Packet>,
+}
+
+/// Queued packet reference.
+#[derive(Debug, Clone, Copy)]
+struct QueuedPkt {
+    flow: usize,
+    idx: usize,
+    retries: u32,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Offered packet `idx` of flow `flow` reaches its queue.
+    Arrival { flow: usize, idx: usize },
+    /// The in-flight transmission completes.
+    TxDone { success: bool },
+}
+
+/// Station identifier: the AP or a client index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Station {
+    Ap,
+    Client(usize),
+}
+
+/// Run the cell simulation; returns one [`FlowOutcome`] per offered
+/// flow, in input order.
+///
+/// # Panics
+/// Panics if a flow references a client outside `clients`, or a
+/// flow's packet trace is not time-sorted.
+pub fn run_wifi(cfg: &WifiConfig, clients: &[WifiClient], flows: &[OfferedFlow]) -> Vec<FlowOutcome> {
+    for f in flows {
+        assert!(f.client < clients.len(), "flow references unknown client");
+        assert!(
+            f.packets.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            "offered trace must be time-sorted"
+        );
+    }
+
+    let mut outcomes: Vec<Vec<PacketOutcome>> = flows
+        .iter()
+        .map(|f| {
+            f.packets
+                .iter()
+                .map(|p| PacketOutcome {
+                    offered: p.timestamp,
+                    size: p.size,
+                    direction: p.direction,
+                    delivered: None,
+                })
+                .collect()
+        })
+        .collect();
+
+    for c in clients {
+        assert!(
+            c.mobility.windows(2).all(|w| w[0].0 <= w[1].0),
+            "mobility schedule must be time-sorted"
+        );
+    }
+    // Per-client PHY parameters at an instant (mobility-aware).
+    let rate_at = |ci: usize, t: Instant| wifi_phy_rate_bps(clients[ci].snr_at(t));
+    let per_at = |ci: usize, t: Instant| wifi_packet_error_rate(clients[ci].snr_at(t));
+
+    // Queues: AP holds one downlink queue per flow; each client one
+    // uplink FIFO (uplink volume is small).
+    let mut ap_queues: Vec<VecDeque<QueuedPkt>> = vec![VecDeque::new(); flows.len()];
+    let mut ap_rr = 0usize;
+    let mut ap_backlog = 0usize;
+    let mut cl_queues: Vec<VecDeque<QueuedPkt>> = vec![VecDeque::new(); clients.len()];
+
+    // Downlink packets first traverse the backhaul shaper.
+    let mut downlink_items = Vec::new();
+    for (fi, f) in flows.iter().enumerate() {
+        for (pi, p) in f.packets.iter().enumerate() {
+            if p.direction == Direction::Downlink {
+                downlink_items.push((p.timestamp, fi, pi, p.size));
+            }
+        }
+    }
+    let entries = apply_backhaul(&cfg.backhaul, downlink_items, cfg.seed ^ 0xBACC);
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut last_offer = Instant::ZERO;
+    for (fi, f) in flows.iter().enumerate() {
+        for (pi, p) in f.packets.iter().enumerate() {
+            let at = match p.direction {
+                Direction::Downlink => match entries[&(fi, pi)] {
+                    Some(at) => at,
+                    None => continue, // dropped at the backhaul
+                },
+                Direction::Uplink => p.timestamp,
+            };
+            q.schedule(at, Ev::Arrival { flow: fi, idx: pi });
+            last_offer = last_offer.max(at);
+        }
+    }
+    let hard_stop = last_offer + cfg.drain_grace;
+
+    let mut rng = Rng::new(cfg.seed).derive(0x21F1);
+    let mut busy = false;
+    // The packet in flight: (station, queued entry).
+    let mut in_flight: Option<(Station, QueuedPkt)> = None;
+
+    // Pick the next transmission if the medium is idle.
+    // Returns the event to schedule.
+    fn pick_station(
+        ap_backlog: usize,
+        cl_queues: &[VecDeque<QueuedPkt>],
+        rng: &mut Rng,
+    ) -> Option<Station> {
+        let mut contenders: Vec<Station> = Vec::new();
+        if ap_backlog > 0 {
+            contenders.push(Station::Ap);
+        }
+        for (ci, cq) in cl_queues.iter().enumerate() {
+            if !cq.is_empty() {
+                contenders.push(Station::Client(ci));
+            }
+        }
+        if contenders.is_empty() {
+            None
+        } else {
+            Some(contenders[rng.index(contenders.len())])
+        }
+    }
+
+    // Count of currently backlogged stations (for collision prob).
+    fn contender_count(ap_backlog: usize, cl_queues: &[VecDeque<QueuedPkt>]) -> usize {
+        (ap_backlog > 0) as usize + cl_queues.iter().filter(|q| !q.is_empty()).count()
+    }
+
+    let mut now = Instant::ZERO;
+    loop {
+        // Start a transmission whenever the medium is idle and
+        // something is queued.
+        if !busy {
+            if let Some(station) = pick_station(ap_backlog, &cl_queues, &mut rng) {
+                // Select the head packet: AP round-robins its flow
+                // queues; clients serve FIFO.
+                let entry = match station {
+                    Station::Ap => {
+                        let n = ap_queues.len();
+                        let mut found = None;
+                        for off in 0..n {
+                            let fi = (ap_rr + off) % n;
+                            if let Some(&e) = ap_queues[fi].front() {
+                                found = Some((fi, e));
+                                break;
+                            }
+                        }
+                        let (fi, e) = found.expect("ap_backlog > 0 implies a queued packet");
+                        ap_rr = (fi + 1) % n;
+                        e
+                    }
+                    Station::Client(ci) => *cl_queues[ci].front().expect("non-empty client queue"),
+                };
+                let flow = &flows[entry.flow];
+                let client = flow.client;
+                let size = flows[entry.flow].packets[entry.idx].size;
+                let airtime = cfg.per_tx_overhead
+                    + Duration::transmission(size as u64, rate_at(client, now) as u64);
+                // Collision roll against the other contenders.
+                let others = contender_count(ap_backlog, &cl_queues).saturating_sub(1);
+                let p_coll = 1.0 - (1.0 - cfg.tau).powi(others as i32);
+                let collided = rng.chance(p_coll);
+                let errored = !collided && rng.chance(per_at(client, now));
+                let success = !collided && !errored;
+                q.schedule(now + airtime, Ev::TxDone { success });
+                busy = true;
+                in_flight = Some((station, entry));
+            }
+        }
+
+        let Some((t, ev)) = q.next() else { break };
+        if t > hard_stop {
+            break;
+        }
+        now = t;
+        match ev {
+            Ev::Arrival { flow, idx } => {
+                let dir = flows[flow].packets[idx].direction;
+                let entry = QueuedPkt { flow, idx, retries: 0 };
+                match dir {
+                    Direction::Downlink => {
+                        if ap_queues[flow].len() < cfg.queue_limit {
+                            ap_queues[flow].push_back(entry);
+                            ap_backlog += 1;
+                        }
+                        // else: tail drop; outcome stays undelivered.
+                    }
+                    Direction::Uplink => {
+                        let ci = flows[flow].client;
+                        if cl_queues[ci].len() < cfg.queue_limit {
+                            cl_queues[ci].push_back(entry);
+                        }
+                    }
+                }
+            }
+            Ev::TxDone { success } => {
+                busy = false;
+                let (station, entry) = in_flight.take().expect("TxDone without transmission");
+                let dir = flows[entry.flow].packets[entry.idx].direction;
+                let queue: &mut VecDeque<QueuedPkt> = match station {
+                    Station::Ap => &mut ap_queues[entry.flow],
+                    Station::Client(ci) => &mut cl_queues[ci],
+                };
+                if success {
+                    let head = queue.pop_front().expect("in-flight packet at queue head");
+                    debug_assert_eq!(head.flow, entry.flow);
+                    if dir == Direction::Downlink {
+                        ap_backlog -= 1;
+                    }
+                    outcomes[entry.flow][entry.idx].delivered = Some(now);
+                } else {
+                    let head = queue.front_mut().expect("in-flight packet at queue head");
+                    head.retries += 1;
+                    if head.retries > cfg.retry_limit {
+                        queue.pop_front();
+                        if dir == Direction::Downlink {
+                            ap_backlog -= 1;
+                        }
+                        // Dropped after retry exhaustion.
+                    }
+                }
+            }
+        }
+    }
+
+    flows
+        .iter()
+        .zip(outcomes)
+        .map(|(f, packets)| FlowOutcome {
+            key: f.key,
+            class: f.class,
+            snr: SnrLevel::classify(clients[f.client].snr_db),
+            // (Mobility may change the level mid-run; the outcome
+            // records the admission-time level, which is what the
+            // traffic matrix encoded.)
+            packets,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exbox_net::Protocol;
+
+    /// A CBR downlink flow: `n` packets of `size` every `gap_us`.
+    fn cbr_flow(id: u32, client: usize, n: usize, size: u32, gap_us: u64) -> OfferedFlow {
+        let key = FlowKey::synthetic(id, id, 1, Protocol::Udp);
+        let packets = (0..n)
+            .map(|i| {
+                Packet::new(
+                    Instant::from_micros(i as u64 * gap_us),
+                    size,
+                    key,
+                    Direction::Downlink,
+                    i as u64,
+                )
+            })
+            .collect();
+        OfferedFlow {
+            key,
+            class: AppClass::Conferencing,
+            client,
+            packets,
+        }
+    }
+
+    #[test]
+    fn light_load_delivers_everything_promptly() {
+        let clients = vec![WifiClient::at_level(SnrLevel::High)];
+        // 1 Mbps offered into a ~20+ Mbps cell.
+        let flows = vec![cbr_flow(1, 0, 100, 1250, 10_000)];
+        let out = run_wifi(&WifiConfig::default(), &clients, &flows);
+        assert_eq!(out[0].delivered_downlink(), 100);
+        let q = out[0].downlink_qos();
+        assert!(q.mean_delay < Duration::from_millis(5), "delay {}", q.mean_delay);
+        assert!(q.loss_ratio < 0.01);
+    }
+
+    #[test]
+    fn cell_capacity_is_phy_bound() {
+        // Single high-SNR client, saturating offered load.
+        let clients = vec![WifiClient::at_level(SnrLevel::High)];
+        // 40 Mbps offered: 1400 B every 280 us for 4 s.
+        let flows = vec![cbr_flow(1, 0, 14_000, 1400, 280)];
+        let out = run_wifi(&WifiConfig::default(), &clients, &flows);
+        let q = out[0].downlink_qos();
+        // 65 Mbps PHY with ~190us overhead per ~172us payload =>
+        // ~30 Mbps goodput ceiling; check we're in a sane band.
+        assert!(
+            (15_000_000.0..40_000_000.0).contains(&q.throughput_bps),
+            "saturated goodput {}",
+            q.throughput_bps
+        );
+    }
+
+    #[test]
+    fn low_snr_client_throttles_high_snr_peer() {
+        // The Fig. 3 rate anomaly: adding a low-SNR client reduces the
+        // high-SNR client's goodput under saturation.
+        let mk_flows = |second_client: usize| {
+            vec![
+                cbr_flow(1, 0, 8_000, 1400, 400),
+                cbr_flow(2, second_client, 8_000, 1400, 400),
+            ]
+        };
+        let both_high = vec![
+            WifiClient::at_level(SnrLevel::High),
+            WifiClient::at_level(SnrLevel::High),
+        ];
+        let mixed = vec![
+            WifiClient::at_level(SnrLevel::High),
+            WifiClient::at_level(SnrLevel::Low),
+        ];
+        let out_hh = run_wifi(&WifiConfig::default(), &both_high, &mk_flows(1));
+        let out_hl = run_wifi(&WifiConfig::default(), &mixed, &mk_flows(1));
+        let rate_peer_high = out_hh[0].downlink_qos().throughput_bps;
+        let rate_peer_low = out_hl[0].downlink_qos().throughput_bps;
+        assert!(
+            rate_peer_low < rate_peer_high * 0.8,
+            "high-SNR flow unaffected by low-SNR peer: {rate_peer_low} vs {rate_peer_high}"
+        );
+    }
+
+    #[test]
+    fn overload_builds_delay_then_loss() {
+        let clients = vec![WifiClient::at_level(SnrLevel::High)];
+        // 2 x 40 Mbps offered into one cell: far beyond capacity.
+        let flows = vec![
+            cbr_flow(1, 0, 10_000, 1400, 280),
+            cbr_flow(2, 0, 10_000, 1400, 280),
+        ];
+        let cfg = WifiConfig {
+            drain_grace: Duration::from_millis(100),
+            ..WifiConfig::default()
+        };
+        let out = run_wifi(&cfg, &clients, &flows);
+        let q = out[0].downlink_qos();
+        assert!(
+            q.mean_delay > Duration::from_millis(50),
+            "expected bufferbloat, delay {}",
+            q.mean_delay
+        );
+        assert!(q.loss_ratio > 0.2, "expected drops, loss {}", q.loss_ratio);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let clients = vec![WifiClient::at_level(SnrLevel::High)];
+        let flows = vec![cbr_flow(1, 0, 500, 1200, 1_000)];
+        let a = run_wifi(&WifiConfig::default(), &clients, &flows);
+        let b = run_wifi(&WifiConfig::default(), &clients, &flows);
+        assert_eq!(a[0].packets, b[0].packets);
+    }
+
+    #[test]
+    fn uplink_packets_are_served() {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        let packets = (0..50)
+            .map(|i| {
+                Packet::new(
+                    Instant::from_millis(i * 10),
+                    200,
+                    key,
+                    Direction::Uplink,
+                    i,
+                )
+            })
+            .collect();
+        let flows = vec![OfferedFlow {
+            key,
+            class: AppClass::Web,
+            client: 0,
+            packets,
+        }];
+        let clients = vec![WifiClient::at_level(SnrLevel::High)];
+        let out = run_wifi(&WifiConfig::default(), &clients, &flows);
+        let delivered = out[0]
+            .packets
+            .iter()
+            .filter(|p| p.delivered.is_some())
+            .count();
+        assert!(delivered >= 48, "uplink delivered {delivered}/50");
+    }
+
+    #[test]
+    fn fair_share_among_equal_flows() {
+        let clients = vec![
+            WifiClient::at_level(SnrLevel::High),
+            WifiClient::at_level(SnrLevel::High),
+        ];
+        let flows = vec![
+            cbr_flow(1, 0, 8_000, 1400, 280),
+            cbr_flow(2, 1, 8_000, 1400, 280),
+        ];
+        let out = run_wifi(&WifiConfig::default(), &clients, &flows);
+        let r1 = out[0].downlink_qos().throughput_bps;
+        let r2 = out[1].downlink_qos().throughput_bps;
+        let ratio = r1.max(r2) / r1.min(r2);
+        assert!(ratio < 1.2, "unfair split {r1} vs {r2}");
+    }
+
+    #[test]
+    fn snr_at_follows_schedule() {
+        let c = WifiClient {
+            snr_db: 53.0,
+            mobility: vec![
+                (Instant::from_secs(2), 14.0),
+                (Instant::from_secs(4), 40.0),
+            ],
+        };
+        assert_eq!(c.snr_at(Instant::ZERO), 53.0);
+        assert_eq!(c.snr_at(Instant::from_secs(2)), 14.0);
+        assert_eq!(c.snr_at(Instant::from_secs(3)), 14.0);
+        assert_eq!(c.snr_at(Instant::from_secs(10)), 40.0);
+    }
+
+    #[test]
+    fn mobile_client_throughput_drops_after_walking_away() {
+        // Saturating flow; client walks from high SNR to cell edge at
+        // t = 2 s. Goodput in the second half must drop hard.
+        let mut client = WifiClient::at_level(SnrLevel::High);
+        client.mobility = vec![(Instant::from_secs(2), 12.0)];
+        let flows = vec![cbr_flow(1, 0, 14_000, 1400, 280)]; // ~4 s of 40 Mbps
+        let out = run_wifi(&WifiConfig::default(), &[client], &flows);
+        let rate_in = |lo_s: u64, hi_s: u64| -> f64 {
+            let bytes: u64 = out[0]
+                .packets
+                .iter()
+                .filter_map(|p| p.delivered.map(|at| (at, p.size)))
+                .filter(|&(at, _)| at >= Instant::from_secs(lo_s) && at < Instant::from_secs(hi_s))
+                .map(|(_, s)| s as u64)
+                .sum();
+            bytes as f64 * 8.0 / (hi_s - lo_s) as f64
+        };
+        let before = rate_in(0, 2);
+        let after = rate_in(2, 4);
+        assert!(
+            after < before * 0.5,
+            "mobility should halve goodput: before {before} after {after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_mobility_panics() {
+        let mut client = WifiClient::at_level(SnrLevel::High);
+        client.mobility = vec![
+            (Instant::from_secs(4), 20.0),
+            (Instant::from_secs(2), 30.0),
+        ];
+        let flows = vec![cbr_flow(1, 0, 10, 100, 1_000)];
+        let _ = run_wifi(&WifiConfig::default(), &[client], &flows);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client")]
+    fn bad_client_index_panics() {
+        let flows = vec![cbr_flow(1, 3, 1, 100, 1)];
+        let _ = run_wifi(&WifiConfig::default(), &[], &flows);
+    }
+}

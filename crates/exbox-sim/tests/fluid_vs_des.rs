@@ -1,0 +1,149 @@
+//! Cross-validation: the fluid model must agree with the packet-level
+//! DES on the regimes the figure harnesses rely on, otherwise the
+//! scale-up figures (which use the fluid model) would not be
+//! representative of the testbed figures (which use the DES).
+
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet, Protocol};
+use exbox_sim::fluid::{FluidFlow, FluidWifi};
+use exbox_sim::phy::SnrLevel;
+use exbox_sim::wifi::{run_wifi, OfferedFlow, WifiClient, WifiConfig};
+
+/// Build a CBR downlink flow at `rate_bps` for `secs`.
+fn cbr(id: u32, client: usize, rate_bps: f64, secs: f64) -> OfferedFlow {
+    let key = FlowKey::synthetic(id, id, 1, Protocol::Udp);
+    let size = 1400u32;
+    let gap = Duration::from_secs_f64(size as f64 * 8.0 / rate_bps);
+    let n = (secs / gap.as_secs_f64()) as usize;
+    let packets = (0..n)
+        .map(|i| {
+            Packet::new(
+                Instant::ZERO + gap * i as u64,
+                size,
+                key,
+                Direction::Downlink,
+                i as u64,
+            )
+        })
+        .collect();
+    OfferedFlow {
+        key,
+        class: AppClass::Streaming,
+        client,
+        packets,
+    }
+}
+
+fn fluid_of(flows: &[(SnrLevel, f64)]) -> Vec<FluidFlow> {
+    flows
+        .iter()
+        .map(|&(snr, rate)| FluidFlow::new(AppClass::Streaming, snr, rate, 1400))
+        .collect()
+}
+
+/// Run both models on the same scenario and compare achieved
+/// downlink throughput per flow within `tol` relative error.
+fn compare(flows: &[(SnrLevel, f64)], secs: f64, tol: f64) {
+    let clients: Vec<WifiClient> = flows.iter().map(|&(snr, _)| WifiClient::at_level(snr)).collect();
+    let offered: Vec<OfferedFlow> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, rate))| cbr(i as u32 + 1, i, rate, secs))
+        .collect();
+    let cfg = WifiConfig {
+        drain_grace: Duration::from_millis(200),
+        ..WifiConfig::default()
+    };
+    let des = run_wifi(&cfg, &clients, &offered);
+    let fl = FluidWifi::default().predict(&fluid_of(flows));
+    for (i, (d, f)) in des.iter().zip(&fl).enumerate() {
+        let td = d.downlink_qos().throughput_bps;
+        let tf = f.throughput_bps;
+        let rel = (td - tf).abs() / tf.max(1.0);
+        assert!(
+            rel < tol,
+            "flow {i}: DES {td:.0} vs fluid {tf:.0} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn undersubscribed_agreement() {
+    // 3 light flows: both models must deliver the offered rates.
+    compare(
+        &[
+            (SnrLevel::High, 2_000_000.0),
+            (SnrLevel::High, 1_500_000.0),
+            (SnrLevel::Low, 1_000_000.0),
+        ],
+        4.0,
+        0.10,
+    );
+}
+
+#[test]
+fn saturated_equal_flows_agreement() {
+    // 4 saturating high-SNR flows: both models should settle near the
+    // same per-flow goodput (packet fairness).
+    compare(
+        &[
+            (SnrLevel::High, 10_000_000.0),
+            (SnrLevel::High, 10_000_000.0),
+            (SnrLevel::High, 10_000_000.0),
+            (SnrLevel::High, 10_000_000.0),
+        ],
+        4.0,
+        0.30,
+    );
+}
+
+#[test]
+fn mixed_snr_saturated_agreement() {
+    // The rate-anomaly regime: 2 low + 2 high saturating flows.
+    compare(
+        &[
+            (SnrLevel::Low, 10_000_000.0),
+            (SnrLevel::Low, 10_000_000.0),
+            (SnrLevel::High, 10_000_000.0),
+            (SnrLevel::High, 10_000_000.0),
+        ],
+        4.0,
+        0.35,
+    );
+}
+
+#[test]
+fn both_models_agree_on_anomaly_direction() {
+    // Qualitative check: adding low-SNR peers reduces a high-SNR
+    // flow's goodput in BOTH models.
+    let secs = 3.0;
+    let high_only = [(SnrLevel::High, 8_000_000.0); 4];
+    let mut mixed = high_only;
+    mixed[0].0 = SnrLevel::Low;
+    mixed[1].0 = SnrLevel::Low;
+
+    // DES.
+    let run = |spec: &[(SnrLevel, f64)]| {
+        let clients: Vec<WifiClient> =
+            spec.iter().map(|&(s, _)| WifiClient::at_level(s)).collect();
+        let flows: Vec<OfferedFlow> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, r))| cbr(i as u32 + 1, i, r, secs))
+            .collect();
+        run_wifi(&WifiConfig::default(), &clients, &flows)
+            .last()
+            .expect("flows non-empty")
+            .downlink_qos()
+            .throughput_bps
+    };
+    let des_drop = run(&mixed) < run(&high_only) * 0.95;
+
+    // Fluid.
+    let cell = FluidWifi::default();
+    let f_high = cell.predict(&fluid_of(&high_only));
+    let f_mixed = cell.predict(&fluid_of(&mixed));
+    let fluid_drop = f_mixed[3].throughput_bps < f_high[3].throughput_bps * 0.95;
+
+    assert!(des_drop, "DES did not show the rate anomaly");
+    assert!(fluid_drop, "fluid model did not show the rate anomaly");
+}

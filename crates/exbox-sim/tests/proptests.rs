@@ -1,0 +1,181 @@
+//! Property-based tests for the simulators' physical invariants.
+
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet, Protocol};
+use exbox_sim::event::EventQueue;
+use exbox_sim::fluid::{maxmin_allocate, FluidFlow, FluidWifi};
+use exbox_sim::lte::{run_lte, LteConfig, LteUe, OfferedLteFlow};
+use exbox_sim::phy::{lte_cqi_from_snr, wifi_phy_rate_bps, SnrLevel};
+use exbox_sim::wifi::{run_wifi, OfferedFlow, WifiClient, WifiConfig};
+use proptest::prelude::*;
+
+fn cbr_packets(key: FlowKey, n: usize, size: u32, gap_us: u64) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            Packet::new(
+                Instant::from_micros(i as u64 * gap_us),
+                size,
+                key,
+                Direction::Downlink,
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Causality: nothing is delivered before it was offered, and
+    /// per-flow deliveries respect FIFO order (the AP queue is FIFO).
+    #[test]
+    fn wifi_delivery_causality(
+        n in 10usize..300,
+        size in 100u32..1500,
+        gap_us in 100u64..5_000,
+        snr in 10.0f64..55.0,
+    ) {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        let flows = vec![OfferedFlow {
+            key,
+            class: AppClass::Streaming,
+            client: 0,
+            packets: cbr_packets(key, n, size, gap_us),
+        }];
+        let clients = vec![WifiClient::at_snr(snr)];
+        let out = run_wifi(&WifiConfig::default(), &clients, &flows);
+        let mut last = Instant::ZERO;
+        for p in &out[0].packets {
+            if let Some(at) = p.delivered {
+                prop_assert!(at >= p.offered, "delivered before offered");
+                prop_assert!(at >= last, "per-flow FIFO violated");
+                last = at;
+            }
+        }
+        // Conservation: delivered count <= offered count.
+        prop_assert!(out[0].delivered_downlink() <= n);
+    }
+
+    /// Goodput never exceeds the client's PHY rate.
+    #[test]
+    fn wifi_goodput_below_phy_rate(
+        snr in 10.0f64..55.0,
+        rate_mbps in 1u64..60,
+    ) {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        let gap = Duration::transmission(1400, rate_mbps * 1_000_000);
+        let n = (2.0 / gap.as_secs_f64()) as usize + 1;
+        let flows = vec![OfferedFlow {
+            key,
+            class: AppClass::Streaming,
+            client: 0,
+            packets: (0..n)
+                .map(|i| {
+                    Packet::new(Instant::ZERO + gap * i as u64, 1400, key, Direction::Downlink, i as u64)
+                })
+                .collect(),
+        }];
+        let clients = vec![WifiClient::at_snr(snr)];
+        let out = run_wifi(&WifiConfig::default(), &clients, &flows);
+        let q = out[0].downlink_qos();
+        prop_assert!(
+            q.throughput_bps <= wifi_phy_rate_bps(snr) * 1.01,
+            "goodput {} above PHY {}",
+            q.throughput_bps,
+            wifi_phy_rate_bps(snr)
+        );
+    }
+
+    /// LTE conservation and causality.
+    #[test]
+    fn lte_delivery_causality(
+        n in 10usize..300,
+        size in 100u32..1500,
+        gap_us in 100u64..5_000,
+        snr in 5.0f64..55.0,
+    ) {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
+        let flows = vec![OfferedLteFlow {
+            key,
+            class: AppClass::Conferencing,
+            ue: 0,
+            packets: cbr_packets(key, n, size, gap_us),
+        }];
+        let ues = vec![LteUe { snr_db: snr }];
+        let out = run_lte(&LteConfig::default(), &ues, &flows);
+        for p in &out[0].packets {
+            if let Some(at) = p.delivered {
+                prop_assert!(at >= p.offered);
+            }
+        }
+        prop_assert!(out[0].delivered_downlink() <= n);
+    }
+
+    /// Max-min allocation: never exceeds any demand, never exceeds
+    /// capacity, and is monotone in capacity.
+    #[test]
+    fn maxmin_properties(
+        demands in prop::collection::vec(0.0f64..10.0, 1..20),
+        cap1 in 0.0f64..20.0,
+        extra in 0.0f64..10.0,
+    ) {
+        let a1 = maxmin_allocate(&demands, cap1);
+        let a2 = maxmin_allocate(&demands, cap1 + extra);
+        let total1: f64 = a1.iter().sum();
+        prop_assert!(total1 <= cap1 + 1e-9);
+        for (i, &v) in a1.iter().enumerate() {
+            prop_assert!(v <= demands[i] + 1e-9, "alloc above demand");
+            prop_assert!(v >= 0.0);
+            // Monotone in capacity.
+            prop_assert!(a2[i] + 1e-9 >= v, "allocation shrank with more capacity");
+        }
+    }
+
+    /// Fluid WiFi: throughput never exceeds offered rate; loss and
+    /// throughput are consistent.
+    #[test]
+    fn fluid_wifi_consistency(
+        rates in prop::collection::vec(100_000.0f64..10_000_000.0, 1..30),
+    ) {
+        let flows: Vec<FluidFlow> = rates
+            .iter()
+            .map(|&r| FluidFlow::new(AppClass::Streaming, SnrLevel::High, r, 1400))
+            .collect();
+        let qos = FluidWifi::default().predict(&flows);
+        for (f, q) in flows.iter().zip(&qos) {
+            prop_assert!(q.throughput_bps <= f.offered_bps + 1e-6);
+            prop_assert!((0.0..=1.0).contains(&q.loss_ratio));
+            let reconstructed = f.offered_bps * (1.0 - q.loss_ratio);
+            prop_assert!((reconstructed - q.throughput_bps).abs() < 1.0);
+            prop_assert!(q.burst_bps + 1e-6 >= q.throughput_bps, "burst below steady rate");
+        }
+    }
+
+    /// PHY tables are monotone in SNR.
+    #[test]
+    fn phy_monotone(s1 in -5.0f64..60.0, s2 in -5.0f64..60.0) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(wifi_phy_rate_bps(lo) <= wifi_phy_rate_bps(hi));
+        prop_assert!(lte_cqi_from_snr(lo) <= lte_cqi_from_snr(hi));
+    }
+
+    /// The event queue is a stable priority queue.
+    #[test]
+    fn event_queue_stable_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Instant::from_micros(t), i);
+        }
+        let mut last_time = Instant::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, seq)) = q.next() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(seq > prev, "tie not broken by insertion order");
+                }
+            }
+            last_time = t;
+            last_seq_at_time = Some(seq);
+        }
+    }
+}

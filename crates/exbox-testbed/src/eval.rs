@@ -1,0 +1,284 @@
+//! Trace-based online evaluation (paper §5.3).
+//!
+//! Replays labelled arrival samples through an admission controller:
+//! the controller bootstraps on the first arrivals (admitting
+//! everything, learning), then every subsequent arrival is a *test* —
+//! its decision is scored against ground truth — while admitted flows
+//! keep feeding observations (the paper: "The model then learns from
+//! the flows admitted in that batch"). The output is the
+//! metric-vs-samples-fed-online series the paper plots in
+//! Figs. 7, 8, 10, 11, 13 and 14, plus the per-application confusion
+//! of Fig. 9.
+
+use exbox_core::baselines::{AdmissionController, Decision, FlowRequest};
+use exbox_ml::{BinaryMetrics, ConfusionMatrix};
+use exbox_net::AppClass;
+
+use crate::cell::nominal_demand_bps;
+use crate::samples::Sample;
+
+/// One point on the learning curve.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalPoint {
+    /// Samples fed online (scored decisions) so far.
+    pub fed: usize,
+    /// Metrics over the window since the previous point.
+    pub window: BinaryMetrics,
+    /// Metrics over everything scored so far.
+    pub cumulative: BinaryMetrics,
+}
+
+/// Full evaluation result.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Learning-curve points, one per `eval_every` scored samples.
+    pub points: Vec<EvalPoint>,
+    /// Overall confusion across the scored phase.
+    pub confusion: ConfusionMatrix,
+    /// Per-application-class confusion (Fig. 9's accuracy source).
+    pub per_class: [ConfusionMatrix; AppClass::COUNT],
+    /// Samples consumed by the bootstrap phase (not scored).
+    pub bootstrap_used: usize,
+}
+
+impl EvalReport {
+    /// Overall metrics.
+    pub fn metrics(&self) -> BinaryMetrics {
+        self.confusion.metrics()
+    }
+
+    /// Accuracy for one application class.
+    pub fn class_accuracy(&self, class: AppClass) -> f64 {
+        self.per_class[class.index()].metrics().accuracy
+    }
+}
+
+/// Replay `samples` through `controller`, scoring post-bootstrap
+/// decisions and snapshotting metrics every `eval_every` scored
+/// samples.
+///
+/// Decision protocol per sample:
+/// 1. the controller's load state is synced to the pre-arrival matrix
+///    (flows departed between samples),
+/// 2. bootstrapping controllers admit unscored and observe,
+/// 3. online controllers decide; the decision is scored against
+///    ground truth; **admitted** flows feed an observation with the
+///    *observed* label (rejected flows yield no feedback — the
+///    exploration cost of admission control).
+///
+/// # Panics
+/// Panics if `eval_every == 0`.
+pub fn evaluate_online(
+    controller: &mut dyn AdmissionController,
+    samples: &[Sample],
+    eval_every: usize,
+) -> EvalReport {
+    evaluate_online_with_demand(controller, samples, eval_every, &|class| {
+        nominal_demand_bps(class)
+    })
+}
+
+/// [`evaluate_online`] with an explicit per-class declared-demand
+/// function (the scale-up studies replay traces whose rates differ
+/// from the live-app nominals).
+///
+/// # Panics
+/// Panics if `eval_every == 0`.
+pub fn evaluate_online_with_demand(
+    controller: &mut dyn AdmissionController,
+    samples: &[Sample],
+    eval_every: usize,
+    demand: &dyn Fn(AppClass) -> f64,
+) -> EvalReport {
+    assert!(eval_every > 0, "eval_every must be positive");
+
+    let mut confusion = ConfusionMatrix::new();
+    let mut window = ConfusionMatrix::new();
+    let mut per_class: [ConfusionMatrix; AppClass::COUNT] = Default::default();
+    let mut points = Vec::new();
+    let mut fed = 0usize;
+    let mut bootstrap_used = 0usize;
+
+    for s in samples {
+        let prev = s.matrix.with_departure(s.kind);
+        controller.sync_load(&prev, &demand);
+        let req = FlowRequest {
+            kind: s.kind,
+            demand_bps: demand(s.kind.class),
+            resulting_matrix: s.matrix,
+        };
+
+        if controller.is_bootstrapping() {
+            bootstrap_used += 1;
+            controller.on_admitted(&req);
+            controller.on_observation(s.matrix, s.observed);
+            continue;
+        }
+
+        let decision = controller.decide(&req);
+        confusion.record(decision.as_label(), s.truth);
+        window.record(decision.as_label(), s.truth);
+        per_class[s.kind.class.index()].record(decision.as_label(), s.truth);
+        fed += 1;
+
+        if decision == Decision::Admit {
+            controller.on_admitted(&req);
+            controller.on_observation(s.matrix, s.observed);
+        }
+
+        if fed % eval_every == 0 {
+            points.push(EvalPoint {
+                fed,
+                window: window.metrics(),
+                cumulative: confusion.metrics(),
+            });
+            window = ConfusionMatrix::new();
+        }
+    }
+    // Flush a trailing partial window.
+    if window.total() > 0 {
+        points.push(EvalPoint {
+            fed,
+            window: window.metrics(),
+            cumulative: confusion.metrics(),
+        });
+    }
+
+    EvalReport {
+        points,
+        confusion,
+        per_class,
+        bootstrap_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellLabeler, CellModel};
+    use crate::samples::{build_samples, SnrPolicy};
+    use exbox_core::prelude::*;
+    use exbox_sim::fluid::FluidWifi;
+    use exbox_traffic::{ClassMix, RandomPattern};
+
+    fn labeler() -> CellLabeler {
+        CellLabeler::new(
+            CellModel::WifiFluid {
+                cfg: FluidWifi::default(),
+                label_noise: 0.0,
+                demands: crate::cell::default_fluid_demands(),
+            },
+            11,
+        )
+    }
+
+    fn workload_samples(n: usize, seed: u64) -> Vec<crate::samples::Sample> {
+        let mixes = RandomPattern::new(12, 30, seed).matrices(n);
+        build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None)
+    }
+
+    #[test]
+    fn exbox_beats_chance_on_random_workload() {
+        let samples = workload_samples(400, 1);
+        let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+            bootstrap_min_samples: 60,
+            ..AdmittanceConfig::default()
+        }));
+        let report = evaluate_online(&mut exbox, &samples, 50);
+        assert!(report.bootstrap_used >= 60);
+        let m = report.metrics();
+        assert!(m.accuracy > 0.7, "accuracy {}", m.accuracy);
+        assert!(m.precision > 0.7, "precision {}", m.precision);
+        assert!(!report.points.is_empty());
+    }
+
+    #[test]
+    fn maxclient_with_wrong_cap_has_poor_accuracy() {
+        let samples = workload_samples(400, 2);
+        // Cap 10 like the paper: the real fluid-cell region is tighter
+        // for streaming-heavy mixes and looser for web-heavy ones.
+        let mut mc = MaxClient::new(10);
+        let report = evaluate_online(&mut mc, &samples, 50);
+        let m = report.metrics();
+        // It decides *something* but can't match a multi-dimensional
+        // region with a single count.
+        assert!(m.accuracy < 0.95);
+        assert_eq!(report.bootstrap_used, 0, "baselines have no bootstrap");
+    }
+
+    #[test]
+    fn exbox_outperforms_baselines_in_precision() {
+        let samples = workload_samples(600, 3);
+        let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+            bootstrap_min_samples: 60,
+            ..AdmittanceConfig::default()
+        }));
+        let mut rb = RateBased::new(25_000_000.0);
+        let mut mc = MaxClient::new(10);
+        let ex_m = evaluate_online(&mut exbox, &samples, 100).metrics();
+        let rb_m = evaluate_online(&mut rb, &samples, 100).metrics();
+        let mc_m = evaluate_online(&mut mc, &samples, 100).metrics();
+        assert!(
+            ex_m.precision >= rb_m.precision - 0.05,
+            "ExBox {} vs RateBased {}",
+            ex_m.precision,
+            rb_m.precision
+        );
+        assert!(
+            ex_m.accuracy > mc_m.accuracy,
+            "ExBox {} vs MaxClient {}",
+            ex_m.accuracy,
+            mc_m.accuracy
+        );
+    }
+
+    #[test]
+    fn eval_points_track_fed_counts() {
+        let samples = workload_samples(300, 4);
+        let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+            bootstrap_min_samples: 50,
+            ..AdmittanceConfig::default()
+        }));
+        let report = evaluate_online(&mut exbox, &samples, 40);
+        for w in report.points.windows(2) {
+            assert!(w[0].fed < w[1].fed);
+        }
+        let scored: u64 = report.confusion.total();
+        assert_eq!(scored as usize + report.bootstrap_used, samples.len());
+    }
+
+    #[test]
+    fn per_class_confusion_is_populated() {
+        let samples = workload_samples(400, 5);
+        let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+            bootstrap_min_samples: 50,
+            ..AdmittanceConfig::default()
+        }));
+        let report = evaluate_online(&mut exbox, &samples, 50);
+        let total: u64 = report.per_class.iter().map(|c| c.total()).sum();
+        assert_eq!(total, report.confusion.total());
+        for class in AppClass::ALL {
+            let acc = report.class_accuracy(class);
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn empty_sample_list_yields_empty_report() {
+        let mut mc = MaxClient::new(5);
+        let report = evaluate_online(&mut mc, &[], 10);
+        assert!(report.points.is_empty());
+        assert_eq!(report.confusion.total(), 0);
+    }
+
+    #[test]
+    fn single_mix_smoke() {
+        let mixes = vec![ClassMix::new(1, 1, 1)];
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None);
+        let mut mc = MaxClient::new(5);
+        let report = evaluate_online(&mut mc, &samples, 1);
+        assert_eq!(report.confusion.total(), 3);
+        // All three arrivals fit: perfect accuracy for MaxClient here.
+        assert_eq!(report.metrics().accuracy, 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # exbox-testbed — emulated testbeds and the experiment harness
+//!
+//! The paper evaluates ExBox on a physical testbed (10 Galaxy S6
+//! phones against a hostapd laptop AP and an ip.access E-40 eNodeB
+//! with OpenEPC, §5.1) and at scale in ns-3 (§6). This crate is the
+//! harness that drives the Rust equivalents end to end:
+//!
+//! * [`cell`] — a unified "run this traffic matrix on a cell and tell
+//!   me the QoE ground truth" abstraction over the packet-level DES
+//!   (testbed-scale figures) and the fluid models (scale-up figures),
+//!   with memoisation so repeated matrices are not re-simulated.
+//! * [`training`] — the training-device methodology of §5.3: sweep a
+//!   shaped link (`tc`-style rate × latency grid), run each app,
+//!   record (QoS, QoE) pairs, and fit the per-class IQX models that
+//!   power the QoE Estimator.
+//! * [`samples`] — turn a chronological traffic-matrix workload
+//!   (Random / LiveLab) into labelled arrival samples
+//!   `(kind, matrix, Y_truth, Y_observed)`, with configurable SNR
+//!   placement (all-high for §5, random mixed for §6.3).
+//! * [`eval`] — the trace-based online evaluation loop: bootstrap,
+//!   then decide-score-learn per arrival, producing the
+//!   precision/recall/accuracy-vs-samples-fed-online curves of
+//!   Figs. 7, 8, 10, 11, 13, 14 and the per-class accuracy of Fig. 9.
+
+pub mod cell;
+pub mod eval;
+pub mod samples;
+pub mod training;
+
+pub use cell::{CellLabeler, CellModel, MatrixOutcome};
+pub use eval::{evaluate_online, EvalPoint, EvalReport};
+pub use samples::{build_samples, Sample, SnrPolicy};
+pub use training::{fit_estimator_from_sweep, run_training_sweep, TrainingSweep};

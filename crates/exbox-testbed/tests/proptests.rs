@@ -1,0 +1,123 @@
+//! Property-based tests for the testbed harness invariants.
+
+use exbox_core::matrix::{SnrLevel, TrafficMatrix};
+use exbox_core::prelude::*;
+use exbox_ml::Label;
+use exbox_sim::fluid::FluidWifi;
+use exbox_testbed::cell::{default_fluid_demands, CellLabeler, CellModel};
+use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
+use exbox_traffic::ClassMix;
+use proptest::prelude::*;
+
+fn labeler() -> CellLabeler {
+    CellLabeler::new(
+        CellModel::WifiFluid {
+            cfg: FluidWifi::default(),
+            label_noise: 0.0,
+            demands: default_fluid_demands(),
+        },
+        5,
+    )
+}
+
+fn arb_mixes() -> impl Strategy<Value = Vec<ClassMix>> {
+    prop::collection::vec((0u32..8, 0u32..8, 0u32..8), 1..25)
+        .prop_map(|v| v.into_iter().map(|(w, s, c)| ClassMix::new(w, s, c)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sample construction bookkeeping: the number of samples equals
+    /// the number of count increases across the mix walk, and every
+    /// sample's matrix total stays within the walk's bounds.
+    #[test]
+    fn sample_count_matches_arrivals(mixes in arb_mixes()) {
+        let mut expected = 0u32;
+        let mut prev = ClassMix::default();
+        for &m in &mixes {
+            expected += m.web.saturating_sub(prev.web)
+                + m.streaming.saturating_sub(prev.streaming)
+                + m.conferencing.saturating_sub(prev.conferencing);
+            prev = m;
+        }
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None);
+        prop_assert_eq!(samples.len(), expected as usize);
+        for s in &samples {
+            prop_assert!(s.matrix.total() >= 1);
+            prop_assert!(s.matrix.total() <= 24, "matrix grew past the walk bound");
+        }
+    }
+
+    /// The running matrix in samples is consistent: each sample's
+    /// matrix contains the arriving kind.
+    #[test]
+    fn sample_matrix_contains_arrival(mixes in arb_mixes()) {
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None);
+        for s in &samples {
+            prop_assert!(s.matrix.count(s.kind) >= 1, "arrival missing from matrix");
+        }
+    }
+
+    /// Without an estimator, observed labels equal ground truth.
+    #[test]
+    fn observed_equals_truth_without_estimator(mixes in arb_mixes()) {
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None);
+        for s in &samples {
+            prop_assert_eq!(s.observed, s.truth);
+        }
+    }
+
+    /// Evaluation accounting: scored + bootstrap = total samples, and
+    /// a no-bootstrap controller is scored on everything.
+    #[test]
+    fn evaluation_accounting(mixes in arb_mixes(), cap in 1u32..20) {
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None);
+        let mut mc = MaxClient::new(cap);
+        let report = evaluate_online(&mut mc, &samples, 10);
+        prop_assert_eq!(report.bootstrap_used, 0);
+        prop_assert_eq!(report.confusion.total() as usize, samples.len());
+        let per_class_total: u64 = report.per_class.iter().map(|c| c.total()).sum();
+        prop_assert_eq!(per_class_total, report.confusion.total());
+    }
+
+    /// An oracle controller (decides from the sample truth) would be
+    /// perfect — sanity for the scoring logic itself. We emulate one
+    /// by replaying with MaxClient(u32::MAX) on all-Pos workloads.
+    #[test]
+    fn scoring_is_vacuously_perfect_on_admit_all_pos(n in 1u32..6) {
+        let mixes = vec![ClassMix::new(n, 0, 0)];
+        let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler(), None);
+        prop_assume!(samples.iter().all(|s| s.truth == Label::Pos));
+        let mut mc = MaxClient::new(u32::MAX);
+        let report = evaluate_online(&mut mc, &samples, 5);
+        prop_assert_eq!(report.metrics().accuracy, 1.0);
+    }
+
+    /// Empty-matrix edge: labelling the empty matrix is always Pos.
+    #[test]
+    fn empty_matrix_always_achievable(seed in any::<u64>()) {
+        let mut lab = CellLabeler::new(
+            CellModel::WifiFluid {
+                cfg: FluidWifi::default(),
+                label_noise: 0.2,
+                demands: default_fluid_demands(),
+            },
+            seed,
+        );
+        prop_assert_eq!(lab.label(&TrafficMatrix::empty()).truth, Label::Pos);
+    }
+
+    /// Mixed-SNR policy only ever emits the two valid levels and
+    /// respects determinism per seed.
+    #[test]
+    fn snr_policy_deterministic(mixes in arb_mixes(), seed in any::<u64>(), p in 0.0f64..1.0) {
+        let a = build_samples(&mixes, SnrPolicy::RandomMix { p_low: p, seed }, &mut labeler(), None);
+        let b = build_samples(&mixes, SnrPolicy::RandomMix { p_low: p, seed }, &mut labeler(), None);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert!(matches!(x.kind.snr, SnrLevel::Low | SnrLevel::High));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Video-conferencing traffic model.
+//!
+//! Mirrors the paper's Video Conferencing App (§5.2): a Google
+//! Hangouts call whose far end plays a prerecorded clip through a
+//! virtual camera; the paper's ns-3 study replays "one-way video
+//! conferencing traffic" from a Skype capture (§6.2). The model is a
+//! real-time codec: fixed frame cadence (≈30 fps), frame sizes that
+//! jitter around the target bitrate with occasional large key-frames,
+//! each frame packetised at the MTU.
+//!
+//! QoE metric downstream: *PSNR* of the received video — driven by
+//! loss and delay of the frame stream.
+
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet};
+
+use crate::dist::Rng;
+use crate::TrafficModel;
+
+/// Configuration for [`ConferencingModel`]. Defaults approximate a
+/// 720p Hangouts/Skype call: 30 fps at ≈1.5 Mbps with key-frames
+/// every ≈3 s.
+#[derive(Debug, Clone)]
+pub struct ConferencingModel {
+    /// Target video bitrate, bits/s.
+    pub bitrate_bps: f64,
+    /// Frame rate, frames/s.
+    pub fps: f64,
+    /// Relative jitter of frame sizes (std/mean).
+    pub frame_jitter: f64,
+    /// Key-frame interval in frames (key-frames are ~3× larger).
+    pub keyframe_interval: u32,
+    /// Downlink packet size bound.
+    pub mtu: u32,
+    /// Uplink audio/control packet size.
+    pub control_bytes: u32,
+    /// Uplink control cadence.
+    pub control_interval: Duration,
+}
+
+impl Default for ConferencingModel {
+    fn default() -> Self {
+        ConferencingModel {
+            bitrate_bps: 1_500_000.0,
+            fps: 30.0,
+            frame_jitter: 0.25,
+            keyframe_interval: 90,
+            mtu: 1200,
+            control_bytes: 160,
+            control_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ConferencingModel {
+    /// Mean frame size in bytes implied by bitrate and fps,
+    /// accounting for key-frame inflation so the long-run rate still
+    /// matches `bitrate_bps`.
+    pub fn mean_frame_bytes(&self) -> f64 {
+        // Per keyframe_interval frames: (interval-1) normal + 1 triple.
+        let k = self.keyframe_interval as f64;
+        let inflation = (k - 1.0 + 3.0) / k;
+        self.bitrate_bps / 8.0 / self.fps / inflation
+    }
+}
+
+impl TrafficModel for ConferencingModel {
+    fn app_class(&self) -> AppClass {
+        AppClass::Conferencing
+    }
+
+    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet> {
+        let mut rng = Rng::new(seed).derive(0xC0F);
+        let end = start + duration;
+        let frame_period = Duration::from_secs_f64(1.0 / self.fps);
+        let base_frame = self.mean_frame_bytes();
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut t = start;
+        let mut frame_no = 0u32;
+        let mut next_control = start;
+
+        while t < end {
+            // Downlink video frame.
+            let key = frame_no % self.keyframe_interval == 0;
+            let scale = if key { 3.0 } else { 1.0 };
+            let size_f = rng
+                .normal(base_frame * scale, base_frame * scale * self.frame_jitter)
+                .max(200.0);
+            let mut remaining = size_f as u64;
+            // Packets of one frame leave back-to-back (codec flush).
+            let mut pkt_t = t;
+            while remaining > 0 && pkt_t < end {
+                let size = remaining.min(self.mtu as u64) as u32;
+                out.push(Packet::new(pkt_t, size, flow, Direction::Downlink, seq));
+                seq += 1;
+                remaining -= size as u64;
+                pkt_t += Duration::from_micros(120); // pacing within frame
+            }
+
+            // Uplink control/audio at its own cadence.
+            while next_control <= t {
+                out.push(Packet::new(
+                    next_control,
+                    self.control_bytes,
+                    flow,
+                    Direction::Uplink,
+                    seq,
+                ));
+                seq += 1;
+                next_control += self.control_interval;
+            }
+
+            frame_no += 1;
+            // Small cadence jitter (clock drift, encoder load).
+            let jitter = rng.uniform_range(-0.1, 0.1);
+            t += Duration::from_secs_f64(frame_period.as_secs_f64() * (1.0 + jitter));
+        }
+        out.sort_by_key(|p| (p.timestamp, p.seq));
+        out
+    }
+
+    fn nominal_rate_bps(&self) -> f64 {
+        self.bitrate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::downlink_rate_bps;
+    use exbox_net::Protocol;
+
+    fn key() -> FlowKey {
+        FlowKey::synthetic(3, 3, 3, Protocol::Udp)
+    }
+
+    fn gen(secs: u64, seed: u64) -> Vec<Packet> {
+        ConferencingModel::default().generate(key(), Instant::ZERO, Duration::from_secs(secs), seed)
+    }
+
+    #[test]
+    fn long_run_rate_matches_bitrate() {
+        let pkts = gen(60, 1);
+        let rate = downlink_rate_bps(&pkts);
+        assert!(
+            (1_200_000.0..1_900_000.0).contains(&rate),
+            "long-run rate {rate}"
+        );
+    }
+
+    #[test]
+    fn frame_cadence_is_steady() {
+        let pkts = gen(10, 2);
+        // Count distinct frame start times (> 2 ms gaps).
+        let downs: Vec<Instant> = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink)
+            .map(|p| p.timestamp)
+            .collect();
+        let mut frames = 1;
+        for w in downs.windows(2) {
+            if w[1].saturating_since(w[0]) > Duration::from_millis(2) {
+                frames += 1;
+            }
+        }
+        // ~30 fps over 10 s => ~300 frames.
+        assert!((250..=350).contains(&frames), "frame count {frames}");
+    }
+
+    #[test]
+    fn keyframes_are_larger() {
+        // Frame 0 is a key-frame; frames 1.. are deltas. Compare byte
+        // volume of the first frame vs the second.
+        let pkts = gen(1, 3);
+        let mut frame_bytes = vec![0u64; 2];
+        let mut frame_idx = 0usize;
+        let mut last_t = None;
+        for p in pkts.iter().filter(|p| p.direction == Direction::Downlink) {
+            if let Some(prev) = last_t {
+                if p.timestamp.saturating_since(prev) > Duration::from_millis(2) {
+                    frame_idx += 1;
+                    if frame_idx >= 2 {
+                        break;
+                    }
+                }
+            }
+            frame_bytes[frame_idx] += p.size as u64;
+            last_t = Some(p.timestamp);
+        }
+        assert!(
+            frame_bytes[0] > frame_bytes[1] * 2,
+            "keyframe {} vs delta {}",
+            frame_bytes[0],
+            frame_bytes[1]
+        );
+    }
+
+    #[test]
+    fn has_uplink_control_stream() {
+        let pkts = gen(10, 4);
+        let ups = pkts.iter().filter(|p| p.direction == Direction::Uplink).count();
+        // 100 ms cadence over 10 s => ~100 control packets.
+        assert!((80..=120).contains(&ups), "control packets {ups}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen(5, 7), gen(5, 7));
+        assert_ne!(gen(5, 7), gen(5, 8));
+    }
+
+    #[test]
+    fn sorted_and_mtu_bounded() {
+        let pkts = gen(5, 5);
+        for w in pkts.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert!(pkts.iter().all(|p| p.size <= 1200));
+    }
+
+    #[test]
+    fn mean_frame_accounts_for_keyframes() {
+        let m = ConferencingModel::default();
+        // 1.5 Mbps / 8 / 30 fps = 6250 B raw; inflation 92/90 shrinks it.
+        let f = m.mean_frame_bytes();
+        assert!(f < 6250.0 && f > 5000.0, "mean frame {f}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Deterministic random samplers.
+//!
+//! The traffic models need a handful of classic distributions —
+//! exponential inter-arrivals, log-normal object sizes, Pareto page
+//! weights, Zipf app popularity. Implemented here over a seedable
+//! xorshift64* core so the whole workload layer stays deterministic
+//! and dependency-free.
+
+/// Seedable PRNG with convenience samplers.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create from a seed (zero is remapped to a non-zero constant).
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Derive an independent stream: useful to give each flow its own
+    /// RNG from a (workload seed, flow id) pair without correlation.
+    pub fn derive(&self, stream: u64) -> Rng {
+        // SplitMix64 over the XOR of state and stream id.
+        let mut z = self.state ^ stream.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng::new(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid range");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform integer in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential sample with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    /// Panics unless `mean` is positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        let u = 1.0 - self.uniform(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal sample (Box–Muller; one value per call).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal sample parameterised by the *underlying* normal's
+    /// `mu` and `sigma` (so the median is `e^mu`).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Bounded Pareto sample with shape `alpha` on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 0` and `0 < lo < hi`.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(0.0 < lo && lo < hi, "need 0 < lo < hi");
+        let u = self.uniform();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la))
+            .powf(-1.0 / alpha)
+    }
+
+    /// Zipf-distributed rank in `0..n` with exponent `s` (rank 0 most
+    /// popular). Linear scan of the normalised CDF — fine for the
+    /// small `n` (app catalogues) used here.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut u = self.uniform() * norm;
+        for k in 1..=n {
+            u -= 1.0 / (k as f64).powf(s);
+            if u <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let base = Rng::new(42);
+        let mut a = base.derive(1);
+        let mut b = base.derive(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut r = Rng::new(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| r.uniform()).collect();
+        assert!(samples.iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert!((mean_of(&samples) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = Rng::new(9);
+        let samples: Vec<f64> = (0..30_000).map(|_| r.exponential(4.0)).collect();
+        assert!((mean_of(&samples) - 4.0).abs() < 0.15);
+        assert!(samples.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng::new(11);
+        let samples: Vec<f64> = (0..30_000).map(|_| r.normal(3.0, 2.0)).collect();
+        let m = mean_of(&samples);
+        let var = samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / samples.len() as f64;
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = Rng::new(13);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| r.log_normal(1.0, 0.5)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut r = Rng::new(17);
+        for _ in 0..5_000 {
+            let v = r.bounded_pareto(1.2, 10.0, 1000.0);
+            assert!((10.0..=1000.0).contains(&v), "out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let mut r = Rng::new(19);
+        let samples: Vec<f64> = (0..20_000).map(|_| r.bounded_pareto(1.2, 10.0, 1e6)).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        // Heavy tail: mean far above median.
+        assert!(mean_of(&samples) > 2.0 * median);
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let mut r = Rng::new(23);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[r.zipf(5, 1.0)] += 1;
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "zipf counts not monotone: {counts:?}");
+        }
+        // Rank 0 should have roughly 1/H_5 ≈ 0.438 of the mass.
+        let frac = counts[0] as f64 / 20_000.0;
+        assert!((frac - 0.438).abs() < 0.03, "rank-0 share {frac}");
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = Rng::new(29);
+        let hits = (0..20_000).filter(|_| r.chance(0.3)).count();
+        let p = hits as f64 / 20_000.0;
+        assert!((p - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Rng::new(0);
+        // Would stay 0 forever if unmapped.
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! # exbox-traffic — application workloads for ExBox
+//!
+//! The paper drives its testbeds and ns-3 simulations with three
+//! application classes whose QoE depends on different network
+//! attributes (§5.2), using recorded packet traces of Skype, YouTube
+//! and the BBC homepage replayed through `tcpreplay` (§6.2), plus two
+//! flow-arrival patterns: fully `Random` and the Rice LiveLab usage
+//! dataset. None of those artifacts are redistributable, so this crate
+//! rebuilds each as a parameterised synthetic equivalent (substitution
+//! table in `DESIGN.md`):
+//!
+//! * [`web`] — page-load sessions: uplink requests, bursty multi-object
+//!   downlink responses (BBC-like, ≈1–2 MB pages).
+//! * [`streaming`] — YouTube-HD-like: an aggressive startup burst that
+//!   fills the playout buffer, then periodic chunk downloads.
+//! * [`conferencing`] — Skype/Hangouts-like: ≈30 fps frames at a
+//!   steady ≈1.5 Mbps with jitter.
+//! * [`dist`] — the deterministic samplers (exponential, log-normal,
+//!   Pareto, Zipf) the models draw from.
+//! * [`workload`] — flow-population generators: the paper's `Random`
+//!   scheme and a synthetic LiveLab-like scheme (34 users, diurnal
+//!   sessions, chronologically ordered traffic matrices with heavy
+//!   repetition).
+//! * [`merge`] — `tcpreplay`-style merging of per-flow traces into a
+//!   single chronological gateway trace.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod conferencing;
+pub mod dist;
+pub mod merge;
+pub mod streaming;
+pub mod web;
+pub mod workload;
+
+pub use conferencing::ConferencingModel;
+pub use merge::merge_traces;
+pub use streaming::StreamingModel;
+pub use web::WebModel;
+pub use workload::{ClassMix, LiveLabGenerator, RandomPattern, WorkloadEvent};
+
+use exbox_net::{AppClass, Duration, FlowKey, Instant, Packet};
+
+/// A packet-level application traffic model.
+///
+/// Implementations generate the *offered* downlink/uplink load of one
+/// flow — what the server and client would send onto an unconstrained
+/// network. The wireless simulator then subjects this load to
+/// contention, queueing and loss.
+pub trait TrafficModel {
+    /// The application class this model emulates.
+    fn app_class(&self) -> AppClass;
+
+    /// Generate the packets of one flow.
+    ///
+    /// * `flow` — the 5-tuple to stamp on every packet.
+    /// * `start` — flow start time.
+    /// * `duration` — how long the application stays active.
+    /// * `seed` — RNG seed; equal seeds give identical traces.
+    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet>;
+
+    /// Long-run average offered downlink rate in bits/s, used by the
+    /// `RateBased` baseline controller as the flow's declared demand
+    /// `c_f` (paper §5.3).
+    fn nominal_rate_bps(&self) -> f64;
+}
+
+/// Compute the mean downlink rate of a generated trace in bits/s
+/// (testing/calibration helper).
+pub fn downlink_rate_bps(packets: &[Packet]) -> f64 {
+    use exbox_net::Direction;
+    let down: Vec<&Packet> = packets
+        .iter()
+        .filter(|p| p.direction == Direction::Downlink)
+        .collect();
+    if down.len() < 2 {
+        return 0.0;
+    }
+    let first = down.iter().map(|p| p.timestamp).min().expect("non-empty");
+    let last = down.iter().map(|p| p.timestamp).max().expect("non-empty");
+    let span = last.saturating_since(first).as_secs_f64();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let bytes: u64 = down.iter().map(|p| p.size as u64).sum();
+    bytes as f64 * 8.0 / span
+}

@@ -1,0 +1,230 @@
+//! Video-streaming traffic model.
+//!
+//! Mirrors the paper's Video Streaming App (§5.2): a YouTube player
+//! repeatedly playing a ≈2-minute HD (720p) clip. The paper observes
+//! that "most of the content is downloaded during the initial
+//! start-up delay period" — so the model is a large startup burst
+//! (playout-buffer fill) offered as fast as the server can push,
+//! followed by periodic steady-state chunk downloads at the media
+//! bitrate.
+//!
+//! QoE metric downstream: *startup delay* — time until the buffer-fill
+//! bytes have arrived at the client.
+
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet};
+
+use crate::dist::Rng;
+use crate::TrafficModel;
+
+/// Configuration for [`StreamingModel`]. Defaults approximate a 720p
+/// stream: ≈2.5 Mbps media bitrate, 8 s of media buffered at startup,
+/// 5 s chunks thereafter.
+#[derive(Debug, Clone)]
+pub struct StreamingModel {
+    /// Media bitrate in bits/s (HD ≈ 2.5 Mbps).
+    pub media_bitrate_bps: f64,
+    /// Seconds of media pre-buffered during startup.
+    pub startup_media_secs: f64,
+    /// Seconds of media per steady-state chunk.
+    pub chunk_media_secs: f64,
+    /// Offered burst rate of the CDN server, bits/s.
+    pub burst_rate_bps: f64,
+    /// Downlink packet size.
+    pub mtu: u32,
+    /// Uplink request size (range requests / ACK clusters).
+    pub request_bytes: u32,
+}
+
+impl Default for StreamingModel {
+    fn default() -> Self {
+        StreamingModel {
+            media_bitrate_bps: 2_500_000.0,
+            startup_media_secs: 8.0,
+            chunk_media_secs: 5.0,
+            burst_rate_bps: 40_000_000.0,
+            mtu: 1400,
+            request_bytes: 200,
+        }
+    }
+}
+
+impl StreamingModel {
+    /// Bytes in the startup burst.
+    pub fn startup_bytes(&self) -> u64 {
+        (self.media_bitrate_bps * self.startup_media_secs / 8.0) as u64
+    }
+
+    /// Bytes per steady-state chunk.
+    pub fn chunk_bytes(&self) -> u64 {
+        (self.media_bitrate_bps * self.chunk_media_secs / 8.0) as u64
+    }
+
+    /// Emit one download burst of `bytes` starting at `t`, returning
+    /// the time the last packet was offered.
+    fn burst(
+        &self,
+        out: &mut Vec<Packet>,
+        flow: FlowKey,
+        mut t: Instant,
+        end: Instant,
+        bytes: u64,
+        seq: &mut u64,
+    ) -> Instant {
+        let mut remaining = bytes;
+        while remaining > 0 && t < end {
+            let size = remaining.min(self.mtu as u64) as u32;
+            out.push(Packet::new(t, size, flow, Direction::Downlink, *seq));
+            *seq += 1;
+            remaining -= size as u64;
+            t += Duration::transmission(size as u64, self.burst_rate_bps as u64);
+        }
+        t
+    }
+}
+
+impl TrafficModel for StreamingModel {
+    fn app_class(&self) -> AppClass {
+        AppClass::Streaming
+    }
+
+    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet> {
+        let mut rng = Rng::new(seed).derive(0x57E4);
+        let end = start + duration;
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+
+        // Player requests the manifest + first ranges.
+        out.push(Packet::new(start, self.request_bytes, flow, Direction::Uplink, seq));
+        seq += 1;
+
+        // Startup burst: buffer fill at server speed.
+        let t = self.burst(
+            &mut out,
+            flow,
+            start + Duration::from_millis(30),
+            end,
+            self.startup_bytes(),
+            &mut seq,
+        );
+
+        // Steady state: one chunk per chunk_media_secs, keeping the
+        // buffer level. Chunk request times jitter slightly as a real
+        // rate-adaptive player's do.
+        let mut media_clock = t;
+        while media_clock < end {
+            let jitter = rng.uniform_range(-0.2, 0.2);
+            media_clock += Duration::from_secs_f64((self.chunk_media_secs + jitter).max(0.5));
+            if media_clock >= end {
+                break;
+            }
+            out.push(Packet::new(
+                media_clock,
+                self.request_bytes,
+                flow,
+                Direction::Uplink,
+                seq,
+            ));
+            seq += 1;
+            self.burst(&mut out, flow, media_clock, end, self.chunk_bytes(), &mut seq);
+        }
+        out.sort_by_key(|p| (p.timestamp, p.seq));
+        out
+    }
+
+    fn nominal_rate_bps(&self) -> f64 {
+        self.media_bitrate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::downlink_rate_bps;
+    use exbox_net::Protocol;
+
+    fn key() -> FlowKey {
+        FlowKey::synthetic(2, 2, 2, Protocol::Tcp)
+    }
+
+    fn gen(secs: u64, seed: u64) -> Vec<Packet> {
+        StreamingModel::default().generate(key(), Instant::ZERO, Duration::from_secs(secs), seed)
+    }
+
+    #[test]
+    fn startup_burst_precedes_steady_state() {
+        let m = StreamingModel::default();
+        let pkts = gen(60, 1);
+        // All startup bytes offered within the first second (burst at
+        // 40 Mbps for 2.5 MB takes ~0.5 s).
+        let early_bytes: u64 = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink)
+            .filter(|p| p.timestamp < Instant::from_secs(1))
+            .map(|p| p.size as u64)
+            .sum();
+        assert!(
+            early_bytes >= m.startup_bytes() * 9 / 10,
+            "startup burst missing: {early_bytes} of {}",
+            m.startup_bytes()
+        );
+    }
+
+    #[test]
+    fn long_run_rate_approximates_media_bitrate() {
+        let pkts = gen(120, 2);
+        let rate = downlink_rate_bps(&pkts);
+        // Startup burst inflates it slightly above media bitrate.
+        assert!(
+            (2_000_000.0..5_000_000.0).contains(&rate),
+            "long-run rate {rate}"
+        );
+    }
+
+    #[test]
+    fn chunks_arrive_periodically() {
+        let pkts = gen(60, 3);
+        let requests: Vec<Instant> = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink)
+            .map(|p| p.timestamp)
+            .collect();
+        // 60 s at ~5 s chunks => about 10-12 requests.
+        assert!(
+            (8..=16).contains(&requests.len()),
+            "request count {}",
+            requests.len()
+        );
+    }
+
+    #[test]
+    fn sorted_and_bounded() {
+        let pkts = gen(30, 4);
+        for w in pkts.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert!(pkts.iter().all(|p| p.timestamp < Instant::from_secs(30)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen(20, 9), gen(20, 9));
+        assert_ne!(gen(20, 9), gen(20, 10));
+    }
+
+    #[test]
+    fn helper_byte_counts() {
+        let m = StreamingModel::default();
+        assert_eq!(m.startup_bytes(), 2_500_000);
+        assert_eq!(m.chunk_bytes(), 1_562_500);
+        assert_eq!(m.app_class(), AppClass::Streaming);
+        assert_eq!(m.nominal_rate_bps(), 2_500_000.0);
+    }
+
+    #[test]
+    fn short_flow_is_truncated_cleanly() {
+        // 1-second flow: only part of the startup burst fits.
+        let pkts = gen(1, 5);
+        assert!(!pkts.is_empty());
+        assert!(pkts.iter().all(|p| p.timestamp < Instant::from_secs(1)));
+    }
+}

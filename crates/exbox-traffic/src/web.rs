@@ -1,0 +1,216 @@
+//! Web-browsing traffic model.
+//!
+//! Mirrors the paper's Web Browsing App (§5.2): a client that
+//! "continually loads a specific sequence of webpages" of similar
+//! size (mobile Amazon/BBC/YouTube homepages), clearing the cache
+//! between loads. Each page load is: an uplink GET, then a burst of
+//! downlink objects (HTML, CSS, images) whose sizes are log-normal,
+//! followed by client think time before the next page.
+//!
+//! QoE metric downstream: *page load time* — how long the burst takes
+//! to fully arrive at the client once subjected to the network.
+
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet};
+
+use crate::dist::Rng;
+use crate::TrafficModel;
+
+/// Configuration for [`WebModel`]. Defaults approximate a ≈1.5 MB
+/// mobile news page of ≈30 objects loaded every ≈8 s.
+#[derive(Debug, Clone)]
+pub struct WebModel {
+    /// Mean total page weight in bytes.
+    pub page_bytes_mean: f64,
+    /// Log-normal sigma of per-object sizes (spread of object sizes).
+    pub object_size_sigma: f64,
+    /// Mean number of objects per page.
+    pub objects_per_page: usize,
+    /// MTU-bounded downlink packet size.
+    pub mtu: u32,
+    /// Uplink request size in bytes.
+    pub request_bytes: u32,
+    /// Mean think time between page loads.
+    pub think_time: Duration,
+    /// Gap between consecutive objects within a page (browser request
+    /// pipelining grain).
+    pub object_gap: Duration,
+    /// Offered burst rate while a page downloads, bits/s (server +
+    /// backbone speed; the wireless hop will be the bottleneck).
+    pub burst_rate_bps: f64,
+}
+
+impl Default for WebModel {
+    fn default() -> Self {
+        WebModel {
+            page_bytes_mean: 1_500_000.0,
+            object_size_sigma: 0.8,
+            objects_per_page: 30,
+            mtu: 1400,
+            request_bytes: 350,
+            think_time: Duration::from_secs(8),
+            object_gap: Duration::from_millis(5),
+            burst_rate_bps: 40_000_000.0,
+        }
+    }
+}
+
+impl TrafficModel for WebModel {
+    fn app_class(&self) -> AppClass {
+        AppClass::Web
+    }
+
+    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet> {
+        let mut rng = Rng::new(seed).derive(0x3EB);
+        let end = start + duration;
+        let mut t = start;
+        let mut seq = 0u64;
+        let mut out = Vec::new();
+        let mean_object = self.page_bytes_mean / self.objects_per_page as f64;
+        // Log-normal mu chosen so the object-size *mean* matches:
+        // E[LN(mu, s)] = e^{mu + s²/2}.
+        let mu = mean_object.ln() - self.object_size_sigma * self.object_size_sigma / 2.0;
+
+        while t < end {
+            // Uplink GET for the page itself.
+            out.push(Packet::new(t, self.request_bytes, flow, Direction::Uplink, seq));
+            seq += 1;
+            // Server response: a burst of objects, each preceded by
+            // its own uplink GET (browsers request objects as the
+            // HTML parser discovers them).
+            let mut obj_t = t + Duration::from_millis(20); // server RTT
+            for obj in 0..self.objects_per_page {
+                if obj_t >= end {
+                    break;
+                }
+                if obj > 0 {
+                    out.push(Packet::new(
+                        obj_t,
+                        self.request_bytes,
+                        flow,
+                        Direction::Uplink,
+                        seq,
+                    ));
+                    seq += 1;
+                    obj_t += Duration::from_millis(3); // request RTT share
+                    if obj_t >= end {
+                        break;
+                    }
+                }
+                let obj_bytes = rng.log_normal(mu, self.object_size_sigma).max(200.0) as u64;
+                let mut remaining = obj_bytes;
+                while remaining > 0 {
+                    let size = remaining.min(self.mtu as u64) as u32;
+                    out.push(Packet::new(obj_t, size, flow, Direction::Downlink, seq));
+                    seq += 1;
+                    remaining -= size as u64;
+                    obj_t += Duration::transmission(size as u64, self.burst_rate_bps as u64);
+                    if obj_t >= end {
+                        break;
+                    }
+                }
+                obj_t += self.object_gap;
+            }
+            // Think, then load the next page.
+            let think = rng.exponential(self.think_time.as_secs_f64());
+            t = obj_t + Duration::from_secs_f64(think);
+        }
+        out
+    }
+
+    fn nominal_rate_bps(&self) -> f64 {
+        // Average over the load/think cycle: one page per
+        // (download + think) period. Download time is dominated by the
+        // wireless hop in practice; for the declared demand we use the
+        // long-run mean, matching how rate-based admission products
+        // provision web traffic.
+        let cycle = self.think_time.as_secs_f64() + 1.0;
+        self.page_bytes_mean * 8.0 / cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exbox_net::Protocol;
+
+    fn key() -> FlowKey {
+        FlowKey::synthetic(1, 1, 1, Protocol::Tcp)
+    }
+
+    fn gen(duration_s: u64, seed: u64) -> Vec<Packet> {
+        WebModel::default().generate(key(), Instant::ZERO, Duration::from_secs(duration_s), seed)
+    }
+
+    #[test]
+    fn produces_pages_with_requests_and_responses() {
+        let pkts = gen(30, 1);
+        let ups = pkts.iter().filter(|p| p.direction == Direction::Uplink).count();
+        let downs = pkts.iter().filter(|p| p.direction == Direction::Downlink).count();
+        assert!(ups >= 2, "expected multiple page requests, got {ups}");
+        assert!(downs > 100, "expected many response packets, got {downs}");
+    }
+
+    #[test]
+    fn page_weight_in_expected_range() {
+        // Count pages by think-time gaps (>= 1 s of uplink silence).
+        let pkts = gen(300, 2);
+        let ups: Vec<Instant> = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink)
+            .map(|p| p.timestamp)
+            .collect();
+        let mut pages = 1usize;
+        for w in ups.windows(2) {
+            if w[1].saturating_since(w[0]) >= Duration::from_secs(1) {
+                pages += 1;
+            }
+        }
+        let down_bytes: u64 = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink)
+            .map(|p| p.size as u64)
+            .sum();
+        let per_page = down_bytes as f64 / pages as f64;
+        // Mean page ≈1.5 MB; log-normal spread means wide tolerance.
+        assert!(
+            (500_000.0..4_000_000.0).contains(&per_page),
+            "page weight {per_page} over {pages} pages"
+        );
+    }
+
+    #[test]
+    fn timestamps_within_bounds_and_sorted() {
+        let pkts = gen(20, 3);
+        let end = Instant::from_secs(20);
+        for w in pkts.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp, "unsorted");
+        }
+        assert!(pkts.iter().all(|p| p.timestamp < end));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen(10, 7), gen(10, 7));
+        assert_ne!(gen(10, 7), gen(10, 8));
+    }
+
+    #[test]
+    fn packets_respect_mtu() {
+        let pkts = gen(20, 4);
+        assert!(pkts.iter().all(|p| p.size <= 1400));
+    }
+
+    #[test]
+    fn seq_numbers_strictly_increase() {
+        let pkts = gen(10, 5);
+        for w in pkts.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+    }
+
+    #[test]
+    fn app_class_is_web() {
+        assert_eq!(WebModel::default().app_class(), AppClass::Web);
+        assert!(WebModel::default().nominal_rate_bps() > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the traffic generators and workloads.
+
+use exbox_net::{Duration, FlowKey, Instant, Protocol};
+use exbox_traffic::{
+    merge_traces, ConferencingModel, LiveLabGenerator, RandomPattern, StreamingModel,
+    TrafficModel, WebModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generator produces a time-sorted, bounded, deterministic
+    /// trace whose packets all carry the requested flow key.
+    #[test]
+    fn generators_produce_wellformed_traces(
+        secs in 1u64..20,
+        seed in any::<u64>(),
+        which in 0usize..3,
+    ) {
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        let duration = Duration::from_secs(secs);
+        let gen = |sd| -> Vec<exbox_net::Packet> {
+            match which {
+                0 => WebModel::default().generate(key, Instant::ZERO, duration, sd),
+                1 => StreamingModel::default().generate(key, Instant::ZERO, duration, sd),
+                _ => ConferencingModel::default().generate(key, Instant::ZERO, duration, sd),
+            }
+        };
+        let pkts = gen(seed);
+        prop_assert!(!pkts.is_empty());
+        for w in pkts.windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp, "unsorted trace");
+        }
+        for p in &pkts {
+            prop_assert!(p.timestamp < Instant::ZERO + duration, "packet past end");
+            prop_assert_eq!(p.flow, key);
+            prop_assert!(p.size > 0 && p.size <= 1500);
+        }
+        prop_assert_eq!(&gen(seed), &pkts, "non-deterministic");
+    }
+
+    /// Start offsets shift traces rigidly.
+    #[test]
+    fn start_offset_shifts_trace(offset_ms in 0u64..10_000, seed in any::<u64>()) {
+        let key = FlowKey::synthetic(2, 2, 2, Protocol::Udp);
+        let d = Duration::from_secs(3);
+        let base = ConferencingModel::default().generate(key, Instant::ZERO, d, seed);
+        let moved = ConferencingModel::default().generate(
+            key,
+            Instant::from_millis(offset_ms),
+            d,
+            seed,
+        );
+        prop_assert_eq!(base.len(), moved.len());
+        for (a, b) in base.iter().zip(&moved) {
+            prop_assert_eq!(
+                b.timestamp.as_nanos() - a.timestamp.as_nanos(),
+                offset_ms * 1_000_000
+            );
+            prop_assert_eq!(a.size, b.size);
+        }
+    }
+
+    /// merge_traces output is sorted and preserves every packet.
+    #[test]
+    fn merge_is_sorted_and_lossless(
+        n_flows in 1usize..6,
+        secs in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut traces = Vec::new();
+        let mut total = 0;
+        for i in 0..n_flows {
+            let key = FlowKey::synthetic(i as u32 + 1, i as u32 + 1, 1, Protocol::Udp);
+            let t = ConferencingModel::default().generate(
+                key,
+                Instant::ZERO,
+                Duration::from_secs(secs),
+                seed ^ i as u64,
+            );
+            total += t.len();
+            traces.push(t);
+        }
+        let merged = merge_traces(traces);
+        prop_assert_eq!(merged.len(), total);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    /// RandomPattern respects its caps for any parameters.
+    #[test]
+    fn random_pattern_caps(per_class in 1u32..20, extra in 0u32..30, n in 1usize..100, seed in any::<u64>()) {
+        let max_total = per_class + extra;
+        let ms = RandomPattern::new(per_class, max_total, seed).matrices(n);
+        prop_assert_eq!(ms.len(), n);
+        for m in &ms {
+            prop_assert!(m.total() >= 1 && m.total() <= max_total);
+            prop_assert!(m.web <= per_class && m.streaming <= per_class && m.conferencing <= per_class);
+        }
+    }
+
+    /// LiveLab counts never go negative and arrivals equal departures
+    /// for any activity level.
+    #[test]
+    fn livelab_balance(sessions in 1.0f64..40.0, scale in 0.5f64..4.0, seed in any::<u64>()) {
+        let g = LiveLabGenerator {
+            users: 10,
+            days: 1,
+            sessions_per_user_day: sessions,
+            session_length_scale: scale,
+            seed,
+        };
+        let evs = g.events();
+        let arrivals = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, exbox_traffic::WorkloadEvent::Arrival(_)))
+            .count();
+        prop_assert_eq!(arrivals * 2, evs.len());
+        // Matrices never underflow (u32 saturation would show as huge).
+        for m in g.matrices() {
+            prop_assert!(m.total() < 10_000);
+        }
+    }
+}

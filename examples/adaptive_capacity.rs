@@ -1,0 +1,74 @@
+//! Online adaptation to a changing network (paper §4.3, Fig. 11).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_capacity
+//! ```
+//!
+//! The cell is throttled mid-run (a 200 ms / 15 Mbps shaped backhaul,
+//! like `tc netem` on the gateway). ExBox's precision collapses
+//! immediately after the change — its learnt region is stale — then
+//! recovers as batch updates replace the stale labels, while the
+//! rate-based baseline never notices that the world changed.
+
+use exbox::prelude::*;
+use exbox::sim::wifi::{Backhaul, WifiConfig};
+use exbox::testbed::cell::{AppModelSet, CellLabeler, CellModel};
+
+fn wifi_cell(backhaul: Backhaul, seed: u64) -> CellLabeler {
+    CellLabeler::new(
+        CellModel::WifiDes {
+            cfg: WifiConfig {
+                per_tx_overhead: Duration::from_micros(450),
+                backhaul,
+                ..WifiConfig::default()
+            },
+            duration: Duration::from_secs(12),
+            models: AppModelSet::testbed(),
+        },
+        seed,
+    )
+}
+
+fn main() {
+    let mixes = RandomPattern::new(4, 10, 0xADA).matrices(200);
+    let (before, after) = mixes.split_at(60);
+
+    println!("phase 1: healthy network ({} matrices)...", before.len());
+    let mut healthy = wifi_cell(Backhaul::transparent(), 1);
+    let clean = build_samples(before, SnrPolicy::AllHigh, &mut healthy, None);
+
+    println!("phase 2: throttled network ({} matrices)...", after.len());
+    let mut throttled = wifi_cell(Backhaul::throttled_200ms(15_000_000), 2);
+    let shaped = build_samples(after, SnrPolicy::AllHigh, &mut throttled, None);
+
+    // ExBox learns the healthy region first...
+    let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+        batch_size: 20,
+        bootstrap_min_samples: 50,
+        ..AdmittanceConfig::default()
+    }));
+    for s in &clean {
+        exbox.on_observation(s.matrix, s.observed);
+    }
+    println!(
+        "after healthy phase: {} ({} samples stored)\n",
+        if exbox.is_bootstrapping() { "still bootstrapping" } else { "online" },
+        exbox.classifier().num_samples()
+    );
+
+    // ...then faces the throttled world.
+    println!("{:<8} {:>10} {:>8} {:>9}   (windows of 25 throttled arrivals)", "fed", "precision", "recall", "accuracy");
+    let report = evaluate_online(&mut exbox, &shaped, 25);
+    for p in &report.points {
+        println!(
+            "{:<8} {:>10.2} {:>8.2} {:>9.2}",
+            p.fed, p.window.precision, p.window.recall, p.window.accuracy
+        );
+    }
+    let m = report.metrics();
+    println!("\nExBox overall on the throttled network: {m}");
+
+    let mut rate = RateBased::new(20_000_000.0); // still believes the old capacity
+    let rb = evaluate_online(&mut rate, &shaped, 25).metrics();
+    println!("RateBased (stale capacity C):          {rb}");
+}

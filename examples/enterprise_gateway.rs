@@ -1,0 +1,79 @@
+//! Enterprise gateway: a day of LiveLab-like traffic through ExBox
+//! and the two industry baselines.
+//!
+//! ```sh
+//! cargo run --release --example enterprise_gateway
+//! ```
+//!
+//! An enterprise WiFi cell (packet-level DES calibrated to the
+//! paper's laptop-AP testbed) serves 34 users whose app sessions
+//! follow the LiveLab-like diurnal workload. Each controller decides
+//! on every flow arrival; decisions are scored against the app-level
+//! QoE ground truth. This is the paper's Fig. 7 scenario as an
+//! operator would actually run it.
+
+use exbox::prelude::*;
+use exbox::testbed::cell::{AppModelSet, CellLabeler, CellModel};
+use exbox::sim::wifi::WifiConfig;
+
+fn main() {
+    // Busy-hours LiveLab day on a 10-client cell.
+    let workload = LiveLabGenerator {
+        days: 1,
+        sessions_per_user_day: 60.0,
+        ..LiveLabGenerator::default()
+    };
+    let mixes: Vec<ClassMix> = workload.matrices_capped(10);
+    println!("workload: {} traffic matrices over one day", mixes.len());
+
+    println!("labelling ground truth on the WiFi DES (cached per matrix)...");
+    let mut labeler = CellLabeler::new(
+        CellModel::WifiDes {
+            cfg: WifiConfig {
+                per_tx_overhead: Duration::from_micros(450),
+                ..WifiConfig::default()
+            },
+            duration: Duration::from_secs(12),
+            models: AppModelSet::testbed(),
+        },
+        0xDA7,
+    );
+    let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+    let admissible = samples.iter().filter(|s| s.truth.is_pos()).count();
+    println!(
+        "{} flow arrivals, {} ({:.0}%) genuinely admissible\n",
+        samples.len(),
+        admissible,
+        100.0 * admissible as f64 / samples.len() as f64
+    );
+
+    let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig {
+        batch_size: 20,
+        bootstrap_min_samples: 50,
+        ..AdmittanceConfig::default()
+    }));
+    let mut rate = RateBased::new(20_000_000.0);
+    let mut maxc = MaxClient::new(10);
+
+    println!("{:<10} {:>9} {:>8} {:>9} {:>10}", "controller", "precision", "recall", "accuracy", "bootstrap");
+    let controllers: Vec<(&mut dyn AdmissionController, &str)> = vec![
+        (&mut exbox, "ExBox"),
+        (&mut rate, "RateBased"),
+        (&mut maxc, "MaxClient"),
+    ];
+    for (c, name) in controllers {
+        let report = evaluate_online(c, &samples, 50);
+        let m = report.metrics();
+        println!(
+            "{name:<10} {:>9.3} {:>8.3} {:>9.3} {:>10}",
+            m.precision, m.recall, m.accuracy, report.bootstrap_used
+        );
+    }
+    println!(
+        "\nInterpretation: precision is QoE protection (bad admits hurt\n\
+         everyone already on the cell); recall is utilisation (refused\n\
+         service that would have been fine). ExBox learns the cell's\n\
+         multi-dimensional capacity region; the baselines track a single\n\
+         number and miss it in both directions."
+    );
+}

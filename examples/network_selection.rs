@@ -1,0 +1,103 @@
+//! Hybrid WiFi + LTE network selection (paper §4.1).
+//!
+//! ```sh
+//! cargo run --release --example network_selection
+//! ```
+//!
+//! A gateway fronts one WiFi AP and one LTE small cell, each with its
+//! own learnt Experiential Capacity Region. Arriving flows are
+//! steered to the cell where the post-admission state lies deepest
+//! *inside* the region (largest SVM decision value); when neither
+//! region can take the flow, it is rejected outright.
+
+use exbox::prelude::*;
+use exbox::net::AppClass;
+
+/// Train a classifier for a cell whose capacity is `cap` "airtime
+/// units" with per-class weights — a compact stand-in for the learnt
+/// region so the example stays fast. (The testbed harness learns the
+/// same thing from simulation; see `enterprise_gateway.rs`.)
+fn trained_cell(cap: f64, weights: [f64; 3], seed: u64) -> AdmittanceClassifier {
+    let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+        seed,
+        ..AdmittanceConfig::default()
+    });
+    for w in 0..6u32 {
+        for s in 0..6u32 {
+            for c in 0..6u32 {
+                let mut m = TrafficMatrix::empty();
+                for _ in 0..w {
+                    m.add(FlowKind::new(AppClass::Web, SnrLevel::High));
+                }
+                for _ in 0..s {
+                    m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+                }
+                for _ in 0..c {
+                    m.add(FlowKind::new(AppClass::Conferencing, SnrLevel::High));
+                }
+                let load =
+                    w as f64 * weights[0] + s as f64 * weights[1] + c as f64 * weights[2];
+                let y = if load <= cap {
+                    exbox::ml::Label::Pos
+                } else {
+                    exbox::ml::Label::Neg
+                };
+                ac.observe(m, y);
+            }
+        }
+    }
+    assert_eq!(ac.phase(), Phase::Online, "cell classifier failed to train");
+    ac
+}
+
+fn main() {
+    let mut selector = NetworkSelector::new();
+    // WiFi: smaller cell, streaming-expensive (airtime anomaly).
+    let wifi = selector.add_cell(NetworkCell::new(
+        "wifi-ap1",
+        trained_cell(8.0, [1.0, 2.5, 1.5], 1),
+    ));
+    // LTE: bigger cell, scheduling makes conferencing cheap.
+    let lte = selector.add_cell(NetworkCell::new(
+        "lte-enb1",
+        trained_cell(12.0, [1.0, 2.0, 1.0], 2),
+    ));
+
+    println!("steering 20 arrivals across wifi-ap1 and lte-enb1:\n");
+    let arrivals = [
+        AppClass::Streaming,
+        AppClass::Web,
+        AppClass::Conferencing,
+        AppClass::Streaming,
+        AppClass::Web,
+    ];
+    let mut steered = [0usize; 2];
+    let mut rejected = 0usize;
+    for i in 0..20 {
+        let class = arrivals[i % arrivals.len()];
+        let kind = FlowKind::new(class, SnrLevel::High);
+        match selector.select(kind) {
+            Selection::Steer { cell, score } => {
+                selector.commit(cell, kind);
+                steered[cell] += 1;
+                let name = &selector.cell(cell).name;
+                println!(
+                    "  arrival {i:>2} ({class:<13}) -> {name}  (depth {score:+.2})"
+                );
+            }
+            Selection::RejectEverywhere => {
+                rejected += 1;
+                println!("  arrival {i:>2} ({class:<13}) -> REJECTED (both cells full)");
+            }
+        }
+    }
+    println!(
+        "\nwifi-ap1 carries {} flows, lte-enb1 carries {}, {} rejected",
+        steered[wifi], steered[lte], rejected
+    );
+    println!(
+        "final matrices: wifi {}  lte {}",
+        selector.cell(wifi).matrix,
+        selector.cell(lte).matrix
+    );
+}

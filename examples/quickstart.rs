@@ -1,0 +1,87 @@
+//! Quickstart: learn a WiFi cell's Experiential Capacity Region and
+//! make admission decisions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full ExBox pipeline on an emulated cell:
+//! 1. fit the per-application IQX QoE models from a (shortened)
+//!    training-device sweep,
+//! 2. bootstrap the Admittance Classifier by observing a random
+//!    workload on a packet-level WiFi simulation,
+//! 3. make admission decisions for a few hypothetical arrivals.
+
+use exbox::prelude::*;
+use exbox::testbed::cell::{AppModelSet, CellLabeler, CellModel};
+use exbox::testbed::training::{fit_estimator_from_sweep, run_training_sweep};
+
+fn main() {
+    // 1. Train the QoE estimator (paper §3.2): sweep a shaped link,
+    //    record (QoS, QoE) per app, fit IQX curves.
+    println!("fitting IQX models from a training sweep...");
+    let sweep = run_training_sweep(
+        &[500_000, 2_000_000, 8_000_000, 20_000_000],
+        &[Duration::from_millis(20), Duration::from_millis(150)],
+        2,
+        42,
+    );
+    let (estimator, rmse) = fit_estimator_from_sweep(&sweep, QoeEstimator::paper_thresholds());
+    for class in AppClass::ALL {
+        let m = estimator.model(class).iqx;
+        println!(
+            "  {class:>13}: QoE = {:.2} + {:.2}*exp(-{:.2}*QoS)   (rmse {:.2})",
+            m.alpha,
+            m.beta,
+            m.gamma,
+            rmse[class.index()]
+        );
+    }
+
+    // 2. Bootstrap the Admittance Classifier on a random workload
+    //    labelled by the packet-level cell simulator.
+    println!("\nbootstrapping the admittance classifier on the WiFi DES...");
+    let mut labeler = CellLabeler::new(
+        CellModel::WifiDes {
+            cfg: exbox::sim::WifiConfig::default(),
+            duration: Duration::from_secs(10),
+            models: AppModelSet::default(),
+        },
+        7,
+    );
+    let mixes = RandomPattern::new(8, 20, 1).matrices(60);
+    let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+    let mut exbox = ExBoxController::new(AdmittanceClassifier::new(AdmittanceConfig::default()));
+    for s in &samples {
+        exbox.on_observation(s.matrix, s.observed);
+    }
+    println!(
+        "  {} observations, phase: {:?}",
+        samples.len(),
+        if exbox.is_bootstrapping() { "Bootstrap" } else { "Online" }
+    );
+
+    // 3. Admission decisions for hypothetical arrivals.
+    println!("\nadmission decisions:");
+    for (web, stream, conf) in [(1, 1, 1), (2, 3, 1), (4, 6, 2), (8, 8, 4)] {
+        let mut m = TrafficMatrix::empty();
+        for _ in 0..web {
+            m.add(FlowKind::new(AppClass::Web, SnrLevel::High));
+        }
+        for _ in 0..stream {
+            m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+        }
+        for _ in 0..conf {
+            m.add(FlowKind::new(AppClass::Conferencing, SnrLevel::High));
+        }
+        let req = FlowRequest {
+            kind: FlowKind::new(AppClass::Streaming, SnrLevel::High),
+            demand_bps: 2_500_000.0,
+            resulting_matrix: m,
+        };
+        let decision = exbox.decide(&req);
+        println!(
+            "  matrix ({web} web, {stream} streaming, {conf} conferencing) -> {decision:?}"
+        );
+    }
+}
