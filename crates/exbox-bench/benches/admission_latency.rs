@@ -5,13 +5,18 @@
 //! RateBased/MaxClient, ≈5 ms for ExBox's Python SVM. The shape to
 //! reproduce is the ordering (baselines ≪ ExBox) — our Rust SMO is
 //! orders of magnitude faster than their Python in absolute terms.
+//!
+//! Hand-rolled timing harness (the offline sandbox has no crates.io
+//! access, so no Criterion): each configuration runs warm-up
+//! iterations, then records an `exbox-obs` latency histogram and
+//! prints `name,iters,mean_ns,p50_ns,p95_ns,max_ns` CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use exbox_core::prelude::*;
 use exbox_ml::Label;
 use exbox_net::AppClass;
+use exbox_obs::{buckets, Histogram};
 
 fn matrix(total: u32) -> TrafficMatrix {
     let mut m = TrafficMatrix::empty();
@@ -45,29 +50,45 @@ fn trained_exbox(n: u32) -> ExBoxController {
     ex
 }
 
-fn bench_decisions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("admission_decision");
+/// Time `iters` calls of `f` after `warmup` unrecorded calls.
+fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    // Decisions are tens of ns; the default latency_ns() floor (1 µs)
+    // would swallow every sample into the first bucket.
+    let hist = Histogram::new(&buckets::exponential(10.0, 2.0, 28));
+    for _ in 0..iters {
+        let ((), ns) = exbox_obs::time_ns(&mut f);
+        hist.record(ns);
+    }
+    let s = hist.snapshot();
+    println!(
+        "{name},{iters},{:.0},{:.0},{:.0},{:.0}",
+        s.mean(),
+        s.quantile(0.50),
+        s.quantile(0.95),
+        s.max
+    );
+}
+
+fn main() {
+    println!("name,iters,mean_ns,p50_ns,p95_ns,max_ns");
 
     let mut rate_based = RateBased::new(20_000_000.0);
-    group.bench_function("RateBased", |b| {
-        b.iter(|| black_box(rate_based.decide(black_box(&request(5)))))
+    bench("RateBased", 1_000, 100_000, || {
+        black_box(rate_based.decide(black_box(&request(5))));
     });
 
     let mut max_client = MaxClient::new(10);
-    group.bench_function("MaxClient", |b| {
-        b.iter(|| black_box(max_client.decide(black_box(&request(5)))))
+    bench("MaxClient", 1_000, 100_000, || {
+        black_box(max_client.decide(black_box(&request(5))));
     });
 
     for n in [50u32, 200, 1000] {
         let mut exbox = trained_exbox(n);
-        group.bench_with_input(
-            BenchmarkId::new("ExBox", format!("{n}-samples")),
-            &n,
-            |b, _| b.iter(|| black_box(exbox.decide(black_box(&request(5))))),
-        );
+        bench(&format!("ExBox/{n}-samples"), 100, 10_000, || {
+            black_box(exbox.decide(black_box(&request(5))));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_decisions);
-criterion_main!(benches);

@@ -7,11 +7,16 @@
 //! considered", and cites primal optimisation as the fix. Shape to
 //! reproduce: superlinear growth for the kernel-SMO path, near-linear
 //! for the Pegasos primal path (the paper's suggested remedy).
+//!
+//! Hand-rolled timing harness (the offline sandbox has no crates.io
+//! access, so no Criterion): each trainer/size pair records an
+//! `exbox-obs` histogram over repeated fits and prints
+//! `trainer,n,reps,mean_ns,p50_ns,max_ns` CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use exbox_ml::prelude::*;
+use exbox_obs::{buckets, Histogram};
 
 /// A noisy two-region dataset in traffic-matrix-like feature space.
 fn dataset(n: usize) -> Dataset {
@@ -26,40 +31,56 @@ fn dataset(n: usize) -> Dataset {
     for _ in 0..n {
         let x: Vec<f64> = (0..6).map(|_| (next() % 12) as f64).collect();
         let total: f64 = x.iter().sum();
-        let label = if total <= 30.0 { Label::Pos } else { Label::Neg };
+        let label = if total <= 30.0 {
+            Label::Pos
+        } else {
+            Label::Neg
+        };
         ds.push(x, label);
     }
     ds
 }
 
-fn bench_training(c: &mut Criterion) {
-    let mut group = c.benchmark_group("training_latency");
-    group.sample_size(10);
+fn bench_trainer(name: &str, n: usize, scaled: &Dataset, reps: u32, train: impl Fn(&Dataset)) {
+    train(scaled); // warm-up
+    let hist = Histogram::new(&buckets::latency_ns());
+    for _ in 0..reps {
+        let ((), ns) = exbox_obs::time_ns(|| train(scaled));
+        hist.record(ns);
+    }
+    let s = hist.snapshot();
+    println!(
+        "{name},{n},{reps},{:.0},{:.0},{:.0}",
+        s.mean(),
+        s.quantile(0.50),
+        s.max
+    );
+}
+
+fn main() {
+    println!("trainer,n,reps,mean_ns,p50_ns,max_ns");
 
     for n in [50usize, 200, 1000] {
         let ds = dataset(n);
         let scaler = StandardScaler::fit(&ds);
         let scaled = scaler.transform_dataset(&ds);
+        let reps = 10;
 
-        group.bench_with_input(BenchmarkId::new("smo_poly2", n), &n, |b, _| {
+        bench_trainer("smo_poly2", n, &scaled, reps, |d| {
             let t = SvmTrainer::new(Kernel::poly(1.0 / 6.0, 1.0, 2)).c(10.0);
-            b.iter(|| black_box(t.train(black_box(&scaled))))
+            black_box(t.train(black_box(d)));
         });
-        group.bench_with_input(BenchmarkId::new("smo_rbf", n), &n, |b, _| {
+        bench_trainer("smo_rbf", n, &scaled, reps, |d| {
             let t = SvmTrainer::new(Kernel::rbf_default(6)).c(10.0);
-            b.iter(|| black_box(t.train(black_box(&scaled))))
+            black_box(t.train(black_box(d)));
         });
-        group.bench_with_input(BenchmarkId::new("pegasos_linear", n), &n, |b, _| {
+        bench_trainer("pegasos_linear", n, &scaled, reps, |d| {
             let t = LinearSvmTrainer::new();
-            b.iter(|| black_box(t.train(black_box(&scaled))))
+            black_box(t.train(black_box(d)));
         });
-        group.bench_with_input(BenchmarkId::new("logistic", n), &n, |b, _| {
+        bench_trainer("logistic", n, &scaled, reps, |d| {
             let t = LogisticRegressionTrainer::new();
-            b.iter(|| black_box(t.train(black_box(&scaled))))
+            black_box(t.train(black_box(d)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_training);
-criterion_main!(benches);

@@ -26,8 +26,17 @@ fn main() {
     eprintln!("{} samples", samples.len());
 
     let backends = [
-        ("svm_poly2", ClassifierBackend::SvmPoly { c: 10.0, degree: 2 }),
-        ("svm_rbf", ClassifierBackend::SvmRbf { c: 10.0, gamma: None }),
+        (
+            "svm_poly2",
+            ClassifierBackend::SvmPoly { c: 10.0, degree: 2 },
+        ),
+        (
+            "svm_rbf",
+            ClassifierBackend::SvmRbf {
+                c: 10.0,
+                gamma: None,
+            },
+        ),
         ("svm_linear", ClassifierBackend::SvmLinear { c: 10.0 }),
         ("logistic", ClassifierBackend::Logistic),
         ("pegasos", ClassifierBackend::PegasosLinear),
@@ -48,4 +57,6 @@ fn main() {
             f(m.f1)
         );
     }
+
+    exbox_bench::dump_metrics();
 }

@@ -39,4 +39,6 @@ fn main() {
             );
         }
     }
+
+    exbox_bench::dump_metrics();
 }

@@ -28,10 +28,7 @@ fn main() {
     eprintln!("training on {} samples...", samples.len());
     let mut exbox = exbox_controller(100, 300);
     let report = evaluate_online(&mut exbox, &samples, 200);
-    eprintln!(
-        "online metrics while learning: {}",
-        report.metrics()
-    );
+    eprintln!("online metrics while learning: {}", report.metrics());
 
     // Extract the learnt slice.
     let stream = FlowKind::new(AppClass::Streaming, SnrLevel::High);
@@ -60,4 +57,6 @@ fn main() {
     let cap_conf =
         exbox_core::excr::max_admissible(exbox.classifier(), &TrafficMatrix::empty(), conf, 60);
     eprintln!("learnt per-axis capacity: {cap_stream} streaming, {cap_conf} conferencing");
+
+    exbox_bench::dump_metrics();
 }

@@ -60,6 +60,8 @@ fn main() {
             println!("{conf},{stream},{},{},{}", f(qs), f(qc), f(qn));
         }
     }
+
+    exbox_bench::dump_metrics();
 }
 
 fn grid_point(

@@ -20,7 +20,12 @@ use exbox_traffic::{StreamingModel, TrafficModel};
 fn main() {
     let model = StreamingModel::default();
     let duration = Duration::from_secs(20);
-    csv_header(&["high_clients", "low_clients", "startup_high_s", "startup_low_s"]);
+    csv_header(&[
+        "high_clients",
+        "low_clients",
+        "startup_high_s",
+        "startup_low_s",
+    ]);
 
     for high in (0..=4u32).rev() {
         let low = 4 - high;
@@ -42,7 +47,7 @@ fn main() {
                     key,
                     Instant::from_millis(i as u64 * 100),
                     duration,
-                    0xF16_3 ^ (i as u64) << 8,
+                    0xF163 ^ (i as u64) << 8,
                 ),
             });
         }
@@ -73,4 +78,6 @@ fn main() {
         );
     }
     eprintln!("threshold: 5.0 s (paper Fig. 3 dashed line)");
+
+    exbox_bench::dump_metrics();
 }

@@ -20,10 +20,17 @@ use exbox_testbed::{build_samples, SnrPolicy};
 use exbox_traffic::{ClassMix, LiveLabGenerator, RandomPattern};
 
 fn main() {
-    csv_header(&["pattern", "controller", "fed", "precision", "recall", "accuracy"]);
+    csv_header(&[
+        "pattern",
+        "controller",
+        "fed",
+        "precision",
+        "recall",
+        "accuracy",
+    ]);
 
     // Random pattern: drastic jumps, total <= 10 (testbed size).
-    let random: Vec<ClassMix> = RandomPattern::new(4, 10, 0xF16_7).matrices(180);
+    let random: Vec<ClassMix> = RandomPattern::new(4, 10, 0xF167).matrices(180);
     // LiveLab: chronological +/-1 transitions, capped at 10 flows.
     // Busy-hours activity level so the capped trace actually visits
     // the capacity boundary (an idle trace teaches nothing — and the
@@ -40,9 +47,7 @@ fn main() {
         let mut labeler = wifi_testbed_labeler(0x71F1);
         let samples = build_samples(mixes, SnrPolicy::AllHigh, &mut labeler, None);
         eprintln!("{pattern}: {} arrival samples", samples.len());
-        for (name, report) in
-            run_three_controllers(&samples, 20, 20, 50, WIFI_CAPACITY_BPS)
-        {
+        for (name, report) in run_three_controllers(&samples, 20, 20, 50, WIFI_CAPACITY_BPS) {
             eprintln!(
                 "{pattern}/{name}: bootstrap {} overall {}",
                 report.bootstrap_used,
@@ -51,4 +56,6 @@ fn main() {
             print_series(pattern, name, &report);
         }
     }
+
+    exbox_bench::dump_metrics();
 }

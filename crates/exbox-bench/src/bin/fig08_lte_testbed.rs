@@ -19,9 +19,16 @@ use exbox_testbed::{build_samples, SnrPolicy};
 use exbox_traffic::{ClassMix, LiveLabGenerator, RandomPattern};
 
 fn main() {
-    csv_header(&["pattern", "controller", "fed", "precision", "recall", "accuracy"]);
+    csv_header(&[
+        "pattern",
+        "controller",
+        "fed",
+        "precision",
+        "recall",
+        "accuracy",
+    ]);
 
-    let random: Vec<ClassMix> = RandomPattern::new(4, 8, 0xF16_8).matrices(120);
+    let random: Vec<ClassMix> = RandomPattern::new(4, 8, 0xF168).matrices(120);
     // Busy-hours LiveLab (see fig07) capped at the eNodeB's 8 UEs.
     let livelab: Vec<ClassMix> = LiveLabGenerator {
         sessions_per_user_day: 40.0,
@@ -43,4 +50,6 @@ fn main() {
             print_series(pattern, name, &report);
         }
     }
+
+    exbox_bench::dump_metrics();
 }

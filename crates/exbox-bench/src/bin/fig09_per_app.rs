@@ -21,7 +21,7 @@ fn main() {
     csv_header(&["network", "controller", "class", "accuracy"]);
 
     // WiFi.
-    let mixes = RandomPattern::new(4, 10, 0xF16_9).matrices(180);
+    let mixes = RandomPattern::new(4, 10, 0xF169).matrices(180);
     let mut labeler = wifi_testbed_labeler(0x91F1);
     eprintln!("labelling WiFi ground truth...");
     let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
@@ -32,7 +32,7 @@ fn main() {
     }
 
     // LTE.
-    let mixes = RandomPattern::new(4, 8, 0xF16_A).matrices(150);
+    let mixes = RandomPattern::new(4, 8, 0xF16A).matrices(150);
     let mut labeler = lte_testbed_labeler(0x917E);
     eprintln!("labelling LTE ground truth...");
     let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
@@ -41,4 +41,6 @@ fn main() {
             println!("lte,{name},{class},{}", f(report.class_accuracy(class)));
         }
     }
+
+    exbox_bench::dump_metrics();
 }

@@ -9,8 +9,8 @@
 //! Output: `network,series,fed,precision`.
 
 use exbox_bench::{
-    csv_header, exbox_controller, f, lte_testbed_labeler, wifi_testbed_labeler, MAX_CLIENT_CAP,
-    LTE_CAPACITY_BPS, WIFI_CAPACITY_BPS,
+    csv_header, exbox_controller, f, lte_testbed_labeler, wifi_testbed_labeler, LTE_CAPACITY_BPS,
+    MAX_CLIENT_CAP, WIFI_CAPACITY_BPS,
 };
 use exbox_core::prelude::*;
 use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
@@ -19,9 +19,11 @@ use exbox_traffic::RandomPattern;
 fn main() {
     csv_header(&["network", "series", "fed", "precision"]);
 
-    for (network, cap_total, capacity) in
-        [("wifi", 10u32, WIFI_CAPACITY_BPS), ("lte", 8, LTE_CAPACITY_BPS)] {
-        let mixes = RandomPattern::new(4, cap_total, 0xF16_10).matrices(200);
+    for (network, cap_total, capacity) in [
+        ("wifi", 10u32, WIFI_CAPACITY_BPS),
+        ("lte", 8, LTE_CAPACITY_BPS),
+    ] {
+        let mixes = RandomPattern::new(4, cap_total, 0xF1610).matrices(200);
         eprintln!("labelling {network} ground truth...");
         let mut labeler = if network == "wifi" {
             wifi_testbed_labeler(0xA1F1)
@@ -47,4 +49,6 @@ fn main() {
             println!("{network},MaxClient,{},{}", p.fed, f(p.window.precision));
         }
     }
+
+    exbox_bench::dump_metrics();
 }

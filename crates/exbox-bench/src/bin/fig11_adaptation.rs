@@ -27,14 +27,21 @@ use exbox_testbed::{build_samples, evaluate_online, SnrPolicy};
 use exbox_traffic::RandomPattern;
 
 fn main() {
-    csv_header(&["network", "controller", "fed", "precision", "recall", "accuracy"]);
+    csv_header(&[
+        "network",
+        "controller",
+        "fed",
+        "precision",
+        "recall",
+        "accuracy",
+    ]);
 
     for network in ["wifi", "lte"] {
         let (cap_total, capacity, batch) = match network {
             "wifi" => (10u32, WIFI_CAPACITY_BPS, 20usize),
             _ => (8, LTE_CAPACITY_BPS, 10),
         };
-        let mixes = RandomPattern::new(4, cap_total, 0xF16_11).matrices(220);
+        let mixes = RandomPattern::new(4, cap_total, 0xF1611).matrices(220);
 
         // Phase 1: unthrottled ground truth (10% of the run).
         let mut clean_labeler = if network == "wifi" {
@@ -106,8 +113,18 @@ fn main() {
         eprintln!("{network}/ExBox: overall {}", report.metrics());
 
         let mut rb = RateBased::new(capacity);
-        print_series(network, "RateBased", &evaluate_online(&mut rb, &throttled_samples, 25));
+        print_series(
+            network,
+            "RateBased",
+            &evaluate_online(&mut rb, &throttled_samples, 25),
+        );
         let mut mc = MaxClient::new(MAX_CLIENT_CAP);
-        print_series(network, "MaxClient", &evaluate_online(&mut mc, &throttled_samples, 25));
+        print_series(
+            network,
+            "MaxClient",
+            &evaluate_online(&mut mc, &throttled_samples, 25),
+        );
     }
+
+    exbox_bench::dump_metrics();
 }

@@ -40,4 +40,6 @@ fn main() {
             }
         );
     }
+
+    exbox_bench::dump_metrics();
 }

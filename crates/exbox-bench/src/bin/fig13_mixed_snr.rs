@@ -48,10 +48,13 @@ fn main() {
     };
     let mixes = workload.matrices();
     eprintln!("workload: {} matrices", mixes.len());
-    let mut labeler = wifi_fluid_labeler(0.10, 0xF16_13);
+    let mut labeler = wifi_fluid_labeler(0.10, 0xF1613);
     let mut samples = build_samples(
         &mixes,
-        SnrPolicy::RandomMix { p_low: 0.5, seed: 0x5412 },
+        SnrPolicy::RandomMix {
+            p_low: 0.5,
+            seed: 0x5412,
+        },
         &mut labeler,
         Some(&estimator),
     );
@@ -89,4 +92,6 @@ fn main() {
     for p in &report.points {
         println!("MaxClient,{},{}", p.fed, f(p.window.precision));
     }
+
+    exbox_bench::dump_metrics();
 }

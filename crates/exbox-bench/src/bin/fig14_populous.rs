@@ -49,7 +49,7 @@ fn wifi_populous_samples(
     estimator: &QoeEstimator,
     seed: u64,
 ) -> Vec<Sample> {
-    let mut rng = Rng::new(seed).derive(0xF16_14);
+    let mut rng = Rng::new(seed).derive(0xF1614);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let mut m = TrafficMatrix::empty();
@@ -79,7 +79,14 @@ fn wifi_populous_samples(
 }
 
 fn main() {
-    csv_header(&["network", "controller", "fed", "precision", "recall", "accuracy"]);
+    csv_header(&[
+        "network",
+        "controller",
+        "fed",
+        "precision",
+        "recall",
+        "accuracy",
+    ]);
     eprintln!("fitting the IQX estimator...");
     let (estimator, _, _) = standard_estimator();
 
@@ -92,9 +99,17 @@ fn main() {
     eprintln!("wifi/ExBox overall {}", report.metrics());
     print_series("wifi", "ExBox", &report);
     let mut rb = RateBased::new(SCALEUP_WIFI_CAPACITY_BPS);
-    print_series("wifi", "RateBased", &evaluate_online_with_demand(&mut rb, &samples, 60, &demand));
+    print_series(
+        "wifi",
+        "RateBased",
+        &evaluate_online_with_demand(&mut rb, &samples, 60, &demand),
+    );
     let mut mc = MaxClient::new(MAX_CLIENT_CAP);
-    print_series("wifi", "MaxClient", &evaluate_online_with_demand(&mut mc, &samples, 60, &demand));
+    print_series(
+        "wifi",
+        "MaxClient",
+        &evaluate_online_with_demand(&mut mc, &samples, 60, &demand),
+    );
 
     // --- LTE: all LiveLab matrices, uncapped ---
     // Raw (uncapped) LiveLab concurrency: streaming/conferencing
@@ -107,8 +122,12 @@ fn main() {
     }
     .matrices();
     let mut lte_labeler = lte_fluid_labeler(0.10, 0x147E);
-    let mut samples =
-        build_samples(&mixes, SnrPolicy::AllHigh, &mut lte_labeler, Some(&estimator));
+    let mut samples = build_samples(
+        &mixes,
+        SnrPolicy::AllHigh,
+        &mut lte_labeler,
+        Some(&estimator),
+    );
     for s in &mut samples {
         s.truth = s.observed;
     }
@@ -118,7 +137,17 @@ fn main() {
     eprintln!("lte/ExBox overall {}", report.metrics());
     print_series("lte", "ExBox", &report);
     let mut rb = RateBased::new(SCALEUP_LTE_CAPACITY_BPS);
-    print_series("lte", "RateBased", &evaluate_online_with_demand(&mut rb, &samples, 60, &demand));
+    print_series(
+        "lte",
+        "RateBased",
+        &evaluate_online_with_demand(&mut rb, &samples, 60, &demand),
+    );
     let mut mc = MaxClient::new(MAX_CLIENT_CAP);
-    print_series("lte", "MaxClient", &evaluate_online_with_demand(&mut mc, &samples, 60, &demand));
+    print_series(
+        "lte",
+        "MaxClient",
+        &evaluate_online_with_demand(&mut mc, &samples, 60, &demand),
+    );
+
+    exbox_bench::dump_metrics();
 }

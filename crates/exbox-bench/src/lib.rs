@@ -138,7 +138,6 @@ pub fn f(v: f64) -> String {
     format!("{v:.4}")
 }
 
-
 /// Run ExBox + the two baselines over the same samples; returns
 /// `(name, report)` triples in the paper's legend order.
 pub fn run_three_controllers(
@@ -152,9 +151,18 @@ pub fn run_three_controllers(
     let mut rate = RateBased::new(capacity_bps);
     let mut maxc = MaxClient::new(MAX_CLIENT_CAP);
     vec![
-        ("ExBox", exbox_testbed::evaluate_online(&mut exbox, samples, eval_every)),
-        ("RateBased", exbox_testbed::evaluate_online(&mut rate, samples, eval_every)),
-        ("MaxClient", exbox_testbed::evaluate_online(&mut maxc, samples, eval_every)),
+        (
+            "ExBox",
+            exbox_testbed::evaluate_online(&mut exbox, samples, eval_every),
+        ),
+        (
+            "RateBased",
+            exbox_testbed::evaluate_online(&mut rate, samples, eval_every),
+        ),
+        (
+            "MaxClient",
+            exbox_testbed::evaluate_online(&mut maxc, samples, eval_every),
+        ),
     ]
 }
 
@@ -171,6 +179,14 @@ pub fn print_series(pattern: &str, name: &str, report: &exbox_testbed::EvalRepor
             f(p.window.accuracy)
         );
     }
+}
+
+/// Print the process-wide metrics snapshot to stderr. Every bench
+/// binary calls this as its final statement, so the regeneration
+/// loop's `2> results/<bin>.log` redirect captures an instrumentation
+/// audit alongside each figure's CSV.
+pub fn dump_metrics() {
+    eprintln!("{}", exbox_obs::global().snapshot().render());
 }
 
 #[cfg(test)]

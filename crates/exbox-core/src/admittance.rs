@@ -15,10 +15,49 @@
 //!   network itself changes — Fig. 11).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use exbox_ml::prelude::*;
+use exbox_obs::{buckets, Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::matrix::TrafficMatrix;
+
+/// Instrumentation handles for the classifier, resolved once at
+/// construction so the hot paths touch only atomics.
+#[derive(Debug)]
+struct AdmittanceMetrics {
+    /// `admittance.observations` — total `(X_m, Y_m)` tuples fed in.
+    observations: Arc<Counter>,
+    /// `admittance.retrains` — model (re)trainings.
+    retrains: Arc<Counter>,
+    /// `admittance.bootstrap_exits` — transitions bootstrap → online.
+    bootstrap_exits: Arc<Counter>,
+    /// `admittance.retrain_wall_ns` — wall time per retrain.
+    retrain_wall_ns: Arc<Histogram>,
+    /// `admittance.train_batch_samples` — store size at each retrain.
+    train_batch_samples: Arc<Histogram>,
+    /// `admittance.smo_iterations` — SMO inner-loop iterations per
+    /// SVM retrain (absent for non-SVM backends).
+    smo_iterations: Arc<Histogram>,
+    /// `admittance.cv_accuracy` — latest bootstrap cross-validation
+    /// accuracy.
+    cv_accuracy: Arc<Gauge>,
+}
+
+impl AdmittanceMetrics {
+    fn bind(reg: &MetricsRegistry) -> Self {
+        AdmittanceMetrics {
+            observations: reg.counter("admittance.observations"),
+            retrains: reg.counter("admittance.retrains"),
+            bootstrap_exits: reg.counter("admittance.bootstrap_exits"),
+            retrain_wall_ns: reg.histogram("admittance.retrain_wall_ns", &buckets::latency_ns()),
+            train_batch_samples: reg
+                .histogram("admittance.train_batch_samples", &buckets::counts()),
+            smo_iterations: reg.histogram("admittance.smo_iterations", &buckets::counts()),
+            cv_accuracy: reg.gauge("admittance.cv_accuracy"),
+        }
+    }
+}
 
 /// Which learning backend drives the classifier. The paper uses an
 /// RBF-kernel SVM but stresses the module is swappable; the
@@ -137,15 +176,27 @@ pub struct AdmittanceClassifier {
     retrain_count: u64,
     scaler: Option<StandardScaler>,
     model: Option<Model>,
+    metrics: AdmittanceMetrics,
 }
 
 impl AdmittanceClassifier {
-    /// New classifier in the bootstrap phase.
+    /// New classifier in the bootstrap phase, reporting metrics to the
+    /// process-wide [`exbox_obs::global`] registry.
     ///
     /// # Panics
     /// Panics on nonsensical configuration (zero batch, folds < 2,
     /// accuracy outside (0, 1]).
     pub fn new(cfg: AdmittanceConfig) -> Self {
+        Self::with_registry(cfg, exbox_obs::global())
+    }
+
+    /// Like [`AdmittanceClassifier::new`] but reporting to an explicit
+    /// registry (tests and side-by-side controller comparisons).
+    ///
+    /// # Panics
+    /// Panics on nonsensical configuration (zero batch, folds < 2,
+    /// accuracy outside (0, 1]).
+    pub fn with_registry(cfg: AdmittanceConfig, registry: &MetricsRegistry) -> Self {
         assert!(cfg.batch_size >= 1, "batch size must be at least 1");
         assert!(cfg.cv_folds >= 2, "cross-validation needs >= 2 folds");
         assert!(
@@ -162,6 +213,7 @@ impl AdmittanceClassifier {
             retrain_count: 0,
             scaler: None,
             model: None,
+            metrics: AdmittanceMetrics::bind(registry),
         }
     }
 
@@ -193,6 +245,7 @@ impl AdmittanceClassifier {
     /// change or a retrain.
     pub fn observe(&mut self, matrix: TrafficMatrix, label: Label) -> bool {
         self.observations += 1;
+        self.metrics.observations.inc();
         match self.index.get(&matrix) {
             Some(&i) => self.samples[i].1 = label,
             None => {
@@ -226,9 +279,11 @@ impl AdmittanceClassifier {
             return false;
         }
         let acc = self.cv_accuracy(&ds);
+        self.metrics.cv_accuracy.set(acc);
         if acc >= self.cfg.bootstrap_accuracy {
             self.retrain();
             self.phase = Phase::Online;
+            self.metrics.bootstrap_exits.inc();
             true
         } else {
             false
@@ -284,36 +339,51 @@ impl AdmittanceClassifier {
         if ds.is_empty() {
             return;
         }
-        let scaler = StandardScaler::fit(&ds);
-        let scaled = scaler.transform_dataset(&ds);
-        let model = match self.cfg.backend {
+        let batch = ds.len();
+        let ((scaler, model), wall_ns) = exbox_obs::time_ns(|| Self::fit(&self.cfg, &ds));
+        if let Model::Svm(m) = &model {
+            self.metrics
+                .smo_iterations
+                .record(m.smo_iterations() as f64);
+        }
+        self.metrics.retrain_wall_ns.record(wall_ns);
+        self.metrics.train_batch_samples.record(batch as f64);
+        self.metrics.retrains.inc();
+        self.scaler = Some(scaler);
+        self.model = Some(model);
+        self.retrain_count += 1;
+    }
+
+    /// Fit a fresh scaler + model of the configured backend on `ds`.
+    fn fit(cfg: &AdmittanceConfig, ds: &Dataset) -> (StandardScaler, Model) {
+        let scaler = StandardScaler::fit(ds);
+        let scaled = scaler.transform_dataset(ds);
+        let model = match cfg.backend {
             ClassifierBackend::SvmRbf { c, gamma } => {
                 let kernel = match gamma {
                     Some(g) => Kernel::rbf(g),
                     None => Kernel::rbf_default(scaled.dims()),
                 };
-                Model::Svm(SvmTrainer::new(kernel).c(c).seed(self.cfg.seed).train(&scaled))
+                Model::Svm(SvmTrainer::new(kernel).c(c).seed(cfg.seed).train(&scaled))
             }
             ClassifierBackend::SvmLinear { c } => Model::Svm(
                 SvmTrainer::new(Kernel::Linear)
                     .c(c)
-                    .seed(self.cfg.seed)
+                    .seed(cfg.seed)
                     .train(&scaled),
             ),
             ClassifierBackend::SvmPoly { c, degree } => {
                 let kernel = Kernel::poly(1.0 / scaled.dims() as f64, 1.0, degree);
-                Model::Svm(SvmTrainer::new(kernel).c(c).seed(self.cfg.seed).train(&scaled))
+                Model::Svm(SvmTrainer::new(kernel).c(c).seed(cfg.seed).train(&scaled))
             }
             ClassifierBackend::Logistic => {
                 Model::Logistic(LogisticRegressionTrainer::new().train(&scaled))
             }
             ClassifierBackend::PegasosLinear => {
-                Model::Pegasos(LinearSvmTrainer::new().seed(self.cfg.seed).train(&scaled))
+                Model::Pegasos(LinearSvmTrainer::new().seed(cfg.seed).train(&scaled))
             }
         };
-        self.scaler = Some(scaler);
-        self.model = Some(model);
-        self.retrain_count += 1;
+        (scaler, model)
     }
 
     /// Signed distance-like score for the matrix that would result
@@ -516,7 +586,10 @@ mod tests {
     #[test]
     fn all_backends_learn_the_simple_excr() {
         for backend in [
-            ClassifierBackend::SvmRbf { c: 10.0, gamma: None },
+            ClassifierBackend::SvmRbf {
+                c: 10.0,
+                gamma: None,
+            },
             ClassifierBackend::SvmLinear { c: 10.0 },
             ClassifierBackend::SvmPoly { c: 10.0, degree: 2 },
             ClassifierBackend::Logistic,

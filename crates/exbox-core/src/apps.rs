@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn subsidiary_flows_inherit_reject() {
-        let mut mc = MaxClient::new(0_u32.max(1)); // cap 1
+        let mut mc = MaxClient::new(1); // cap 1
         let mut apps = AppAdmission::new();
         // Fill the only slot with client 1's app.
         apps.decide_flow(&mut mc, &flow(1, 1), &req(AppClass::Web, 1));

@@ -132,7 +132,11 @@ mod tests {
                 for _ in 0..s {
                     m.add(stream());
                 }
-                let y = if w + 2 * s <= 8 { Label::Pos } else { Label::Neg };
+                let y = if w + 2 * s <= 8 {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                };
                 ac.observe(m, y);
             }
         }

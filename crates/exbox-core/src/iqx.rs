@@ -77,9 +77,11 @@ impl IqxModel {
         // so the fit stays a *bona fide* exponential (this also keeps
         // extrapolation sane — gigantic α/β pairs are numerically
         // fragile at QoS values outside the training sweep).
-        let (emin, emax) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, e)| {
-            (lo.min(e), hi.max(e))
-        });
+        let (emin, emax) = data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, e)| {
+                (lo.min(e), hi.max(e))
+            });
         let beta_cap = 3.0 * (emax - emin).max(1e-9);
 
         let sse_at = |gamma: f64| -> (f64, f64, f64) {
@@ -177,8 +179,8 @@ mod tests {
         (0..60)
             .map(|i| {
                 let q = i as f64 / 59.0; // normalised QoS in [0, 1]
-                // Deterministic "noise" for reproducibility.
-                let n = noise * ((i * 2_654_435_761u64 as usize) % 17 ) as f64 / 17.0 - noise / 2.0;
+                                         // Deterministic "noise" for reproducibility.
+                let n = noise * ((i * 2_654_435_761u64 as usize) % 17) as f64 / 17.0 - noise / 2.0;
                 (q, model.qoe(q) + n)
             })
             .collect()

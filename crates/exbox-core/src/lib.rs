@@ -57,21 +57,25 @@ pub mod admittance;
 pub mod apps;
 pub mod baselines;
 pub mod excr;
-pub mod persist;
 pub mod iqx;
 pub mod matrix;
 pub mod middlebox;
+pub mod persist;
 pub mod qoe;
 pub mod selection;
 
 pub use admittance::{AdmittanceClassifier, AdmittanceConfig, ClassifierBackend, Phase};
 pub use apps::{AppAdmission, AppKey};
+pub use baselines::{
+    AdmissionController, Decision, ExBoxController, FlowRequest, MaxClient, RateBased,
+};
 pub use excr::{boundary_points, max_admissible, region_slice, RegionCell};
-pub use persist::{load_estimator, save_estimator};
-pub use baselines::{AdmissionController, Decision, ExBoxController, FlowRequest, MaxClient, RateBased};
 pub use iqx::IqxModel;
 pub use matrix::{FlowKind, SnrLevel, TrafficMatrix};
-pub use middlebox::{Action, Middlebox, MiddleboxConfig, PollVerdict};
+pub use middlebox::{
+    Action, DecisionEvent, DecisionKind, DecisionReason, Middlebox, MiddleboxConfig, PollVerdict,
+};
+pub use persist::{load_estimator, save_estimator};
 pub use qoe::{ClassQoeModel, MetricDirection, QoeEstimator};
 pub use selection::{NetworkCell, NetworkSelector, Selection};
 
@@ -84,7 +88,10 @@ pub mod prelude {
     };
     pub use crate::iqx::IqxModel;
     pub use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
-    pub use crate::middlebox::{Action, Middlebox, MiddleboxConfig, PollVerdict};
+    pub use crate::middlebox::{
+        Action, DecisionEvent, DecisionKind, DecisionReason, Middlebox, MiddleboxConfig,
+        PollVerdict,
+    };
     pub use crate::qoe::{
         paper_directions, train_estimator, ClassQoeModel, MetricDirection, QoeEstimator,
     };

@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn flat_indices_are_unique_and_dense() {
-        let mut seen = vec![false; TrafficMatrix::DIMS];
+        let mut seen = [false; TrafficMatrix::DIMS];
         for class in AppClass::ALL {
             for snr in SnrLevel::ALL {
                 let i = FlowKind::new(class, snr).flat_index();

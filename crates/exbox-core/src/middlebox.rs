@@ -14,9 +14,14 @@
 //!    changed (§4.3 — mobility, app adaptation).
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
 
 use exbox_ml::Label;
-use exbox_net::{Duration, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
+use exbox_net::{
+    AppClass, Duration, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter,
+};
+use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
 
 use crate::admittance::{AdmittanceClassifier, Phase};
 use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
@@ -40,6 +45,114 @@ pub enum PollVerdict {
     Revoke,
 }
 
+/// What happened to a flow in a [`DecisionEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Flow admitted at arrival.
+    Admit,
+    /// Flow rejected at arrival.
+    Reject,
+    /// Admission revoked by a later poll (§4.3).
+    Revoke,
+}
+
+/// Why the middlebox decided the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// Classifier still bootstrapping: every arrival is admitted.
+    Bootstrap,
+    /// The resulting matrix scored inside the learnt ExCR.
+    InsideRegion,
+    /// The resulting matrix scored outside the learnt ExCR.
+    OutsideRegion,
+    /// A poll re-evaluated the standing matrix against a re-learnt
+    /// region and found it inadmissible.
+    RegionReevaluation,
+}
+
+/// One structured admission-control decision, kept in the middlebox's
+/// bounded audit ring so rejections and revocations are explainable
+/// after the fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEvent {
+    /// When the decision was taken (packet timestamp or poll time).
+    pub at: Instant,
+    /// The flow decided on.
+    pub flow: FlowKey,
+    /// Its classified application class.
+    pub class: AppClass,
+    /// Its SNR level at decision time.
+    pub snr: SnrLevel,
+    /// Admit / reject / revoke.
+    pub verdict: DecisionKind,
+    /// Signed classifier score of the matrix the decision was about
+    /// (positive ⇒ inside the region); `None` before the first model.
+    pub margin: Option<f64>,
+    /// The rule that produced the verdict.
+    pub reason: DecisionReason,
+}
+
+impl fmt::Display for DecisionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {} ({}, {:?} SNR) at {:?}: {:?}",
+            self.verdict, self.flow, self.class, self.snr, self.at, self.reason
+        )?;
+        match self.margin {
+            Some(m) => write!(f, " margin={m:.4}"),
+            None => write!(f, " margin=n/a"),
+        }
+    }
+}
+
+/// Instrumentation handles for the middlebox hot paths. Counter pairs
+/// are exact: `admits`/`rejects` tally arrival decisions one-to-one
+/// with the returned [`Action`]s, `keeps`/`revokes` with poll
+/// [`PollVerdict`]s.
+#[derive(Debug)]
+struct MiddleboxMetrics {
+    /// `middlebox.packets` — packets seen by [`Middlebox::process_packet`].
+    packets: Arc<Counter>,
+    /// `middlebox.admits` — arrival decisions that admitted the flow.
+    admits: Arc<Counter>,
+    /// `middlebox.rejects` — arrival decisions that rejected the flow.
+    rejects: Arc<Counter>,
+    /// `middlebox.drops_rejected` — packets dropped because their flow
+    /// was already rejected.
+    drops_rejected: Arc<Counter>,
+    /// `middlebox.keeps` — poll verdicts keeping a flow.
+    keeps: Arc<Counter>,
+    /// `middlebox.revokes` — poll verdicts revoking a flow.
+    revokes: Arc<Counter>,
+    /// `middlebox.departures` — admitted flows that ended.
+    departures: Arc<Counter>,
+    /// `middlebox.polls` — polls that actually ran (interval elapsed).
+    polls: Arc<Counter>,
+    /// `middlebox.decision_latency_ns` — time to decide one arrival.
+    decision_latency_ns: Arc<Histogram>,
+    /// `middlebox.poll_latency_ns` — time per executed poll.
+    poll_latency_ns: Arc<Histogram>,
+}
+
+impl MiddleboxMetrics {
+    fn bind(reg: &MetricsRegistry) -> Self {
+        MiddleboxMetrics {
+            packets: reg.counter("middlebox.packets"),
+            admits: reg.counter("middlebox.admits"),
+            rejects: reg.counter("middlebox.rejects"),
+            drops_rejected: reg.counter("middlebox.drops_rejected"),
+            keeps: reg.counter("middlebox.keeps"),
+            revokes: reg.counter("middlebox.revokes"),
+            departures: reg.counter("middlebox.departures"),
+            polls: reg.counter("middlebox.polls"),
+            decision_latency_ns: reg
+                .histogram("middlebox.decision_latency_ns", &buckets::latency_ns()),
+            poll_latency_ns: reg.histogram("middlebox.poll_latency_ns", &buckets::latency_ns()),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FlowState {
     kind: FlowKind,
@@ -53,6 +166,8 @@ pub struct MiddleboxConfig {
     pub classify_window: usize,
     /// Poll cadence for QoE estimation and re-evaluation.
     pub poll_interval: Duration,
+    /// Most recent [`DecisionEvent`]s retained in the audit ring.
+    pub decision_log_capacity: usize,
 }
 
 impl Default for MiddleboxConfig {
@@ -60,6 +175,7 @@ impl Default for MiddleboxConfig {
         MiddleboxConfig {
             classify_window: 8,
             poll_interval: Duration::from_secs(2),
+            decision_log_capacity: 1024,
         }
     }
 }
@@ -76,17 +192,32 @@ pub struct Middlebox {
     flows: HashMap<FlowKey, FlowState>,
     rejected: HashSet<FlowKey>,
     last_poll: Instant,
+    metrics: MiddleboxMetrics,
+    decisions: EventRing<DecisionEvent>,
 }
 
 impl Middlebox {
     /// Assemble a middlebox from a trained QoE estimator and a fresh
-    /// (or pre-trained) Admittance Classifier.
+    /// (or pre-trained) Admittance Classifier, reporting metrics to
+    /// the process-wide [`exbox_obs::global`] registry.
     pub fn new(
         cfg: MiddleboxConfig,
         estimator: QoeEstimator,
         admittance: AdmittanceClassifier,
     ) -> Self {
+        Self::with_registry(cfg, estimator, admittance, exbox_obs::global())
+    }
+
+    /// Like [`Middlebox::new`] but reporting to an explicit registry,
+    /// so tests can assert exact counter values in isolation.
+    pub fn with_registry(
+        cfg: MiddleboxConfig,
+        estimator: QoeEstimator,
+        admittance: AdmittanceClassifier,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let window = cfg.classify_window;
+        let log_capacity = cfg.decision_log_capacity.max(1);
         Middlebox {
             cfg,
             table: FlowTable::new(),
@@ -97,7 +228,15 @@ impl Middlebox {
             flows: HashMap::new(),
             rejected: HashSet::new(),
             last_poll: Instant::ZERO,
+            metrics: MiddleboxMetrics::bind(registry),
+            decisions: EventRing::new(log_capacity),
         }
+    }
+
+    /// The bounded audit trail of admit/reject/revoke decisions,
+    /// newest last.
+    pub fn decision_log(&self) -> &EventRing<DecisionEvent> {
+        &self.decisions
     }
 
     /// Register a known server endpoint with the early classifier
@@ -124,7 +263,9 @@ impl Middlebox {
     /// Process one packet crossing the gateway. `snr` is the client's
     /// current SNR level as reported by the AP/eNodeB (§3.3).
     pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
+        self.metrics.packets.inc();
         if self.rejected.contains(&pkt.flow) {
+            self.metrics.drops_rejected.inc();
             return Action::Drop;
         }
         self.table.observe(pkt);
@@ -138,7 +279,28 @@ impl Middlebox {
             Some(class) => {
                 let kind = FlowKind::new(class, snr);
                 let resulting = self.matrix.with_arrival(kind);
-                match self.admittance.classify(&resulting) {
+                let ((label, margin), decide_ns) = exbox_obs::time_ns(|| {
+                    (
+                        self.admittance.classify(&resulting),
+                        self.admittance.decision_value(&resulting),
+                    )
+                });
+                self.metrics.decision_latency_ns.record(decide_ns);
+                let reason = match (self.admittance.phase(), label) {
+                    (Phase::Bootstrap, _) => DecisionReason::Bootstrap,
+                    (Phase::Online, Label::Pos) => DecisionReason::InsideRegion,
+                    (Phase::Online, Label::Neg) => DecisionReason::OutsideRegion,
+                };
+                let mut event = DecisionEvent {
+                    at: pkt.timestamp,
+                    flow: pkt.flow,
+                    class,
+                    snr,
+                    verdict: DecisionKind::Admit,
+                    margin,
+                    reason,
+                };
+                match label {
                     Label::Pos => {
                         self.matrix = resulting;
                         self.flows.insert(
@@ -148,11 +310,16 @@ impl Middlebox {
                                 meter: QosMeter::new(),
                             },
                         );
+                        self.metrics.admits.inc();
+                        self.decisions.push(event);
                         Action::Forward
                     }
                     Label::Neg => {
                         self.rejected.insert(pkt.flow);
                         self.early.forget(&pkt.flow);
+                        self.metrics.rejects.inc();
+                        event.verdict = DecisionKind::Reject;
+                        self.decisions.push(event);
                         Action::Drop
                     }
                 }
@@ -180,6 +347,7 @@ impl Middlebox {
     pub fn flow_departed(&mut self, key: &FlowKey) {
         if let Some(fs) = self.flows.remove(key) {
             self.matrix.remove(fs.kind);
+            self.metrics.departures.inc();
         }
         self.rejected.remove(key);
         self.early.forget(key);
@@ -197,6 +365,15 @@ impl Middlebox {
             return Vec::new();
         }
         self.last_poll = now;
+        self.metrics.polls.inc();
+        let (verdicts, poll_ns) = exbox_obs::time_ns(|| self.run_poll(now));
+        self.metrics.poll_latency_ns.record(poll_ns);
+        verdicts
+    }
+
+    /// The body of an executed poll (separated so [`Middlebox::poll`]
+    /// can time it).
+    fn run_poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
         if self.flows.is_empty() {
             return Vec::new();
         }
@@ -236,10 +413,21 @@ impl Middlebox {
                     Label::Neg => PollVerdict::Revoke,
                 };
                 if verdict == PollVerdict::Revoke {
+                    let margin = self.admittance.decision_value(&self.matrix);
                     self.matrix.remove(kind);
                     self.flows.remove(&key);
                     self.rejected.insert(key);
                     verdicts.push((key, verdict));
+                    self.metrics.revokes.inc();
+                    self.decisions.push(DecisionEvent {
+                        at: now,
+                        flow: key,
+                        class: kind.class,
+                        snr: kind.snr,
+                        verdict: DecisionKind::Revoke,
+                        margin,
+                        reason: DecisionReason::RegionReevaluation,
+                    });
                     // Removing one flow may already fix the matrix;
                     // re-check before revoking more.
                     if self.admittance.classify(&self.matrix) == Label::Pos {
@@ -247,6 +435,7 @@ impl Middlebox {
                     }
                 } else {
                     verdicts.push((key, verdict));
+                    self.metrics.keeps.inc();
                 }
             }
         }
@@ -341,7 +530,10 @@ mod tests {
         // Second flow exceeds the learnt region.
         let k2 = FlowKey::synthetic(2, 2, 1, Protocol::Tcp);
         let pkts = streaming_pkts(k2, 12);
-        let actions: Vec<Action> = pkts.iter().map(|p| m.process_packet(&p, SnrLevel::High)).collect();
+        let actions: Vec<Action> = pkts
+            .iter()
+            .map(|p| m.process_packet(p, SnrLevel::High))
+            .collect();
         assert_eq!(actions.last(), Some(&Action::Drop));
         assert_eq!(m.admitted_flows(), 1);
         // Subsequent packets of the rejected flow keep dropping.

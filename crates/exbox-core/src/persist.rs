@@ -94,7 +94,10 @@ pub fn load_estimator<R: Read>(input: R) -> io::Result<QoeEstimator> {
                 let alpha: f64 = a.parse().map_err(|_| bad("bad alpha"))?;
                 let beta: f64 = b.parse().map_err(|_| bad("bad beta"))?;
                 let gamma: f64 = g.parse().map_err(|_| bad("bad gamma"))?;
-                if ![threshold, alpha, beta, gamma].iter().all(|v| v.is_finite()) {
+                if ![threshold, alpha, beta, gamma]
+                    .iter()
+                    .all(|v| v.is_finite())
+                {
                     return Err(bad("non-finite model values"));
                 }
                 models[class.index()] = Some(ClassQoeModel {

@@ -7,9 +7,38 @@
 //! Pre-defined thresholds (paper ref. 39) then map each estimate to
 //! `Y ∈ {+1, −1}`.
 
+use std::sync::Arc;
+
 use exbox_net::{AppClass, QosSample};
+use exbox_obs::{buckets, Counter, Histogram, MetricsRegistry};
 
 use crate::iqx::IqxModel;
+
+/// Instrumentation handles for the estimator. Clones share the same
+/// underlying instruments, so estimator copies aggregate naturally.
+#[derive(Debug, Clone)]
+struct QoeMetrics {
+    /// `qoe.estimate.<class>` — distribution of QoE estimates, in the
+    /// class metric's native unit (seconds or dB).
+    estimates: [Arc<Histogram>; AppClass::COUNT],
+    /// `qoe.acceptable` — acceptability checks that passed.
+    acceptable: Arc<Counter>,
+    /// `qoe.unacceptable` — acceptability checks that failed.
+    unacceptable: Arc<Counter>,
+}
+
+impl QoeMetrics {
+    fn bind(reg: &MetricsRegistry) -> Self {
+        // 0–50 covers both delay-like metrics (seconds) and PSNR (dB).
+        let bounds = buckets::linear(2.5, 2.5, 20);
+        QoeMetrics {
+            estimates: AppClass::ALL
+                .map(|c| reg.histogram(&format!("qoe.estimate.{}", c.name()), &bounds)),
+            acceptable: reg.counter("qoe.acceptable"),
+            unacceptable: reg.counter("qoe.unacceptable"),
+        }
+    }
+}
 
 /// Normalisation of the raw QoS index (`throughput / delay`) onto the
 /// `[0, 1]` scale the IQX models are fitted on.
@@ -98,13 +127,30 @@ impl ClassQoeModel {
 pub struct QoeEstimator {
     models: [ClassQoeModel; AppClass::COUNT],
     scale: QosScale,
+    metrics: QoeMetrics,
 }
 
 impl QoeEstimator {
     /// Build from per-class models (indexed by [`AppClass::index`])
     /// and the QoS normalisation scale fitted during training.
+    /// Estimates and acceptability verdicts are reported to the
+    /// process-wide [`exbox_obs::global`] registry.
     pub fn new(models: [ClassQoeModel; AppClass::COUNT], scale: QosScale) -> Self {
-        QoeEstimator { models, scale }
+        Self::with_registry(models, scale, exbox_obs::global())
+    }
+
+    /// Like [`QoeEstimator::new`] but reporting to an explicit
+    /// registry.
+    pub fn with_registry(
+        models: [ClassQoeModel; AppClass::COUNT],
+        scale: QosScale,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        QoeEstimator {
+            models,
+            scale,
+            metrics: QoeMetrics::bind(registry),
+        }
     }
 
     /// The model for one class.
@@ -126,12 +172,20 @@ impl QoeEstimator {
     /// Estimated QoE metric value for a flow of `class` with measured
     /// `qos`.
     pub fn estimate(&self, class: AppClass, qos: &QosSample) -> f64 {
-        self.model(class).iqx.qoe(self.normalize(qos))
+        let qoe = self.model(class).iqx.qoe(self.normalize(qos));
+        self.metrics.estimates[class.index()].record(qoe);
+        qoe
     }
 
     /// Thresholded acceptability: the `Y ∈ {+1, −1}` mapping.
     pub fn acceptable(&self, class: AppClass, qos: &QosSample) -> bool {
-        self.model(class).acceptable_at(self.normalize(qos))
+        let ok = self.model(class).acceptable_at(self.normalize(qos));
+        if ok {
+            self.metrics.acceptable.inc();
+        } else {
+            self.metrics.unacceptable.inc();
+        }
+        ok
     }
 
     /// Default thresholds from the paper: 3 s page load (§5.3),
@@ -171,6 +225,12 @@ pub fn train_estimator(
             direction: directions[2],
         },
     ];
+    for class in AppClass::ALL {
+        let rmse = models[class.index()].iqx.rmse(&sweeps[class.index()]);
+        exbox_obs::global()
+            .gauge(&format!("qoe.fit_rmse.{}", class.name()))
+            .set(rmse);
+    }
     QoeEstimator::new(models, scale)
 }
 

@@ -8,10 +8,41 @@
 //! a straightforward mechanism to do this in SVM by evaluating how
 //! far away from the separating hyperplane the test point lies."
 
+use std::sync::Arc;
+
 use exbox_ml::Label;
+use exbox_obs::{buckets, Counter, Histogram, MetricsRegistry};
 
 use crate::admittance::AdmittanceClassifier;
 use crate::matrix::{FlowKind, TrafficMatrix};
+
+/// Instrumentation handles for offload decisions.
+#[derive(Debug)]
+struct SelectionMetrics {
+    /// `selection.steers` — flows steered to some cell.
+    steers: Arc<Counter>,
+    /// `selection.rejects_everywhere` — flows no cell could take.
+    rejects_everywhere: Arc<Counter>,
+    /// `selection.steer_margin` — decision value at the chosen cell
+    /// (depth inside its ExCR; bootstrapping cells score 0).
+    steer_margin: Arc<Histogram>,
+}
+
+impl SelectionMetrics {
+    fn bind(reg: &MetricsRegistry) -> Self {
+        SelectionMetrics {
+            steers: reg.counter("selection.steers"),
+            rejects_everywhere: reg.counter("selection.rejects_everywhere"),
+            steer_margin: reg.histogram("selection.steer_margin", &buckets::linear(-2.0, 0.25, 24)),
+        }
+    }
+}
+
+impl Default for SelectionMetrics {
+    fn default() -> Self {
+        Self::bind(exbox_obs::global())
+    }
+}
 
 /// One candidate cell: its classifier and its current traffic matrix.
 #[derive(Debug)]
@@ -53,12 +84,22 @@ pub enum Selection {
 #[derive(Debug, Default)]
 pub struct NetworkSelector {
     cells: Vec<NetworkCell>,
+    metrics: SelectionMetrics,
 }
 
 impl NetworkSelector {
-    /// Empty selector.
+    /// Empty selector reporting to the process-wide
+    /// [`exbox_obs::global`] registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty selector reporting to an explicit registry.
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
+        NetworkSelector {
+            cells: Vec::new(),
+            metrics: SelectionMetrics::bind(registry),
+        }
     }
 
     /// Register a cell; returns its index.
@@ -106,13 +147,20 @@ impl NetworkSelector {
                 continue;
             }
             let score = cell.classifier.decision_value(&resulting).unwrap_or(0.0);
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((i, score));
             }
         }
         match best {
-            Some((cell, score)) => Selection::Steer { cell, score },
-            None => Selection::RejectEverywhere,
+            Some((cell, score)) => {
+                self.metrics.steers.inc();
+                self.metrics.steer_margin.record(score);
+                Selection::Steer { cell, score }
+            }
+            None => {
+                self.metrics.rejects_everywhere.inc();
+                Selection::RejectEverywhere
+            }
         }
     }
 

@@ -6,9 +6,8 @@ use exbox_net::AppClass;
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = FlowKind> {
-    (0usize..3, 0usize..2).prop_map(|(c, s)| {
-        FlowKind::new(AppClass::from_index(c), SnrLevel::from_index(s))
-    })
+    (0usize..3, 0usize..2)
+        .prop_map(|(c, s)| FlowKind::new(AppClass::from_index(c), SnrLevel::from_index(s)))
 }
 
 fn arb_matrix() -> impl Strategy<Value = TrafficMatrix> {

@@ -148,7 +148,10 @@ impl Dataset {
 
     /// Iterator over `(features, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], Label)> {
-        self.xs.iter().map(|v| v.as_slice()).zip(self.ys.iter().copied())
+        self.xs
+            .iter()
+            .map(|v| v.as_slice())
+            .zip(self.ys.iter().copied())
     }
 
     /// Count of positive samples.

@@ -85,7 +85,10 @@ impl LinearSvmTrainer {
     /// # Panics
     /// Panics unless `lambda` is positive and finite.
     pub fn lambda(mut self, lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         self.lambda = lambda;
         self
     }
@@ -254,14 +257,15 @@ mod tests {
         for i in -4i32..=4 {
             for j in -4i32..=4 {
                 let (x, y) = (i as f64, j as f64);
-                let label = if x * x + y * y <= 4.0 { Label::Pos } else { Label::Neg };
+                let label = if x * x + y * y <= 4.0 {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                };
                 ds.push(quadratic_features(&[x, y]), label);
             }
         }
-        let model = LinearSvmTrainer::new()
-            .lambda(1e-4)
-            .epochs(300)
-            .train(&ds);
+        let model = LinearSvmTrainer::new().lambda(1e-4).epochs(300).train(&ds);
         let mut correct = 0;
         for (x, y) in ds.iter() {
             if model.predict(x) == y {

@@ -150,6 +150,7 @@ impl TrainClassifier for SvmTrainer {
                 coef: Vec::new(),
                 bias: sign,
                 dims,
+                smo_iters: 0,
             };
         }
 
@@ -241,15 +242,9 @@ impl TrainClassifier for SvmTrainer {
 
                 // Feasible segment for α_j.
                 let (lo, hi) = if yi != yj {
-                    (
-                        (aj_old - ai_old).max(0.0),
-                        (cj + aj_old - ai_old).min(cj),
-                    )
+                    ((aj_old - ai_old).max(0.0), (cj + aj_old - ai_old).min(cj))
                 } else {
-                    (
-                        (ai_old + aj_old - ci).max(0.0),
-                        (ai_old + aj_old).min(cj),
-                    )
+                    ((ai_old + aj_old - ci).max(0.0), (ai_old + aj_old).min(cj))
                 };
                 if hi - lo < 1e-12 {
                     continue;
@@ -271,10 +266,12 @@ impl TrainClassifier for SvmTrainer {
                 let ai_new = ai_old + yi * yj * (aj_old - aj_new);
 
                 // Bias update (Platt eqs. 20–21).
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - yi * (ai_new - ai_old) * kval(i, i)
                     - yj * (aj_new - aj_old) * kval(i, j);
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - yi * (ai_new - ai_old) * kval(i, j)
                     - yj * (aj_new - aj_old) * kval(j, j);
                 let b_new = if ai_new > 0.0 && ai_new < ci {
@@ -321,6 +318,7 @@ impl TrainClassifier for SvmTrainer {
             coef,
             bias: b,
             dims,
+            smo_iters: iters,
         }
     }
 }
@@ -334,12 +332,19 @@ pub struct SvmModel {
     coef: Vec<f64>,
     bias: f64,
     dims: usize,
+    smo_iters: u64,
 }
 
 impl SvmModel {
     /// Number of support vectors retained by training.
     pub fn num_support_vectors(&self) -> usize {
         self.support.len()
+    }
+
+    /// Total SMO inner-loop iterations training spent producing this
+    /// model (0 for models reassembled via [`SvmModel::from_parts`]).
+    pub fn smo_iterations(&self) -> u64 {
+        self.smo_iters
     }
 
     /// The kernel the model was trained with.
@@ -383,6 +388,7 @@ impl SvmModel {
             coef,
             bias,
             dims,
+            smo_iters: 0,
         }
     }
 
@@ -434,7 +440,9 @@ mod tests {
 
     #[test]
     fn separates_linear_clusters_with_linear_kernel() {
-        let model = SvmTrainer::new(Kernel::Linear).c(10.0).train(&linearly_separable());
+        let model = SvmTrainer::new(Kernel::Linear)
+            .c(10.0)
+            .train(&linearly_separable());
         assert_eq!(model.predict(&[-3.0, 0.0]), Label::Pos);
         assert_eq!(model.predict(&[3.0, 0.0]), Label::Neg);
         // Margin signs on the training data itself.
@@ -444,8 +452,20 @@ mod tests {
     }
 
     #[test]
+    fn training_reports_smo_iterations() {
+        let model = SvmTrainer::new(Kernel::Linear)
+            .c(10.0)
+            .train(&linearly_separable());
+        assert!(model.smo_iterations() > 0, "real training must iterate");
+        let rebuilt = SvmModel::from_parts(Kernel::Linear, Vec::new(), Vec::new(), 1.0, 2);
+        assert_eq!(rebuilt.smo_iterations(), 0);
+    }
+
+    #[test]
     fn separates_linear_clusters_with_rbf_kernel() {
-        let model = SvmTrainer::new(Kernel::rbf(0.5)).c(10.0).train(&linearly_separable());
+        let model = SvmTrainer::new(Kernel::rbf(0.5))
+            .c(10.0)
+            .train(&linearly_separable());
         for (x, y) in linearly_separable().iter() {
             assert_eq!(model.predict(x), y);
         }
@@ -475,7 +495,11 @@ mod tests {
         let mut ds = Dataset::new(2);
         for a in 0..12 {
             for b in 0..12 {
-                let y = if 2 * a + 3 * b <= 24 { Label::Pos } else { Label::Neg };
+                let y = if 2 * a + 3 * b <= 24 {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                };
                 ds.push(vec![a as f64, b as f64], y);
             }
         }
@@ -528,7 +552,9 @@ mod tests {
     #[test]
     fn gram_and_on_demand_paths_agree() {
         let ds = linearly_separable();
-        let with_gram = SvmTrainer::new(Kernel::rbf(0.5)).gram_limit(1000).train(&ds);
+        let with_gram = SvmTrainer::new(Kernel::rbf(0.5))
+            .gram_limit(1000)
+            .train(&ds);
         let no_gram = SvmTrainer::new(Kernel::rbf(0.5)).gram_limit(0).train(&ds);
         for x in [[-3.0, 0.0], [3.0, 0.0], [0.0, 0.0]] {
             let a = with_gram.decision_value(&x);
@@ -539,7 +565,9 @@ mod tests {
 
     #[test]
     fn linear_weights_reconstruction() {
-        let model = SvmTrainer::new(Kernel::Linear).c(10.0).train(&linearly_separable());
+        let model = SvmTrainer::new(Kernel::Linear)
+            .c(10.0)
+            .train(&linearly_separable());
         let w = model.linear_weights().expect("linear kernel has weights");
         assert_eq!(w.len(), 2);
         // Boundary is near x0 = 0 with Pos on the negative side, so

@@ -14,7 +14,7 @@ proptest! {
     fn rbf_kernel_bounded(x in finite_vec(4), z in finite_vec(4), gamma in 0.01f64..5.0) {
         let k = Kernel::rbf(gamma);
         let v = k.eval(&x, &z);
-        prop_assert!(v >= 0.0 && v <= 1.0 + 1e-12, "K = {v}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "K = {v}");
         prop_assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
     }
 

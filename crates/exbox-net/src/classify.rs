@@ -21,6 +21,26 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use crate::packet::{Direction, FlowKey, Packet};
+
+/// Lazily-bound global counters (classification fires once per flow,
+/// so a relaxed atomic behind a `OnceLock` is plenty).
+mod metrics {
+    use std::sync::{Arc, OnceLock};
+
+    use exbox_obs::Counter;
+
+    /// `net.flows_classified` — flows that received a class.
+    pub fn classified() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| exbox_obs::global().counter("net.flows_classified"))
+    }
+
+    /// `net.hint_classified` — flows classified via the endpoint prior.
+    pub fn hint_classified() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| exbox_obs::global().counter("net.hint_classified"))
+    }
+}
 use crate::time::Instant;
 
 /// Application classes used throughout the reproduction — the three
@@ -95,12 +115,15 @@ pub struct FlowFeatures {
     pub iat_cov: f64,
 }
 
+/// One observed packet: arrival time, size in bytes, direction.
+pub type PacketRecord = (Instant, u32, Direction);
+
 impl FlowFeatures {
     /// Compute features from packet records (any direction mix).
     ///
     /// # Panics
     /// Panics if `packets` is empty.
-    pub fn from_packets(packets: &[(Instant, u32, Direction)]) -> FlowFeatures {
+    pub fn from_packets(packets: &[PacketRecord]) -> FlowFeatures {
         assert!(!packets.is_empty(), "need at least one packet");
         let down: Vec<f64> = packets
             .iter()
@@ -169,7 +192,7 @@ pub struct EarlyClassifier {
     /// known video CDN / conferencing relay / web origin classify by
     /// endpoint, as production classifiers do via DNS/SNI.
     server_hints: HashMap<Ipv4Addr, AppClass>,
-    pending: HashMap<FlowKey, Vec<(Instant, u32, Direction)>>,
+    pending: HashMap<FlowKey, Vec<PacketRecord>>,
     decided: HashMap<FlowKey, AppClass>,
 }
 
@@ -214,15 +237,15 @@ impl EarlyClassifier {
     ///
     /// # Panics
     /// Panics if any class has no examples or any example is empty.
-    pub fn train(window: usize, examples: &[(AppClass, Vec<(Instant, u32, Direction)>)]) -> Self {
+    pub fn train(window: usize, examples: &[(AppClass, Vec<PacketRecord>)]) -> Self {
         assert!(window >= 2, "classification window needs >= 2 packets");
         let mut sums: HashMap<AppClass, ([f64; 5], usize)> = HashMap::new();
         for (class, pkts) in examples {
             let truncated: Vec<_> = pkts.iter().copied().take(window).collect();
             let v = FlowFeatures::from_packets(&truncated).as_vector();
             let entry = sums.entry(*class).or_insert(([0.0; 5], 0));
-            for k in 0..5 {
-                entry.0[k] += v[k];
+            for (acc, x) in entry.0.iter_mut().zip(v) {
+                *acc += x;
             }
             entry.1 += 1;
         }
@@ -268,6 +291,8 @@ impl EarlyClassifier {
         if let Some(&class) = self.server_hints.get(&pkt.flow.server_ip) {
             self.pending.remove(&pkt.flow);
             self.decided.insert(pkt.flow, class);
+            metrics::hint_classified().inc();
+            metrics::classified().inc();
             return Some(class);
         }
         let buf = self.pending.entry(pkt.flow).or_default();
@@ -279,6 +304,7 @@ impl EarlyClassifier {
         let class = self.classify_features(&feats);
         self.pending.remove(&pkt.flow);
         self.decided.insert(pkt.flow, class);
+        metrics::classified().inc();
         Some(class)
     }
 
@@ -353,7 +379,12 @@ mod tests {
                 if i % 3 == 0 {
                     mk_pkt(key, 12 * i as u64, 250, Direction::Uplink)
                 } else {
-                    mk_pkt(key, 12 * i as u64, 300 + 700 * (i as u32 % 2), Direction::Downlink)
+                    mk_pkt(
+                        key,
+                        12 * i as u64,
+                        300 + 700 * (i as u32 % 2),
+                        Direction::Downlink,
+                    )
                 }
             })
             .collect()
@@ -418,7 +449,7 @@ mod tests {
     #[test]
     fn trained_profiles_beat_arbitrary_shapes() {
         // Train on deliberately odd shapes the defaults would confuse.
-        let mk = |ms_step: u64, size: u32| -> Vec<(Instant, u32, Direction)> {
+        let mk = |ms_step: u64, size: u32| -> Vec<PacketRecord> {
             (0..8)
                 .map(|i| (Instant::from_millis(ms_step * i), size, Direction::Downlink))
                 .collect()

@@ -126,7 +126,11 @@ impl FlowTable {
     /// Evict flows idle since before `now − idle_timeout`; returns the
     /// evicted `(key, stats)` pairs sorted by key for deterministic
     /// iteration order downstream.
-    pub fn evict_idle(&mut self, now: Instant, idle_timeout: Duration) -> Vec<(FlowKey, FlowStats)> {
+    pub fn evict_idle(
+        &mut self,
+        now: Instant,
+        idle_timeout: Duration,
+    ) -> Vec<(FlowKey, FlowStats)> {
         let cutoff = Instant::from_nanos(now.as_nanos().saturating_sub(idle_timeout.as_nanos()));
         let dead: Vec<FlowKey> = self
             .flows
@@ -234,7 +238,9 @@ mod tests {
     fn remove_returns_stats() {
         let mut t = FlowTable::new();
         t.observe(&pkt(0, 42, 1, Direction::Uplink));
-        let s = t.remove(&FlowKey::synthetic(1, 1, 1, Protocol::Udp)).unwrap();
+        let s = t
+            .remove(&FlowKey::synthetic(1, 1, 1, Protocol::Udp))
+            .unwrap();
         assert_eq!(s.bytes_up, 42);
         assert!(t.is_empty());
     }

@@ -146,7 +146,13 @@ pub struct Packet {
 
 impl Packet {
     /// Construct a packet record.
-    pub fn new(timestamp: Instant, size: u32, flow: FlowKey, direction: Direction, seq: u64) -> Self {
+    pub fn new(
+        timestamp: Instant,
+        size: u32,
+        flow: FlowKey,
+        direction: Direction,
+        seq: u64,
+    ) -> Self {
         Packet {
             timestamp,
             size,

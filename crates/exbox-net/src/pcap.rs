@@ -210,7 +210,12 @@ impl<R: Read> PcapReader<R> {
         let frac = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]) as u64;
         let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
         let orig = u32::from_le_bytes([rec[12], rec[13], rec[14], rec[15]]);
-        let nanos = sec * 1_000_000_000 + if self.ns_resolution { frac } else { frac * 1_000 };
+        let nanos = sec * 1_000_000_000
+            + if self.ns_resolution {
+                frac
+            } else {
+                frac * 1_000
+            };
 
         let mut data = vec![0u8; incl];
         self.input.read_exact(&mut data)?;
@@ -268,7 +273,13 @@ mod tests {
         let udp = FlowKey::synthetic(3, 7, 1, Protocol::Udp);
         let tcp = FlowKey::synthetic(4, 8, 2, Protocol::Tcp);
         vec![
-            Packet::new(Instant::from_nanos(123_456_789), 1400, udp, Direction::Downlink, 5),
+            Packet::new(
+                Instant::from_nanos(123_456_789),
+                1400,
+                udp,
+                Direction::Downlink,
+                5,
+            ),
             Packet::new(Instant::from_millis(200), 60, udp, Direction::Uplink, 6),
             Packet::new(Instant::from_secs(3), 900, tcp, Direction::Downlink, 7),
         ]
@@ -333,7 +344,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let bytes = vec![0u8; 24];
+        let bytes = [0u8; 24];
         let err = PcapReader::new(&bytes[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

@@ -9,6 +9,26 @@
 
 use crate::time::{Duration, Instant};
 
+/// Lazily-bound global counters for the per-packet metering path: a
+/// `OnceLock` read plus one relaxed atomic add per event.
+mod metrics {
+    use std::sync::{Arc, OnceLock};
+
+    use exbox_obs::Counter;
+
+    /// `net.deliveries` — packets metered as delivered, all flows.
+    pub fn deliveries() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| exbox_obs::global().counter("net.deliveries"))
+    }
+
+    /// `net.drops` — packets metered as dropped, all flows.
+    pub fn drops() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| exbox_obs::global().counter("net.drops"))
+    }
+}
+
 /// Snapshot of a flow's QoS over an observation window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosSample {
@@ -100,11 +120,13 @@ impl QosMeter {
         self.bytes += size as u64;
         self.delivered += 1;
         self.delay_sum += received.saturating_since(sent);
+        metrics::deliveries().inc();
     }
 
     /// Record a dropped packet.
     pub fn drop_packet(&mut self) {
         self.dropped += 1;
+        metrics::drops().inc();
     }
 
     /// Number of delivered packets in the current window.

@@ -253,7 +253,10 @@ mod tests {
     #[test]
     fn link_idle_gap_resets_queue() {
         let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.0, 2_000, 7);
-        assert!(matches!(l.offer(Instant::ZERO, 1250), LinkVerdict::Deliver(_)));
+        assert!(matches!(
+            l.offer(Instant::ZERO, 1250),
+            LinkVerdict::Deliver(_)
+        ));
         // Arrives long after the first finished: queue empty again.
         match l.offer(Instant::from_secs(1), 1250) {
             LinkVerdict::Deliver(t) => {
@@ -266,8 +269,14 @@ mod tests {
     #[test]
     fn link_overflows_bounded_queue() {
         let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.0, 3_000, 7);
-        assert!(matches!(l.offer(Instant::ZERO, 1250), LinkVerdict::Deliver(_)));
-        assert!(matches!(l.offer(Instant::ZERO, 1250), LinkVerdict::Deliver(_)));
+        assert!(matches!(
+            l.offer(Instant::ZERO, 1250),
+            LinkVerdict::Deliver(_)
+        ));
+        assert!(matches!(
+            l.offer(Instant::ZERO, 1250),
+            LinkVerdict::Deliver(_)
+        ));
         // Third back-to-back packet exceeds 3000 queued bytes.
         assert_eq!(l.offer(Instant::ZERO, 1250), LinkVerdict::QueueOverflow);
     }
@@ -294,7 +303,12 @@ mod tests {
         let run = |seed| {
             let mut l = NetemLink::new(1_000_000, Duration::ZERO, 0.5, 1 << 30, seed);
             (0..64)
-                .map(|i| matches!(l.offer(Instant::from_millis(i), 10), LinkVerdict::RandomLoss))
+                .map(|i| {
+                    matches!(
+                        l.offer(Instant::from_millis(i), 10),
+                        LinkVerdict::RandomLoss
+                    )
+                })
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(9), run(9));

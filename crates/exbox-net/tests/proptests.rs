@@ -3,8 +3,10 @@
 use std::net::Ipv4Addr;
 
 use exbox_net::pcap::{PcapReader, PcapWriter};
-use exbox_net::{Direction, Duration, FlowKey, Instant, NetemLink, Packet, Protocol, QosMeter, TokenBucket};
 use exbox_net::shaper::LinkVerdict;
+use exbox_net::{
+    Direction, Duration, FlowKey, Instant, NetemLink, Packet, Protocol, QosMeter, TokenBucket,
+};
 use proptest::prelude::*;
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
@@ -12,9 +14,8 @@ fn arb_protocol() -> impl Strategy<Value = Protocol> {
 }
 
 fn arb_flow_key() -> impl Strategy<Value = FlowKey> {
-    (0u32..1000, 0u32..1000, 1u8..250, arb_protocol()).prop_map(|(c, f, s, p)| {
-        FlowKey::synthetic(c, f, s, p)
-    })
+    (0u32..1000, 0u32..1000, 1u8..250, arb_protocol())
+        .prop_map(|(c, f, s, p)| FlowKey::synthetic(c, f, s, p))
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
@@ -25,7 +26,9 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         prop_oneof![Just(Direction::Uplink), Just(Direction::Downlink)],
         0u64..u16::MAX as u64,
     )
-        .prop_map(|(ns, size, flow, dir, seq)| Packet::new(Instant::from_nanos(ns), size, flow, dir, seq))
+        .prop_map(|(ns, size, flow, dir, seq)| {
+            Packet::new(Instant::from_nanos(ns), size, flow, dir, seq)
+        })
 }
 
 proptest! {

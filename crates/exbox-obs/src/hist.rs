@@ -1,0 +1,261 @@
+//! Fixed-bucket histograms with atomic recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Standard bucket layouts.
+pub mod buckets {
+    /// `count` upper bounds starting at `start`, each `factor` times
+    /// the previous — the classic latency ladder.
+    ///
+    /// # Panics
+    /// Panics unless `start > 0`, `factor > 1` and `count >= 1`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(start > 0.0 && factor > 1.0 && count >= 1, "bad bucket spec");
+        let mut b = Vec::with_capacity(count);
+        let mut v = start;
+        for _ in 0..count {
+            b.push(v);
+            v *= factor;
+        }
+        b
+    }
+
+    /// `count` upper bounds `start, start+step, …`.
+    ///
+    /// # Panics
+    /// Panics unless `step > 0` and `count >= 1`.
+    pub fn linear(start: f64, step: f64, count: usize) -> Vec<f64> {
+        assert!(step > 0.0 && count >= 1, "bad bucket spec");
+        (0..count).map(|i| start + step * i as f64).collect()
+    }
+
+    /// Nanosecond latency ladder: 1 µs … ≈8.6 s, doubling.
+    pub fn latency_ns() -> Vec<f64> {
+        exponential(1_000.0, 2.0, 24)
+    }
+
+    /// Unit-interval grid (20 buckets of 0.05) for ratios and
+    /// normalised QoS/QoE values.
+    pub fn unit() -> Vec<f64> {
+        linear(0.05, 0.05, 20)
+    }
+
+    /// Small-count grid (1 … 10 000, ×10) for batch sizes, iteration
+    /// counts and sample-store sizes.
+    pub fn counts() -> Vec<f64> {
+        exponential(1.0, 10.0, 8)
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Buckets are defined by ascending upper bounds; an implicit
+/// overflow bucket catches everything above the last bound. Recording
+/// is lock-free (relaxed atomics); `sum`/`min`/`max` are maintained
+/// with CAS loops over the value's bit pattern.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>, // bounds.len() + 1 (overflow)
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over ascending upper `bounds`.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Record one observation. Non-finite values are ignored.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        Self::fetch_update(&self.sum_bits, |s| s + v);
+        Self::fetch_update(&self.min_bits, |m| m.min(v));
+        Self::fetch_update(&self.max_bits, |m| m.max(v));
+    }
+
+    fn fetch_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let per_bucket: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: per_bucket,
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+            },
+        }
+    }
+}
+
+/// Frozen view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one extra overflow bucket at the end.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the
+    /// bucket containing the `q`-th observation, clamped to the exact
+    /// observed `[min, max]`. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let ub = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                return ub.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 5000.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // <=1, <=10, <=100, overflow
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 5000.0);
+        assert!((s.sum - 5056.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_distribution() {
+        let h = Histogram::new(&buckets::exponential(1.0, 2.0, 12));
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((256.0..=1024.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= p50);
+        assert!(p99 <= s.max);
+        assert_eq!(s.quantile(0.0).max(1.0), 1.0);
+        assert_eq!(s.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(
+            (s.count, s.min, s.max, s.mean(), s.quantile(0.5)),
+            (0, 0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn standard_layouts_are_sane() {
+        assert_eq!(buckets::exponential(1.0, 10.0, 3), vec![1.0, 10.0, 100.0]);
+        assert_eq!(buckets::linear(0.5, 0.5, 3), vec![0.5, 1.0, 1.5]);
+        assert!(buckets::latency_ns().len() > 16);
+        assert_eq!(buckets::unit().len(), 20);
+        assert!(buckets::counts().starts_with(&[1.0, 10.0]));
+    }
+}

@@ -1,0 +1,331 @@
+//! Named metric registry and snapshot export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::{Counter, Gauge};
+
+/// Names counters, gauges and histograms and hands out shared
+/// handles. Asking for an existing name returns the existing
+/// instrument, so independent components (or multiple instances of
+/// one component) naturally aggregate into the same metric.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            g.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(
+            g.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram `name`. The bucket `bounds` apply
+    /// only on first creation; later callers share the existing
+    /// instrument unchanged.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut g = self.histograms.lock().expect("registry poisoned");
+        Arc::clone(
+            g.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide default registry. Components bind to it unless
+/// constructed with an explicit registry; bench binaries dump it on
+/// exit.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// A frozen, ordered view of a registry. All export formats list
+/// metrics in lexicographic name order, so diffs between runs are
+/// stable.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serialize as a single JSON object:
+    /// `{"counters":{…},"gauges":{…},"histograms":{name:{count,sum,min,max,mean,p50,p95,p99,buckets:[[le,n],…]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), json_num(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                json_escape(name),
+                h.count,
+                json_num(h.sum),
+                json_num(h.min),
+                json_num(h.max),
+                json_num(h.mean()),
+                json_num(h.quantile(0.50)),
+                json_num(h.quantile(0.95)),
+                json_num(h.quantile(0.99)),
+            );
+            for (j, &c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let le = h
+                    .bounds
+                    .get(j)
+                    .copied()
+                    .map(json_num)
+                    .unwrap_or_else(|| "null".into());
+                let _ = write!(out, "[{le},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serialize as CSV with header `metric,kind,value`; histograms
+    /// expand into `count/mean/min/max/p50/p95/p99` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,value\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name},counter,{v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name},gauge,{v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{name}.count,histogram,{}", h.count);
+            let _ = writeln!(out, "{name}.mean,histogram,{}", h.mean());
+            let _ = writeln!(out, "{name}.min,histogram,{}", h.min);
+            let _ = writeln!(out, "{name}.max,histogram,{}", h.max);
+            let _ = writeln!(out, "{name}.p50,histogram,{}", h.quantile(0.50));
+            let _ = writeln!(out, "{name}.p95,histogram,{}", h.quantile(0.95));
+            let _ = writeln!(out, "{name}.p99,histogram,{}", h.quantile(0.99));
+        }
+        out
+    }
+
+    /// Human-readable aligned text block (what bench binaries print
+    /// to stderr on exit).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== metrics snapshot ==\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<44} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  {name:<44} {v:.6}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<44} n={} mean={:.1} p50={:.1} p95={:.1} max={:.1}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.max,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buckets;
+
+    #[test]
+    fn same_name_shares_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").inc();
+        reg.counter("a.b").inc();
+        assert_eq!(reg.snapshot().counter("a.b"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(3);
+        reg.gauge("m.acc").set(0.75);
+        reg.histogram("h.lat", &buckets::latency_ns())
+            .record(2_000.0);
+        let s = reg.snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+        assert_eq!(s.gauge("m.acc"), Some(0.75));
+        assert_eq!(s.histogram("h.lat").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn json_export_is_wellformed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c\"tricky").inc();
+        reg.gauge("g").set(1.5);
+        reg.histogram("h", &[1.0, 2.0]).record(1.5);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"c\\\"tricky\":1"));
+        assert!(json.contains("\"g\":1.5"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"buckets\":[[1,0],[2,1],[null,0]]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let reg = MetricsRegistry::new();
+        reg.counter("admitted").add(7);
+        reg.histogram("lat", &[10.0]).record(5.0);
+        let csv = reg.snapshot().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("metric,kind,value"));
+        assert!(csv.contains("admitted,counter,7"));
+        assert!(csv.contains("lat.count,histogram,1"));
+        assert!(csv.contains("lat.p95,histogram,"));
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("one").inc();
+        reg.gauge("two").set(2.0);
+        reg.histogram("three", &[1.0]).record(0.5);
+        let text = reg.snapshot().render();
+        for name in ["one", "two", "three"] {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let c = global().counter("obs.selftest");
+        let before = c.get();
+        global().counter("obs.selftest").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

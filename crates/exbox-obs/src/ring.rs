@@ -1,0 +1,117 @@
+//! Bounded ring-buffer event log.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded event log keeping the most recent `capacity` events.
+///
+/// When full, pushing evicts the oldest event and counts it as
+/// dropped, so the log can answer both "what happened recently" and
+/// "how much history did I lose". The middlebox's admission-decision
+/// audit trail is an `EventRing<DecisionEvent>`.
+#[derive(Debug)]
+pub struct EventRing<T> {
+    inner: Mutex<RingInner<T>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingInner<T> {
+    buf: VecDeque<T>,
+    evicted: u64,
+    pushed: u64,
+}
+
+impl<T: Clone> EventRing<T> {
+    /// Ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        EventRing {
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity),
+                evicted: 0,
+                pushed: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, event: T) {
+        let mut g = self.inner.lock().expect("event ring poisoned");
+        if g.buf.len() == self.capacity {
+            g.buf.pop_front();
+            g.evicted += 1;
+        }
+        g.buf.push_back(event);
+        g.pushed += 1;
+    }
+
+    /// Oldest-to-newest copy of the retained events.
+    pub fn snapshot(&self) -> Vec<T> {
+        let g = self.inner.lock().expect("event ring poisoned");
+        g.buf.iter().cloned().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event ring poisoned").buf.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted to make room (total history lost).
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().expect("event ring poisoned").evicted
+    }
+
+    /// Total events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().expect("event ring poisoned").pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent() {
+        let r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.snapshot(), vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.total_pushed(), 5);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let r = EventRing::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.snapshot(), vec!["a", "b"]);
+        assert_eq!(r.evicted(), 0);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: EventRing<u8> = EventRing::new(0);
+    }
+}

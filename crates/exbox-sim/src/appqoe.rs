@@ -62,7 +62,7 @@ pub fn page_load_times(flow: &FlowOutcome) -> Vec<Option<Duration>> {
             .packets
             .iter()
             .filter(|p| p.direction == Direction::Downlink)
-            .filter(|p| p.offered >= req && next.map_or(true, |n| p.offered < n))
+            .filter(|p| p.offered >= req && next.is_none_or(|n| p.offered < n))
             .collect();
         if page_pkts.is_empty() {
             continue; // request fired at flow end; no page to measure
@@ -228,7 +228,10 @@ mod tests {
             AppClass::Web,
         );
         // PLTs: 1000, 100, 500 -> sorted 100, 500, 1000 -> median 500.
-        assert_eq!(median_page_load_time(&flow), Some(Duration::from_millis(500)));
+        assert_eq!(
+            median_page_load_time(&flow),
+            Some(Duration::from_millis(500))
+        );
     }
 
     #[test]
@@ -242,21 +245,19 @@ mod tests {
             AppClass::Streaming,
         );
         // Needs 1500 bytes: filled by the third delivery at 900 ms.
-        assert_eq!(
-            startup_delay(&flow, 1500),
-            Some(Duration::from_millis(900))
-        );
+        assert_eq!(startup_delay(&flow, 1500), Some(Duration::from_millis(900)));
         // 1200 bytes: filled at the second delivery.
-        assert_eq!(
-            startup_delay(&flow, 1200),
-            Some(Duration::from_millis(300))
-        );
+        assert_eq!(startup_delay(&flow, 1200), Some(Duration::from_millis(300)));
     }
 
     #[test]
     fn startup_delay_none_when_starved() {
         let flow = mk_flow(
-            vec![down(0, Some(10), 600), down(1, None, 600), down(2, None, 600)],
+            vec![
+                down(0, Some(10), 600),
+                down(1, None, 600),
+                down(2, None, 600),
+            ],
             AppClass::Streaming,
         );
         assert_eq!(startup_delay(&flow, 1500), None);
@@ -265,12 +266,20 @@ mod tests {
     #[test]
     fn psnr_pristine_vs_lossy() {
         let clean = mk_flow(
-            (0..100).map(|i| down(i * 30, Some(i * 30 + 20), 1000)).collect(),
+            (0..100)
+                .map(|i| down(i * 30, Some(i * 30 + 20), 1000))
+                .collect(),
             AppClass::Conferencing,
         );
         let lossy = mk_flow(
             (0..100)
-                .map(|i| down(i * 30, if i % 3 == 0 { None } else { Some(i * 30 + 20) }, 1000))
+                .map(|i| {
+                    down(
+                        i * 30,
+                        if i % 3 == 0 { None } else { Some(i * 30 + 20) },
+                        1000,
+                    )
+                })
                 .collect(),
             AppClass::Conferencing,
         );
@@ -284,7 +293,9 @@ mod tests {
     #[test]
     fn psnr_counts_late_packets_as_loss() {
         let late = mk_flow(
-            (0..100).map(|i| down(i * 30, Some(i * 30 + 900), 1000)).collect(),
+            (0..100)
+                .map(|i| down(i * 30, Some(i * 30 + 900), 1000))
+                .collect(),
             AppClass::Conferencing,
         );
         let p = conferencing_psnr_db(&late, Duration::from_millis(400));
@@ -294,7 +305,10 @@ mod tests {
     #[test]
     fn psnr_empty_flow_is_floor() {
         let empty = mk_flow(vec![], AppClass::Conferencing);
-        assert_eq!(conferencing_psnr_db(&empty, Duration::from_millis(400)), 10.0);
+        assert_eq!(
+            conferencing_psnr_db(&empty, Duration::from_millis(400)),
+            10.0
+        );
     }
 
     #[test]

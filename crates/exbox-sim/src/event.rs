@@ -10,6 +10,25 @@ use std::collections::BinaryHeap;
 
 use exbox_net::Instant;
 
+/// Lazily-bound global counters for the calendar hot path.
+mod metrics {
+    use std::sync::{Arc, OnceLock};
+
+    use exbox_obs::Counter;
+
+    /// `sim.events_scheduled` — events pushed onto any queue.
+    pub fn scheduled() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| exbox_obs::global().counter("sim.events_scheduled"))
+    }
+
+    /// `sim.events_popped` — events fired from any queue.
+    pub fn popped() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| exbox_obs::global().counter("sim.events_popped"))
+    }
+}
+
 /// A deterministic discrete-event queue over event payloads `E`.
 #[derive(Debug)]
 pub struct EventQueue<E> {
@@ -61,11 +80,17 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, event }));
+        metrics::scheduled().inc();
     }
 
     /// Pop the earliest event.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(Instant, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        let popped = self.heap.pop().map(|Reverse(e)| (e.at, e.event));
+        if popped.is_some() {
+            metrics::popped().inc();
+        }
+        popped
     }
 
     /// Time of the earliest pending event.

@@ -297,13 +297,16 @@ impl FluidLte {
         let prb_per_bit: Vec<f64> = flows
             .iter()
             .zip(&demands)
-            .map(|(f, &d)| if f.offered_bps > 0.0 { d / f.offered_bps } else { 0.0 })
+            .map(|(f, &d)| {
+                if f.offered_bps > 0.0 {
+                    d / f.offered_bps
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let burst_for = |i: usize| -> f64 {
-            let others: f64 = (0..flows.len())
-                .filter(|&j| j != i)
-                .map(|j| alloc[j])
-                .sum();
+            let others: f64 = (0..flows.len()).filter(|&j| j != i).map(|j| alloc[j]).sum();
             let spare = (self.prbs as f64 - others).max(alloc[i]);
             if prb_per_bit[i] > 0.0 {
                 spare / prb_per_bit[i]
@@ -443,7 +446,10 @@ mod tests {
             "aggregate {total}"
         );
         assert!(qos[0].loss_ratio > 0.3);
-        assert!(qos[0].delay > Duration::from_millis(100), "bufferbloat expected");
+        assert!(
+            qos[0].delay > Duration::from_millis(100),
+            "bufferbloat expected"
+        );
     }
 
     #[test]

@@ -119,10 +119,23 @@ struct QueuedPkt {
 /// Panics if a flow references a UE outside `ues` or its trace is not
 /// time-sorted.
 pub fn run_lte(cfg: &LteConfig, ues: &[LteUe], flows: &[OfferedLteFlow]) -> Vec<FlowOutcome> {
+    let (out, wall_ns) = exbox_obs::time_ns(|| run_lte_inner(cfg, ues, flows));
+    let reg = exbox_obs::global();
+    reg.counter("sim.lte_runs").inc();
+    reg.histogram("sim.run_wall_ns", &exbox_obs::buckets::latency_ns())
+        .record(wall_ns);
+    reg.counter("sim.packets_simulated")
+        .add(flows.iter().map(|f| f.packets.len() as u64).sum());
+    out
+}
+
+fn run_lte_inner(cfg: &LteConfig, ues: &[LteUe], flows: &[OfferedLteFlow]) -> Vec<FlowOutcome> {
     for f in flows {
         assert!(f.ue < ues.len(), "flow references unknown UE");
         assert!(
-            f.packets.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            f.packets
+                .windows(2)
+                .all(|w| w[0].timestamp <= w[1].timestamp),
             "offered trace must be time-sorted"
         );
     }
@@ -302,9 +315,9 @@ pub fn run_lte(cfg: &LteConfig, ues: &[LteUe], flows: &[OfferedLteFlow]) -> Vec<
                 pf_avg[u] = 0.9 * pf_avg[u] + 0.1 * served as f64;
             }
             // Decay the PF average of idle UEs.
-            for u in 0..ues.len() {
+            for (u, avg) in pf_avg.iter_mut().enumerate() {
                 if !backlogged.contains(&u) {
-                    pf_avg[u] *= 0.9;
+                    *avg *= 0.9;
                 }
             }
         }
@@ -318,7 +331,7 @@ pub fn run_lte(cfg: &LteConfig, ues: &[LteUe], flows: &[OfferedLteFlow]) -> Vec<
             let jump = arrivals[next_arrival].0;
             if jump > now {
                 let whole_ttis = (jump.as_nanos() - now.as_nanos()) / 1_000_000;
-                now = now + Duration::from_millis(whole_ttis);
+                now += Duration::from_millis(whole_ttis);
             }
         }
     }
@@ -375,7 +388,11 @@ mod tests {
         let out = run_lte(&LteConfig::default(), &ues, &flows);
         assert_eq!(out[0].delivered_downlink(), 200);
         let q = out[0].downlink_qos();
-        assert!(q.mean_delay < Duration::from_millis(15), "delay {}", q.mean_delay);
+        assert!(
+            q.mean_delay < Duration::from_millis(15),
+            "delay {}",
+            q.mean_delay
+        );
     }
 
     #[test]
@@ -421,7 +438,11 @@ mod tests {
         // Everything still arrives (HARQ recovers), later on average.
         assert_eq!(out[0].delivered_downlink(), 500);
         let q = out[0].downlink_qos();
-        assert!(q.mean_delay >= Duration::from_millis(4), "delay {}", q.mean_delay);
+        assert!(
+            q.mean_delay >= Duration::from_millis(4),
+            "delay {}",
+            q.mean_delay
+        );
     }
 
     #[test]
@@ -442,10 +463,7 @@ mod tests {
         }];
         let ues = vec![LteUe::at_level(SnrLevel::High)];
         let out = run_lte(&LteConfig::default(), &ues, &flows);
-        assert_eq!(
-            out[0].packets[0].delivered,
-            Some(Instant::from_millis(18))
-        );
+        assert_eq!(out[0].packets[0].delivered, Some(Instant::from_millis(18)));
     }
 
     #[test]

@@ -175,8 +175,8 @@ pub fn wifi_packet_error_rate(snr_db: f64) -> f64 {
 /// 3GPP CQI table (TS 36.213 Table 7.2.3-1): spectral efficiency in
 /// bits/symbol for CQI 1–15.
 const LTE_CQI_EFF: [f64; 15] = [
-    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
-    3.9023, 4.5234, 5.1152, 5.5547,
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223, 3.9023,
+    4.5234, 5.1152, 5.5547,
 ];
 
 /// Map SNR (dB) to CQI index 1–15, on the same calibrated scale as

@@ -222,11 +222,32 @@ enum Station {
 /// # Panics
 /// Panics if a flow references a client outside `clients`, or a
 /// flow's packet trace is not time-sorted.
-pub fn run_wifi(cfg: &WifiConfig, clients: &[WifiClient], flows: &[OfferedFlow]) -> Vec<FlowOutcome> {
+pub fn run_wifi(
+    cfg: &WifiConfig,
+    clients: &[WifiClient],
+    flows: &[OfferedFlow],
+) -> Vec<FlowOutcome> {
+    let (out, wall_ns) = exbox_obs::time_ns(|| run_wifi_inner(cfg, clients, flows));
+    let reg = exbox_obs::global();
+    reg.counter("sim.wifi_runs").inc();
+    reg.histogram("sim.run_wall_ns", &exbox_obs::buckets::latency_ns())
+        .record(wall_ns);
+    reg.counter("sim.packets_simulated")
+        .add(flows.iter().map(|f| f.packets.len() as u64).sum());
+    out
+}
+
+fn run_wifi_inner(
+    cfg: &WifiConfig,
+    clients: &[WifiClient],
+    flows: &[OfferedFlow],
+) -> Vec<FlowOutcome> {
     for f in flows {
         assert!(f.client < clients.len(), "flow references unknown client");
         assert!(
-            f.packets.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            f.packets
+                .windows(2)
+                .all(|w| w[0].timestamp <= w[1].timestamp),
             "offered trace must be time-sorted"
         );
     }
@@ -374,7 +395,11 @@ pub fn run_wifi(cfg: &WifiConfig, clients: &[WifiClient], flows: &[OfferedFlow])
         match ev {
             Ev::Arrival { flow, idx } => {
                 let dir = flows[flow].packets[idx].direction;
-                let entry = QueuedPkt { flow, idx, retries: 0 };
+                let entry = QueuedPkt {
+                    flow,
+                    idx,
+                    retries: 0,
+                };
                 match dir {
                     Direction::Downlink => {
                         if ap_queues[flow].len() < cfg.queue_limit {
@@ -471,7 +496,11 @@ mod tests {
         let out = run_wifi(&WifiConfig::default(), &clients, &flows);
         assert_eq!(out[0].delivered_downlink(), 100);
         let q = out[0].downlink_qos();
-        assert!(q.mean_delay < Duration::from_millis(5), "delay {}", q.mean_delay);
+        assert!(
+            q.mean_delay < Duration::from_millis(5),
+            "delay {}",
+            q.mean_delay
+        );
         assert!(q.loss_ratio < 0.01);
     }
 
@@ -555,15 +584,7 @@ mod tests {
     fn uplink_packets_are_served() {
         let key = FlowKey::synthetic(1, 1, 1, Protocol::Udp);
         let packets = (0..50)
-            .map(|i| {
-                Packet::new(
-                    Instant::from_millis(i * 10),
-                    200,
-                    key,
-                    Direction::Uplink,
-                    i,
-                )
-            })
+            .map(|i| Packet::new(Instant::from_millis(i * 10), 200, key, Direction::Uplink, i))
             .collect();
         let flows = vec![OfferedFlow {
             key,
@@ -602,10 +623,7 @@ mod tests {
     fn snr_at_follows_schedule() {
         let c = WifiClient {
             snr_db: 53.0,
-            mobility: vec![
-                (Instant::from_secs(2), 14.0),
-                (Instant::from_secs(4), 40.0),
-            ],
+            mobility: vec![(Instant::from_secs(2), 14.0), (Instant::from_secs(4), 40.0)],
         };
         assert_eq!(c.snr_at(Instant::ZERO), 53.0);
         assert_eq!(c.snr_at(Instant::from_secs(2)), 14.0);
@@ -643,10 +661,7 @@ mod tests {
     #[should_panic(expected = "time-sorted")]
     fn unsorted_mobility_panics() {
         let mut client = WifiClient::at_level(SnrLevel::High);
-        client.mobility = vec![
-            (Instant::from_secs(4), 20.0),
-            (Instant::from_secs(2), 30.0),
-        ];
+        client.mobility = vec![(Instant::from_secs(4), 20.0), (Instant::from_secs(2), 30.0)];
         let flows = vec![cbr_flow(1, 0, 10, 100, 1_000)];
         let _ = run_wifi(&WifiConfig::default(), &[client], &flows);
     }

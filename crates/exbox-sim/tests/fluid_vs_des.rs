@@ -43,7 +43,10 @@ fn fluid_of(flows: &[(SnrLevel, f64)]) -> Vec<FluidFlow> {
 /// Run both models on the same scenario and compare achieved
 /// downlink throughput per flow within `tol` relative error.
 fn compare(flows: &[(SnrLevel, f64)], secs: f64, tol: f64) {
-    let clients: Vec<WifiClient> = flows.iter().map(|&(snr, _)| WifiClient::at_level(snr)).collect();
+    let clients: Vec<WifiClient> = flows
+        .iter()
+        .map(|&(snr, _)| WifiClient::at_level(snr))
+        .collect();
     let offered: Vec<OfferedFlow> = flows
         .iter()
         .enumerate()
@@ -123,8 +126,7 @@ fn both_models_agree_on_anomaly_direction() {
 
     // DES.
     let run = |spec: &[(SnrLevel, f64)]| {
-        let clients: Vec<WifiClient> =
-            spec.iter().map(|&(s, _)| WifiClient::at_level(s)).collect();
+        let clients: Vec<WifiClient> = spec.iter().map(|&(s, _)| WifiClient::at_level(s)).collect();
         let flows: Vec<OfferedFlow> = spec
             .iter()
             .enumerate()

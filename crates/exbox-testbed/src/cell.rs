@@ -24,8 +24,8 @@ use exbox_core::qoe::QoeEstimator;
 use exbox_ml::Label;
 use exbox_net::{AppClass, Duration, FlowKey, Instant, Protocol, QosSample};
 use exbox_sim::appqoe::{
-    conferencing_psnr_db, median_page_load_time, startup_delay,
-    CONFERENCING_PSNR_THRESHOLD_DB, STREAMING_STARTUP_THRESHOLD, WEB_PLT_THRESHOLD,
+    conferencing_psnr_db, median_page_load_time, startup_delay, CONFERENCING_PSNR_THRESHOLD_DB,
+    STREAMING_STARTUP_THRESHOLD, WEB_PLT_THRESHOLD,
 };
 use exbox_sim::fluid::{qoe as fluid_qoe, FluidFlow, FluidLte, FluidWifi};
 use exbox_sim::lte::{run_lte, LteConfig, LteUe, OfferedLteFlow};
@@ -44,7 +44,7 @@ pub fn nominal_demand_bps(class: AppClass) -> f64 {
 }
 
 /// The set of application models a cell's flows are generated from.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AppModelSet {
     /// Web-browsing model.
     pub web: WebModel,
@@ -52,16 +52,6 @@ pub struct AppModelSet {
     pub streaming: StreamingModel,
     /// Video-conferencing model.
     pub conferencing: ConferencingModel,
-}
-
-impl Default for AppModelSet {
-    fn default() -> Self {
-        AppModelSet {
-            web: WebModel::default(),
-            streaming: StreamingModel::default(),
-            conferencing: ConferencingModel::default(),
-        }
-    }
 }
 
 impl AppModelSet {
@@ -185,30 +175,69 @@ impl CellLabeler {
     /// Label one matrix. DES outcomes are memoised per matrix; fluid
     /// outcomes are recomputed with fresh jitter each call.
     pub fn label(&mut self, matrix: &TrafficMatrix) -> MatrixOutcome {
+        let (out, wall_ns) = exbox_obs::time_ns(|| self.label_uninstrumented(matrix));
+        let reg = exbox_obs::global();
+        reg.counter("testbed.labels").inc();
+        reg.histogram("testbed.label_wall_ns", &exbox_obs::buckets::latency_ns())
+            .record(wall_ns);
+        out
+    }
+
+    fn label_uninstrumented(&mut self, matrix: &TrafficMatrix) -> MatrixOutcome {
         self.occurrence += 1;
         match &self.model {
-            CellModel::WifiDes { cfg, duration, models } => {
+            CellModel::WifiDes {
+                cfg,
+                duration,
+                models,
+            } => {
                 if let Some(hit) = self.cache.get(matrix) {
+                    exbox_obs::global()
+                        .counter("testbed.label_cache_hits")
+                        .inc();
                     return hit.clone();
                 }
                 let out = run_wifi_matrix(cfg, *duration, models, matrix, self.seed);
                 self.cache.insert(*matrix, out.clone());
                 out
             }
-            CellModel::LteDes { cfg, duration, models } => {
+            CellModel::LteDes {
+                cfg,
+                duration,
+                models,
+            } => {
                 if let Some(hit) = self.cache.get(matrix) {
+                    exbox_obs::global()
+                        .counter("testbed.label_cache_hits")
+                        .inc();
                     return hit.clone();
                 }
                 let out = run_lte_matrix(cfg, *duration, models, matrix, self.seed);
                 self.cache.insert(*matrix, out.clone());
                 out
             }
-            CellModel::WifiFluid { cfg, label_noise, demands } => {
-                fluid_wifi_matrix(cfg, *label_noise, demands, matrix, self.seed ^ self.occurrence)
-            }
-            CellModel::LteFluid { cfg, label_noise, demands } => {
-                fluid_lte_matrix(cfg, *label_noise, demands, matrix, self.seed ^ self.occurrence)
-            }
+            CellModel::WifiFluid {
+                cfg,
+                label_noise,
+                demands,
+            } => fluid_wifi_matrix(
+                cfg,
+                *label_noise,
+                demands,
+                matrix,
+                self.seed ^ self.occurrence,
+            ),
+            CellModel::LteFluid {
+                cfg,
+                label_noise,
+                demands,
+            } => fluid_lte_matrix(
+                cfg,
+                *label_noise,
+                demands,
+                matrix,
+                self.seed ^ self.occurrence,
+            ),
         }
     }
 
@@ -257,9 +286,7 @@ fn expand_flows(
             let packets = match kind.class {
                 AppClass::Web => models.web.generate(key, start, duration, fseed),
                 AppClass::Streaming => models.streaming.generate(key, start, duration, fseed),
-                AppClass::Conferencing => {
-                    models.conferencing.generate(key, start, duration, fseed)
-                }
+                AppClass::Conferencing => models.conferencing.generate(key, start, duration, fseed),
             };
             out.push(ExpandedFlow {
                 kind,

@@ -126,7 +126,7 @@ pub fn evaluate_online_with_demand(
             controller.on_observation(s.matrix, s.observed);
         }
 
-        if fed % eval_every == 0 {
+        if fed.is_multiple_of(eval_every) {
             points.push(EvalPoint {
                 fed,
                 window: window.metrics(),

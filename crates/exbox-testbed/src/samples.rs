@@ -185,11 +185,17 @@ mod tests {
         let mixes: Vec<ClassMix> = (1..=40).map(|n| ClassMix::new(n, 0, 0)).collect();
         let samples = build_samples(
             &mixes,
-            SnrPolicy::RandomMix { p_low: 0.5, seed: 9 },
+            SnrPolicy::RandomMix {
+                p_low: 0.5,
+                seed: 9,
+            },
             &mut labeler(),
             None,
         );
-        let lows = samples.iter().filter(|s| s.kind.snr == SnrLevel::Low).count();
+        let lows = samples
+            .iter()
+            .filter(|s| s.kind.snr == SnrLevel::Low)
+            .count();
         assert!(lows > 5 && lows < 35, "low count {lows} not mixed");
     }
 
@@ -198,13 +204,19 @@ mod tests {
         let mixes: Vec<ClassMix> = (1..=10).map(|n| ClassMix::new(n, 0, 0)).collect();
         let a = build_samples(
             &mixes,
-            SnrPolicy::RandomMix { p_low: 0.3, seed: 5 },
+            SnrPolicy::RandomMix {
+                p_low: 0.3,
+                seed: 5,
+            },
             &mut labeler(),
             None,
         );
         let b = build_samples(
             &mixes,
-            SnrPolicy::RandomMix { p_low: 0.3, seed: 5 },
+            SnrPolicy::RandomMix {
+                p_low: 0.3,
+                seed: 5,
+            },
             &mut labeler(),
             None,
         );

@@ -45,7 +45,9 @@ fn run_profile(class: AppClass, rate_bps: u64, delay: Duration, seed: u64) -> (f
     let duration = Duration::from_secs(20);
     let packets = match class {
         AppClass::Web => WebModel::default().generate(key, Instant::ZERO, duration, seed),
-        AppClass::Streaming => StreamingModel::default().generate(key, Instant::ZERO, duration, seed),
+        AppClass::Streaming => {
+            StreamingModel::default().generate(key, Instant::ZERO, duration, seed)
+        }
         AppClass::Conferencing => {
             ConferencingModel::default().generate(key, Instant::ZERO, duration, seed)
         }
@@ -177,14 +179,16 @@ pub fn fit_estimator_from_sweep(
         let pts = &sweep.points[class.index()];
         let iqx = IqxModel::fit(pts);
         rmse[class.index()] = iqx.rmse(pts);
+        exbox_obs::global()
+            .gauge(&format!("qoe.fit_rmse.{}", class.name()))
+            .set(rmse[class.index()]);
         models.push(ClassQoeModel {
             iqx,
             threshold: thresholds[class.index()],
             direction: directions[class.index()],
         });
     }
-    let models: [ClassQoeModel; AppClass::COUNT] =
-        [models[0], models[1], models[2]];
+    let models: [ClassQoeModel; AppClass::COUNT] = [models[0], models[1], models[2]];
     (QoeEstimator::new(models, sweep.scale), rmse)
 }
 
@@ -207,7 +211,9 @@ mod tests {
         for class in AppClass::ALL {
             let pts = &s.points[class.index()];
             assert_eq!(pts.len(), 4 * 2 * 2, "{class}");
-            assert!(pts.iter().all(|&(q, e)| (0.0..=1.0).contains(&q) && e.is_finite()));
+            assert!(pts
+                .iter()
+                .all(|&(q, e)| (0.0..=1.0).contains(&q) && e.is_finite()));
         }
         assert!(s.scale.normalize(1e12) == 1.0);
     }
@@ -217,18 +223,30 @@ mod tests {
         // Startup delay at 12 Mbps must beat startup delay at 250 kbps.
         let (slow_q, slow_e) =
             run_profile(AppClass::Streaming, 250_000, Duration::from_millis(20), 1);
-        let (fast_q, fast_e) =
-            run_profile(AppClass::Streaming, 12_000_000, Duration::from_millis(20), 1);
+        let (fast_q, fast_e) = run_profile(
+            AppClass::Streaming,
+            12_000_000,
+            Duration::from_millis(20),
+            1,
+        );
         assert!(fast_q > slow_q, "QoS index must grow with rate");
         assert!(fast_e < slow_e, "startup delay must shrink with rate");
     }
 
     #[test]
     fn psnr_worsens_with_latency() {
-        let (_, good) =
-            run_profile(AppClass::Conferencing, 4_000_000, Duration::from_millis(20), 2);
-        let (_, bad) =
-            run_profile(AppClass::Conferencing, 4_000_000, Duration::from_millis(900), 2);
+        let (_, good) = run_profile(
+            AppClass::Conferencing,
+            4_000_000,
+            Duration::from_millis(20),
+            2,
+        );
+        let (_, bad) = run_profile(
+            AppClass::Conferencing,
+            4_000_000,
+            Duration::from_millis(900),
+            2,
+        );
         assert!(good > bad, "PSNR {good} should beat {bad} at high latency");
     }
 

@@ -21,8 +21,11 @@ fn labeler() -> CellLabeler {
 }
 
 fn arb_mixes() -> impl Strategy<Value = Vec<ClassMix>> {
-    prop::collection::vec((0u32..8, 0u32..8, 0u32..8), 1..25)
-        .prop_map(|v| v.into_iter().map(|(w, s, c)| ClassMix::new(w, s, c)).collect())
+    prop::collection::vec((0u32..8, 0u32..8, 0u32..8), 1..25).prop_map(|v| {
+        v.into_iter()
+            .map(|(w, s, c)| ClassMix::new(w, s, c))
+            .collect()
+    })
 }
 
 proptest! {

@@ -68,7 +68,13 @@ impl TrafficModel for ConferencingModel {
         AppClass::Conferencing
     }
 
-    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet> {
+    fn generate(
+        &self,
+        flow: FlowKey,
+        start: Instant,
+        duration: Duration,
+        seed: u64,
+    ) -> Vec<Packet> {
         let mut rng = Rng::new(seed).derive(0xC0F);
         let end = start + duration;
         let frame_period = Duration::from_secs_f64(1.0 / self.fps);
@@ -81,7 +87,7 @@ impl TrafficModel for ConferencingModel {
 
         while t < end {
             // Downlink video frame.
-            let key = frame_no % self.keyframe_interval == 0;
+            let key = frame_no.is_multiple_of(self.keyframe_interval);
             let scale = if key { 3.0 } else { 1.0 };
             let size_f = rng
                 .normal(base_frame * scale, base_frame * scale * self.frame_jitter)
@@ -116,6 +122,7 @@ impl TrafficModel for ConferencingModel {
             t += Duration::from_secs_f64(frame_period.as_secs_f64() * (1.0 + jitter));
         }
         out.sort_by_key(|p| (p.timestamp, p.seq));
+        crate::note_generated(out.len());
         out
     }
 
@@ -172,7 +179,7 @@ mod tests {
         // Frame 0 is a key-frame; frames 1.. are deltas. Compare byte
         // volume of the first frame vs the second.
         let pkts = gen(1, 3);
-        let mut frame_bytes = vec![0u64; 2];
+        let mut frame_bytes = [0u64; 2];
         let mut frame_idx = 0usize;
         let mut last_t = None;
         for p in pkts.iter().filter(|p| p.direction == Direction::Downlink) {
@@ -198,7 +205,10 @@ mod tests {
     #[test]
     fn has_uplink_control_stream() {
         let pkts = gen(10, 4);
-        let ups = pkts.iter().filter(|p| p.direction == Direction::Uplink).count();
+        let ups = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink)
+            .count();
         // 100 ms cadence over 10 s => ~100 control packets.
         assert!((80..=120).contains(&ups), "control packets {ups}");
     }

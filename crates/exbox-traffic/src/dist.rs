@@ -16,7 +16,11 @@ impl Rng {
     /// Create from a seed (zero is remapped to a non-zero constant).
     pub fn new(seed: u64) -> Self {
         Rng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -109,8 +113,7 @@ impl Rng {
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);
         // Inverse CDF of the bounded Pareto.
-        (-(u * ha - u * la - ha) / (ha * la))
-            .powf(-1.0 / alpha)
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
     }
 
     /// Zipf-distributed rank in `0..n` with exponent `s` (rank 0 most
@@ -206,7 +209,9 @@ mod tests {
     #[test]
     fn bounded_pareto_is_heavy_tailed() {
         let mut r = Rng::new(19);
-        let samples: Vec<f64> = (0..20_000).map(|_| r.bounded_pareto(1.2, 10.0, 1e6)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| r.bounded_pareto(1.2, 10.0, 1e6))
+            .collect();
         let mut sorted = samples.clone();
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];

@@ -41,6 +41,16 @@ pub use workload::{ClassMix, LiveLabGenerator, RandomPattern, WorkloadEvent};
 
 use exbox_net::{AppClass, Duration, FlowKey, Instant, Packet};
 
+/// Record `n` generated packets on the process-wide
+/// `traffic.packets_generated` counter (called by every
+/// [`TrafficModel::generate`] implementation).
+pub(crate) fn note_generated(n: usize) {
+    use std::sync::{Arc, OnceLock};
+    static C: OnceLock<Arc<exbox_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| exbox_obs::global().counter("traffic.packets_generated"))
+        .add(n as u64);
+}
+
 /// A packet-level application traffic model.
 ///
 /// Implementations generate the *offered* downlink/uplink load of one
@@ -57,7 +67,8 @@ pub trait TrafficModel {
     /// * `start` — flow start time.
     /// * `duration` — how long the application stays active.
     /// * `seed` — RNG seed; equal seeds give identical traces.
-    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet>;
+    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64)
+        -> Vec<Packet>;
 
     /// Long-run average offered downlink rate in bits/s, used by the
     /// `RateBased` baseline controller as the flow's declared demand

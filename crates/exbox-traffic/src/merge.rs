@@ -34,7 +34,7 @@ pub fn shift_trace(trace: &[Packet], offset: exbox_net::Duration) -> Vec<Packet>
         .iter()
         .map(|p| {
             let mut q = *p;
-            q.timestamp = q.timestamp + offset;
+            q.timestamp += offset;
             q
         })
         .collect()

@@ -87,14 +87,26 @@ impl TrafficModel for StreamingModel {
         AppClass::Streaming
     }
 
-    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet> {
+    fn generate(
+        &self,
+        flow: FlowKey,
+        start: Instant,
+        duration: Duration,
+        seed: u64,
+    ) -> Vec<Packet> {
         let mut rng = Rng::new(seed).derive(0x57E4);
         let end = start + duration;
         let mut out = Vec::new();
         let mut seq = 0u64;
 
         // Player requests the manifest + first ranges.
-        out.push(Packet::new(start, self.request_bytes, flow, Direction::Uplink, seq));
+        out.push(Packet::new(
+            start,
+            self.request_bytes,
+            flow,
+            Direction::Uplink,
+            seq,
+        ));
         seq += 1;
 
         // Startup burst: buffer fill at server speed.
@@ -125,9 +137,17 @@ impl TrafficModel for StreamingModel {
                 seq,
             ));
             seq += 1;
-            self.burst(&mut out, flow, media_clock, end, self.chunk_bytes(), &mut seq);
+            self.burst(
+                &mut out,
+                flow,
+                media_clock,
+                end,
+                self.chunk_bytes(),
+                &mut seq,
+            );
         }
         out.sort_by_key(|p| (p.timestamp, p.seq));
+        crate::note_generated(out.len());
         out
     }
 

@@ -59,7 +59,13 @@ impl TrafficModel for WebModel {
         AppClass::Web
     }
 
-    fn generate(&self, flow: FlowKey, start: Instant, duration: Duration, seed: u64) -> Vec<Packet> {
+    fn generate(
+        &self,
+        flow: FlowKey,
+        start: Instant,
+        duration: Duration,
+        seed: u64,
+    ) -> Vec<Packet> {
         let mut rng = Rng::new(seed).derive(0x3EB);
         let end = start + duration;
         let mut t = start;
@@ -72,7 +78,13 @@ impl TrafficModel for WebModel {
 
         while t < end {
             // Uplink GET for the page itself.
-            out.push(Packet::new(t, self.request_bytes, flow, Direction::Uplink, seq));
+            out.push(Packet::new(
+                t,
+                self.request_bytes,
+                flow,
+                Direction::Uplink,
+                seq,
+            ));
             seq += 1;
             // Server response: a burst of objects, each preceded by
             // its own uplink GET (browsers request objects as the
@@ -114,6 +126,7 @@ impl TrafficModel for WebModel {
             let think = rng.exponential(self.think_time.as_secs_f64());
             t = obj_t + Duration::from_secs_f64(think);
         }
+        crate::note_generated(out.len());
         out
     }
 
@@ -144,8 +157,14 @@ mod tests {
     #[test]
     fn produces_pages_with_requests_and_responses() {
         let pkts = gen(30, 1);
-        let ups = pkts.iter().filter(|p| p.direction == Direction::Uplink).count();
-        let downs = pkts.iter().filter(|p| p.direction == Direction::Downlink).count();
+        let ups = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Uplink)
+            .count();
+        let downs = pkts
+            .iter()
+            .filter(|p| p.direction == Direction::Downlink)
+            .count();
         assert!(ups >= 2, "expected multiple page requests, got {ups}");
         assert!(downs > 100, "expected many response packets, got {downs}");
     }

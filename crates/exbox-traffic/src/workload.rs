@@ -198,8 +198,7 @@ impl LiveLabGenerator {
         // Peak arrival rate per user (sessions/sec) scaled so the
         // diurnal average hits sessions_per_user_day.
         let avg_weight: f64 = (0..24).map(|h| Self::diurnal_weight(h as f64)).sum::<f64>() / 24.0;
-        let peak_rate =
-            self.sessions_per_user_day / 86_400.0 / avg_weight;
+        let peak_rate = self.sessions_per_user_day / 86_400.0 / avg_weight;
 
         let mut events: Vec<(u64, usize, WorkloadEvent)> = Vec::new();
         let mut eseq = 0usize;
@@ -315,7 +314,11 @@ mod tests {
         let p = RandomPattern::new(5, 15, 2);
         let ms = p.matrices(300);
         let distinct: std::collections::HashSet<ClassMix> = ms.iter().copied().collect();
-        assert!(distinct.len() > 50, "only {} distinct matrices", distinct.len());
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct matrices",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -378,8 +381,18 @@ mod tests {
                 counts[c.index()] += 1;
             }
         }
-        assert!(counts[0] > counts[1], "web {} <= streaming {}", counts[0], counts[1]);
-        assert!(counts[1] > counts[2], "streaming {} <= conf {}", counts[1], counts[2]);
+        assert!(
+            counts[0] > counts[1],
+            "web {} <= streaming {}",
+            counts[0],
+            counts[1]
+        );
+        assert!(
+            counts[1] > counts[2],
+            "streaming {} <= conf {}",
+            counts[1],
+            counts[2]
+        );
     }
 
     #[test]
@@ -388,7 +401,12 @@ mod tests {
         let ms = g.matrices();
         let distinct: std::collections::HashSet<ClassMix> = ms.iter().copied().collect();
         // Heavy repetition: far fewer distinct matrices than samples.
-        assert!(distinct.len() * 3 < ms.len(), "{} distinct of {}", distinct.len(), ms.len());
+        assert!(
+            distinct.len() * 3 < ms.len(),
+            "{} distinct of {}",
+            distinct.len(),
+            ms.len()
+        );
     }
 
     #[test]
@@ -432,5 +450,4 @@ mod tests {
         let m = ClassMix::new(2, 2, 2);
         assert!(arrivals_between(&m, &m).is_empty());
     }
-
 }

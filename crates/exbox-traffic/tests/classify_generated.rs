@@ -13,7 +13,9 @@ fn generate(class: AppClass, flow_id: u32, seed: u64) -> Vec<Packet> {
     let duration = Duration::from_secs(5);
     match class {
         AppClass::Web => WebModel::default().generate(key, Instant::ZERO, duration, seed),
-        AppClass::Streaming => StreamingModel::default().generate(key, Instant::ZERO, duration, seed),
+        AppClass::Streaming => {
+            StreamingModel::default().generate(key, Instant::ZERO, duration, seed)
+        }
         AppClass::Conferencing => {
             ConferencingModel::default().generate(key, Instant::ZERO, duration, seed)
         }
@@ -36,7 +38,9 @@ fn generate_to(class: AppClass, flow_id: u32, seed: u64) -> Vec<Packet> {
     let duration = Duration::from_secs(5);
     match class {
         AppClass::Web => WebModel::default().generate(key, Instant::ZERO, duration, seed),
-        AppClass::Streaming => StreamingModel::default().generate(key, Instant::ZERO, duration, seed),
+        AppClass::Streaming => {
+            StreamingModel::default().generate(key, Instant::ZERO, duration, seed)
+        }
         AppClass::Conferencing => {
             ConferencingModel::default().generate(key, Instant::ZERO, duration, seed)
         }

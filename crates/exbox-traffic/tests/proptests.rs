@@ -2,8 +2,8 @@
 
 use exbox_net::{Duration, FlowKey, Instant, Protocol};
 use exbox_traffic::{
-    merge_traces, ConferencingModel, LiveLabGenerator, RandomPattern, StreamingModel,
-    TrafficModel, WebModel,
+    merge_traces, ConferencingModel, LiveLabGenerator, RandomPattern, StreamingModel, TrafficModel,
+    WebModel,
 };
 use proptest::prelude::*;
 

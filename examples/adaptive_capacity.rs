@@ -52,12 +52,19 @@ fn main() {
     }
     println!(
         "after healthy phase: {} ({} samples stored)\n",
-        if exbox.is_bootstrapping() { "still bootstrapping" } else { "online" },
+        if exbox.is_bootstrapping() {
+            "still bootstrapping"
+        } else {
+            "online"
+        },
         exbox.classifier().num_samples()
     );
 
     // ...then faces the throttled world.
-    println!("{:<8} {:>10} {:>8} {:>9}   (windows of 25 throttled arrivals)", "fed", "precision", "recall", "accuracy");
+    println!(
+        "{:<8} {:>10} {:>8} {:>9}   (windows of 25 throttled arrivals)",
+        "fed", "precision", "recall", "accuracy"
+    );
     let report = evaluate_online(&mut exbox, &shaped, 25);
     for p in &report.points {
         println!(

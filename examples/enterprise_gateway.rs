@@ -13,8 +13,8 @@
 //! operator would actually run it.
 
 use exbox::prelude::*;
-use exbox::testbed::cell::{AppModelSet, CellLabeler, CellModel};
 use exbox::sim::wifi::WifiConfig;
+use exbox::testbed::cell::{AppModelSet, CellLabeler, CellModel};
 
 fn main() {
     // Busy-hours LiveLab day on a 10-client cell.
@@ -55,7 +55,10 @@ fn main() {
     let mut rate = RateBased::new(20_000_000.0);
     let mut maxc = MaxClient::new(10);
 
-    println!("{:<10} {:>9} {:>8} {:>9} {:>10}", "controller", "precision", "recall", "accuracy", "bootstrap");
+    println!(
+        "{:<10} {:>9} {:>8} {:>9} {:>10}",
+        "controller", "precision", "recall", "accuracy", "bootstrap"
+    );
     let controllers: Vec<(&mut dyn AdmissionController, &str)> = vec![
         (&mut exbox, "ExBox"),
         (&mut rate, "RateBased"),

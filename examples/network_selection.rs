@@ -10,8 +10,8 @@
 //! *inside* the region (largest SVM decision value); when neither
 //! region can take the flow, it is rejected outright.
 
-use exbox::prelude::*;
 use exbox::net::AppClass;
+use exbox::prelude::*;
 
 /// Train a classifier for a cell whose capacity is `cap` "airtime
 /// units" with per-class weights — a compact stand-in for the learnt
@@ -35,8 +35,7 @@ fn trained_cell(cap: f64, weights: [f64; 3], seed: u64) -> AdmittanceClassifier 
                 for _ in 0..c {
                     m.add(FlowKind::new(AppClass::Conferencing, SnrLevel::High));
                 }
-                let load =
-                    w as f64 * weights[0] + s as f64 * weights[1] + c as f64 * weights[2];
+                let load = w as f64 * weights[0] + s as f64 * weights[1] + c as f64 * weights[2];
                 let y = if load <= cap {
                     exbox::ml::Label::Pos
                 } else {
@@ -81,9 +80,7 @@ fn main() {
                 selector.commit(cell, kind);
                 steered[cell] += 1;
                 let name = &selector.cell(cell).name;
-                println!(
-                    "  arrival {i:>2} ({class:<13}) -> {name}  (depth {score:+.2})"
-                );
+                println!("  arrival {i:>2} ({class:<13}) -> {name}  (depth {score:+.2})");
             }
             Selection::RejectEverywhere => {
                 rejected += 1;

@@ -28,11 +28,21 @@ fn main() -> std::io::Result<()> {
     }
     for i in 0..2u32 {
         let key = FlowKey::synthetic(i + 10, i + 10, 2, Protocol::Tcp);
-        traces.push(StreamingModel::default().generate(key, Instant::ZERO, duration, 20 + i as u64));
+        traces.push(StreamingModel::default().generate(
+            key,
+            Instant::ZERO,
+            duration,
+            20 + i as u64,
+        ));
     }
     for i in 0..2u32 {
         let key = FlowKey::synthetic(i + 20, i + 20, 3, Protocol::Udp);
-        traces.push(ConferencingModel::default().generate(key, Instant::ZERO, duration, 30 + i as u64));
+        traces.push(ConferencingModel::default().generate(
+            key,
+            Instant::ZERO,
+            duration,
+            30 + i as u64,
+        ));
     }
     let merged = merge_traces(traces);
     println!("generated {} packets across 7 flows", merged.len());

@@ -58,7 +58,11 @@ fn main() {
     println!(
         "  {} observations, phase: {:?}",
         samples.len(),
-        if exbox.is_bootstrapping() { "Bootstrap" } else { "Online" }
+        if exbox.is_bootstrapping() {
+            "Bootstrap"
+        } else {
+            "Online"
+        }
     );
 
     // 3. Admission decisions for hypothetical arrivals.
@@ -80,8 +84,6 @@ fn main() {
             resulting_matrix: m,
         };
         let decision = exbox.decide(&req);
-        println!(
-            "  matrix ({web} web, {stream} streaming, {conf} conferencing) -> {decision:?}"
-        );
+        println!("  matrix ({web} web, {stream} streaming, {conf} conferencing) -> {decision:?}");
     }
 }

@@ -2,9 +2,9 @@
 //! traffic generation through simulation, QoE estimation, learning
 //! and admission decisions.
 
-use exbox::prelude::*;
 use exbox::ml::Label;
 use exbox::net::AppClass;
+use exbox::prelude::*;
 use exbox::sim::wifi::WifiConfig;
 use exbox::testbed::cell::{AppModelSet, CellLabeler, CellModel};
 use exbox::testbed::training::{fit_estimator_from_sweep, run_training_sweep};
@@ -187,14 +187,13 @@ fn full_pipeline_is_deterministic() {
     assert_eq!(a.2, b.2);
 }
 
-
 /// §4.3 end to end: a client walks to the cell edge mid-run; the
 /// middlebox's periodic poll sees the QoS collapse, feeds a negative
 /// observation, re-learns, and revokes flows.
 #[test]
 fn middlebox_revokes_after_mobility_degrades_qoe() {
-    use exbox::net::{Direction, FlowKey, Packet, Protocol};
     use exbox::core::PollVerdict;
+    use exbox::net::{Direction, FlowKey, Packet, Protocol};
 
     // Estimator from a quick sweep.
     let sweep = run_training_sweep(
@@ -239,7 +238,13 @@ fn middlebox_revokes_after_mobility_degrades_qoe() {
     // Admit one streaming flow while the client is healthy.
     let key = FlowKey::synthetic(1, 1, 2, Protocol::Tcp);
     for i in 0..10u64 {
-        let pkt = Packet::new(Instant::from_millis(2 * i), 1400, key, Direction::Downlink, i);
+        let pkt = Packet::new(
+            Instant::from_millis(2 * i),
+            1400,
+            key,
+            Direction::Downlink,
+            i,
+        );
         mb.process_packet(&pkt, SnrLevel::High);
     }
     assert_eq!(mb.admitted_flows(), 1);
@@ -268,7 +273,7 @@ fn middlebox_revokes_after_mobility_degrades_qoe() {
                 &key,
                 Instant::from_millis(t),
                 Instant::from_millis(t + 2_000), // 2 s one-way delay
-                200,                              // starved rate
+                200,                             // starved rate
             );
         }
         let verdicts = mb.poll(Instant::from_secs(6 + 2 * round));
