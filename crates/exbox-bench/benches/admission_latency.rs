@@ -6,17 +6,22 @@
 //! reproduce is the ordering (baselines ≪ ExBox) — our Rust SMO is
 //! orders of magnitude faster than their Python in absolute terms.
 //!
+//! A batch scenario (`ExBoxBatch/…`) scores a whole block of traffic
+//! matrices through `exbox-par`, the path the ExCR surface dumps and
+//! offline audits take; on one core it degrades to the serial loop.
+//!
 //! Hand-rolled timing harness (the offline sandbox has no crates.io
-//! access, so no Criterion): each configuration runs warm-up
-//! iterations, then records an `exbox-obs` latency histogram and
-//! prints `name,iters,mean_ns,p50_ns,p95_ns,max_ns` CSV.
+//! access, so no Criterion). Default output is CSV; `--json` emits
+//! the document `scripts/bench_compare.sh` consumes, `--quick`
+//! shrinks iteration counts for the CI smoke job.
 
 use std::hint::black_box;
 
+use exbox_bench::{bench_args, emit_records, measure, BenchRecord};
 use exbox_core::prelude::*;
 use exbox_ml::Label;
 use exbox_net::AppClass;
-use exbox_obs::{buckets, Histogram};
+use exbox_obs::buckets;
 
 fn matrix(total: u32) -> TrafficMatrix {
     let mut m = TrafficMatrix::empty();
@@ -50,45 +55,72 @@ fn trained_exbox(n: u32) -> ExBoxController {
     ex
 }
 
-/// Time `iters` calls of `f` after `warmup` unrecorded calls.
-fn bench(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) {
-    for _ in 0..warmup {
-        f();
-    }
+fn main() {
+    let args = bench_args();
+    let mut records: Vec<BenchRecord> = Vec::new();
     // Decisions are tens of ns; the default latency_ns() floor (1 µs)
     // would swallow every sample into the first bucket.
-    let hist = Histogram::new(&buckets::exponential(10.0, 2.0, 28));
-    for _ in 0..iters {
-        let ((), ns) = exbox_obs::time_ns(&mut f);
-        hist.record(ns);
-    }
-    let s = hist.snapshot();
-    println!(
-        "{name},{iters},{:.0},{:.0},{:.0},{:.0}",
-        s.mean(),
-        s.quantile(0.50),
-        s.quantile(0.95),
-        s.max
-    );
-}
-
-fn main() {
-    println!("name,iters,mean_ns,p50_ns,p95_ns,max_ns");
+    let bounds = buckets::exponential(10.0, 2.0, 28);
+    let scale = if args.quick { 10 } else { 1 };
 
     let mut rate_based = RateBased::new(20_000_000.0);
-    bench("RateBased", 1_000, 100_000, || {
-        black_box(rate_based.decide(black_box(&request(5))));
-    });
+    records.push(measure(
+        "RateBased",
+        1,
+        1_000,
+        100_000 / scale,
+        &bounds,
+        || {
+            black_box(rate_based.decide(black_box(&request(5))));
+        },
+    ));
 
     let mut max_client = MaxClient::new(10);
-    bench("MaxClient", 1_000, 100_000, || {
-        black_box(max_client.decide(black_box(&request(5))));
-    });
+    records.push(measure(
+        "MaxClient",
+        1,
+        1_000,
+        100_000 / scale,
+        &bounds,
+        || {
+            black_box(max_client.decide(black_box(&request(5))));
+        },
+    ));
 
     for n in [50u32, 200, 1000] {
         let mut exbox = trained_exbox(n);
-        bench(&format!("ExBox/{n}-samples"), 100, 10_000, || {
-            black_box(exbox.decide(black_box(&request(5))));
-        });
+        records.push(measure(
+            format!("ExBox/{n}-samples"),
+            n as usize,
+            100,
+            10_000 / scale,
+            &bounds,
+            || {
+                black_box(exbox.decide(black_box(&request(5))));
+            },
+        ));
     }
+
+    // Batch prediction: score a block of matrices through the
+    // exbox-par pool (chunks of rows, deterministic order), as the
+    // ExCR surface dump does.
+    let exbox = trained_exbox(1000);
+    let batch: Vec<TrafficMatrix> = (0..256).map(|i| matrix(i % 24)).collect();
+    let pool = exbox_par::ThreadPool::global();
+    let classifier = exbox.classifier();
+    records.push(measure(
+        format!("ExBoxBatch/{}", batch.len()),
+        batch.len(),
+        10,
+        1_000 / scale,
+        &bounds,
+        || {
+            let verdicts: Vec<bool> = pool.parallel_map(batch.len(), |i| {
+                classifier.classify(&batch[i]) == Label::Pos
+            });
+            black_box(verdicts);
+        },
+    ));
+
+    emit_records("admission_latency", &records, args);
 }

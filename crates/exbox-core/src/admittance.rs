@@ -36,9 +36,18 @@ struct AdmittanceMetrics {
     retrain_wall_ns: Arc<Histogram>,
     /// `admittance.train_batch_samples` — store size at each retrain.
     train_batch_samples: Arc<Histogram>,
-    /// `admittance.smo_iterations` — SMO inner-loop iterations per
+    /// `admittance.smo_iterations` — SMO α-pair optimisation steps per
     /// SVM retrain (absent for non-SVM backends).
     smo_iterations: Arc<Histogram>,
+    /// `admittance.warm_start_alphas` — multipliers carried over into
+    /// each warm-started retrain (0 for cold fits).
+    warm_start_alphas: Arc<Histogram>,
+    /// `svm.shrunk_fraction` — peak fraction of multipliers the
+    /// shrinking heuristic removed from the working set per retrain.
+    shrunk_fraction: Arc<Histogram>,
+    /// `admittance.nonconverged_retrains` — retrains that stopped at
+    /// the SMO `max_iters` backstop instead of reaching quiescence.
+    nonconverged_retrains: Arc<Counter>,
     /// `admittance.cv_accuracy` — latest bootstrap cross-validation
     /// accuracy.
     cv_accuracy: Arc<Gauge>,
@@ -54,6 +63,9 @@ impl AdmittanceMetrics {
             train_batch_samples: reg
                 .histogram("admittance.train_batch_samples", &buckets::counts()),
             smo_iterations: reg.histogram("admittance.smo_iterations", &buckets::counts()),
+            warm_start_alphas: reg.histogram("admittance.warm_start_alphas", &buckets::counts()),
+            shrunk_fraction: reg.histogram("svm.shrunk_fraction", &buckets::unit()),
+            nonconverged_retrains: reg.counter("admittance.nonconverged_retrains"),
             cv_accuracy: reg.gauge("admittance.cv_accuracy"),
         }
     }
@@ -117,6 +129,14 @@ pub struct AdmittanceConfig {
     pub bootstrap_accuracy: f64,
     /// Folds for the bootstrap cross-validation.
     pub cv_folds: usize,
+    /// Warm-start SVM retrains from the previous fit's dual state
+    /// (α per stored sample plus bias). Sample-store indices are
+    /// stable — repeats replace in place — so multipliers stay aligned
+    /// across retrains; a sample whose label flipped restarts at
+    /// α = 0. Steady-state retrains then re-verify KKT conditions
+    /// instead of re-optimising from scratch. No effect on non-SVM
+    /// backends.
+    pub warm_start: bool,
     /// Training seed.
     pub seed: u64,
 }
@@ -130,6 +150,7 @@ impl Default for AdmittanceConfig {
             bootstrap_min_samples: 50,
             bootstrap_accuracy: 0.7,
             cv_folds: 5,
+            warm_start: true,
             seed: 0xADB0,
         }
     }
@@ -152,6 +173,14 @@ enum Model {
     Pegasos(LinearSvm),
 }
 
+/// Raw training output before metrics extraction; SVM fits keep the
+/// full dual state for the next warm start.
+enum Fitted {
+    Svm(SvmFit),
+    Logistic(LogisticRegression),
+    Pegasos(LinearSvm),
+}
+
 impl Model {
     fn decision_value(&self, x: &[f64]) -> f64 {
         match self {
@@ -160,6 +189,15 @@ impl Model {
             Model::Pegasos(m) => m.decision_value(x),
         }
     }
+}
+
+/// Dual state carried between SVM retrains: per-sample (label at the
+/// time of the fit, α) plus the bias. Aligned to sample-store indices,
+/// which are stable because repeats replace in place.
+#[derive(Debug, Clone)]
+struct WarmState {
+    alphas: Vec<(Label, f64)>,
+    bias: f64,
 }
 
 /// The Admittance Classifier.
@@ -176,6 +214,7 @@ pub struct AdmittanceClassifier {
     retrain_count: u64,
     scaler: Option<StandardScaler>,
     model: Option<Model>,
+    warm: Option<WarmState>,
     metrics: AdmittanceMetrics,
 }
 
@@ -213,6 +252,7 @@ impl AdmittanceClassifier {
             retrain_count: 0,
             scaler: None,
             model: None,
+            warm: None,
             metrics: AdmittanceMetrics::bind(registry),
         }
     }
@@ -290,28 +330,35 @@ impl AdmittanceClassifier {
         }
     }
 
+    /// The SMO trainer for SVM backends (`None` for the others); the
+    /// single construction point shared by cross-validation and
+    /// (re)training.
+    fn svm_trainer(cfg: &AdmittanceConfig, dims: usize) -> Option<SvmTrainer> {
+        let (kernel, c) = match cfg.backend {
+            ClassifierBackend::SvmRbf { c, gamma } => {
+                let kernel = match gamma {
+                    Some(g) => Kernel::rbf(g),
+                    None => Kernel::rbf_default(dims),
+                };
+                (kernel, c)
+            }
+            ClassifierBackend::SvmLinear { c } => (Kernel::Linear, c),
+            ClassifierBackend::SvmPoly { c, degree } => {
+                (Kernel::poly(1.0 / dims as f64, 1.0, degree), c)
+            }
+            ClassifierBackend::Logistic | ClassifierBackend::PegasosLinear => return None,
+        };
+        Some(SvmTrainer::new(kernel).c(c).seed(cfg.seed))
+    }
+
     /// Cross-validated accuracy on the (scaled) sample store.
     fn cv_accuracy(&self, ds: &Dataset) -> f64 {
         let scaler = StandardScaler::fit(ds);
         let scaled = scaler.transform_dataset(ds);
+        if let Some(t) = Self::svm_trainer(&self.cfg, scaled.dims()) {
+            return cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy();
+        }
         match self.cfg.backend {
-            ClassifierBackend::SvmRbf { c, gamma } => {
-                let kernel = match gamma {
-                    Some(g) => Kernel::rbf(g),
-                    None => Kernel::rbf_default(scaled.dims()),
-                };
-                let t = SvmTrainer::new(kernel).c(c).seed(self.cfg.seed);
-                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
-            }
-            ClassifierBackend::SvmLinear { c } => {
-                let t = SvmTrainer::new(Kernel::Linear).c(c).seed(self.cfg.seed);
-                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
-            }
-            ClassifierBackend::SvmPoly { c, degree } => {
-                let kernel = Kernel::poly(1.0 / scaled.dims() as f64, 1.0, degree);
-                let t = SvmTrainer::new(kernel).c(c).seed(self.cfg.seed);
-                cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
-            }
             ClassifierBackend::Logistic => {
                 let t = LogisticRegressionTrainer::new();
                 cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
@@ -320,6 +367,7 @@ impl AdmittanceClassifier {
                 let t = LinearSvmTrainer::new().seed(self.cfg.seed);
                 cross_validate(&t, &scaled, self.cfg.cv_folds, self.cfg.seed).accuracy()
             }
+            _ => unreachable!("SVM backends handled above"),
         }
     }
 
@@ -332,58 +380,94 @@ impl AdmittanceClassifier {
         ds
     }
 
+    /// Previous dual state aligned to the *current* store: the carried
+    /// α for each sample whose label is unchanged since the last fit,
+    /// 0 for flipped or new samples. `None` when warm starting is off
+    /// or there is no previous SVM fit.
+    fn carried_warm(&self) -> Option<(Vec<f64>, f64)> {
+        if !self.cfg.warm_start {
+            return None;
+        }
+        let warm = self.warm.as_ref()?;
+        let alpha = self
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, (_, label))| match warm.alphas.get(i) {
+                Some((prev_label, a)) if prev_label == label => *a,
+                _ => 0.0,
+            })
+            .collect();
+        Some((alpha, warm.bias))
+    }
+
     /// Retrain the model from the full store (paper: "re-computes the
     /// Admittance Classifier with all the (X_m, Y_m) observed so far").
+    /// SVM backends warm-start from the previous fit's dual state when
+    /// [`AdmittanceConfig::warm_start`] is on.
     pub fn retrain(&mut self) {
         let ds = self.dataset();
         if ds.is_empty() {
             return;
         }
         let batch = ds.len();
-        let ((scaler, model), wall_ns) = exbox_obs::time_ns(|| Self::fit(&self.cfg, &ds));
-        if let Model::Svm(m) = &model {
-            self.metrics
-                .smo_iterations
-                .record(m.smo_iterations() as f64);
-        }
+        let cfg = &self.cfg;
+        let carried = self.carried_warm();
+        let (fitted, wall_ns) = exbox_obs::time_ns(|| {
+            let scaler = StandardScaler::fit(&ds);
+            let scaled = scaler.transform_dataset(&ds);
+            let fit = match Self::svm_trainer(cfg, scaled.dims()) {
+                Some(trainer) => {
+                    let warm = carried
+                        .as_ref()
+                        .map(|(alpha, bias)| WarmStart { alpha, bias: *bias });
+                    Fitted::Svm(trainer.fit_warm(&scaled, warm))
+                }
+                None => match cfg.backend {
+                    ClassifierBackend::Logistic => {
+                        Fitted::Logistic(LogisticRegressionTrainer::new().train(&scaled))
+                    }
+                    ClassifierBackend::PegasosLinear => {
+                        Fitted::Pegasos(LinearSvmTrainer::new().seed(cfg.seed).train(&scaled))
+                    }
+                    _ => unreachable!("SVM backends handled above"),
+                },
+            };
+            (scaler, fit)
+        });
+        let (scaler, fit) = fitted;
+        let model = match fit {
+            Fitted::Svm(fit) => {
+                self.metrics
+                    .smo_iterations
+                    .record(fit.model.smo_iterations() as f64);
+                self.metrics
+                    .warm_start_alphas
+                    .record(fit.warm_carried as f64);
+                self.metrics.shrunk_fraction.record(fit.shrunk_fraction);
+                if !fit.model.converged() {
+                    self.metrics.nonconverged_retrains.inc();
+                }
+                self.warm = Some(WarmState {
+                    alphas: self
+                        .samples
+                        .iter()
+                        .map(|(_, label)| *label)
+                        .zip(fit.alpha.iter().copied())
+                        .collect(),
+                    bias: fit.model.bias(),
+                });
+                Model::Svm(fit.model)
+            }
+            Fitted::Logistic(m) => Model::Logistic(m),
+            Fitted::Pegasos(m) => Model::Pegasos(m),
+        };
         self.metrics.retrain_wall_ns.record(wall_ns);
         self.metrics.train_batch_samples.record(batch as f64);
         self.metrics.retrains.inc();
         self.scaler = Some(scaler);
         self.model = Some(model);
         self.retrain_count += 1;
-    }
-
-    /// Fit a fresh scaler + model of the configured backend on `ds`.
-    fn fit(cfg: &AdmittanceConfig, ds: &Dataset) -> (StandardScaler, Model) {
-        let scaler = StandardScaler::fit(ds);
-        let scaled = scaler.transform_dataset(ds);
-        let model = match cfg.backend {
-            ClassifierBackend::SvmRbf { c, gamma } => {
-                let kernel = match gamma {
-                    Some(g) => Kernel::rbf(g),
-                    None => Kernel::rbf_default(scaled.dims()),
-                };
-                Model::Svm(SvmTrainer::new(kernel).c(c).seed(cfg.seed).train(&scaled))
-            }
-            ClassifierBackend::SvmLinear { c } => Model::Svm(
-                SvmTrainer::new(Kernel::Linear)
-                    .c(c)
-                    .seed(cfg.seed)
-                    .train(&scaled),
-            ),
-            ClassifierBackend::SvmPoly { c, degree } => {
-                let kernel = Kernel::poly(1.0 / scaled.dims() as f64, 1.0, degree);
-                Model::Svm(SvmTrainer::new(kernel).c(c).seed(cfg.seed).train(&scaled))
-            }
-            ClassifierBackend::Logistic => {
-                Model::Logistic(LogisticRegressionTrainer::new().train(&scaled))
-            }
-            ClassifierBackend::PegasosLinear => {
-                Model::Pegasos(LinearSvmTrainer::new().seed(cfg.seed).train(&scaled))
-            }
-        };
-        (scaler, model)
     }
 
     /// Signed distance-like score for the matrix that would result
@@ -624,5 +708,135 @@ mod tests {
             batch_size: 0,
             ..AdmittanceConfig::default()
         });
+    }
+
+    /// Replay one scripted middlebox workload into a classifier:
+    /// bootstrap grid, then three online batches — load growth, a
+    /// quiet period of repeats, and a partial relabelling after a
+    /// (synthetic) capacity drop to `total <= 5`.
+    fn run_trace(ac: &mut AdmittanceClassifier) {
+        feed_bootstrap(ac);
+        assert_eq!(ac.phase(), Phase::Online);
+        for w in 4..8 {
+            for s in 0..3 {
+                let m = matrix(w, s, 0);
+                ac.observe(m, truth(&m));
+            }
+        }
+        for _ in 0..2 {
+            for w in 0..4 {
+                for s in 0..4 {
+                    let m = matrix(w, s, 1);
+                    ac.observe(m, truth(&m));
+                }
+            }
+        }
+        let drop_truth = |m: &TrafficMatrix| {
+            if m.total() <= 5 {
+                Label::Pos
+            } else {
+                Label::Neg
+            }
+        };
+        for w in 0..4 {
+            for c in 0..4 {
+                let m = matrix(w, 2, c);
+                ac.observe(m, drop_truth(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_predictions_on_trace() {
+        // Warm starting changes the optimisation path, not the
+        // problem: after the same scripted trace, warm and cold
+        // classifiers must agree on (nearly all of) the query grid.
+        let mut warm = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 8,
+            ..AdmittanceConfig::default()
+        });
+        let mut cold = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 8,
+            warm_start: false,
+            ..AdmittanceConfig::default()
+        });
+        run_trace(&mut warm);
+        run_trace(&mut cold);
+        assert!(warm.retrain_count() >= 3, "trace must retrain repeatedly");
+        assert_eq!(warm.retrain_count(), cold.retrain_count());
+        let mut agree = 0u32;
+        let mut total = 0u32;
+        for w in 0..5 {
+            for s in 0..5 {
+                for c in 0..5 {
+                    total += 1;
+                    if warm.classify(&matrix(w, s, c)) == cold.classify(&matrix(w, s, c)) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            agree * 100 >= total * 95,
+            "warm/cold disagree on {} of {total} grid points",
+            total - agree
+        );
+    }
+
+    #[test]
+    fn warm_retrain_uses_fewer_smo_iterations_than_cold() {
+        // Steady state: a retrain over a store that barely changed
+        // must mostly *verify* the carried dual state rather than
+        // re-optimise from zero. Asserted through the metrics the
+        // middlebox exports, as an operator would see it.
+        let reg = MetricsRegistry::new();
+        // Batch larger than the trace so only the bootstrap exit and
+        // the explicit retrain below ever train.
+        let mut ac = AdmittanceClassifier::with_registry(
+            AdmittanceConfig {
+                batch_size: 1_000,
+                ..AdmittanceConfig::default()
+            },
+            &reg,
+        );
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.phase(), Phase::Online);
+        assert_eq!(ac.retrain_count(), 1, "bootstrap exit trains cold once");
+        let smo_sum = |reg: &MetricsRegistry| {
+            reg.snapshot()
+                .histogram("admittance.smo_iterations")
+                .expect("smo_iterations recorded")
+                .sum
+        };
+        let cold_iters = smo_sum(&reg);
+        assert!(cold_iters > 0.0, "cold fit must report SMO work");
+
+        // The bootstrap exit trained mid-feed, so the store has grown
+        // since: this retrain absorbs the growth (and the scaler
+        // shift that comes with it) into the carried dual state.
+        ac.retrain();
+        let absorb_iters = smo_sum(&reg);
+
+        // Steady state: the store is unchanged since the last fit, so
+        // the warm retrain merely verifies the carried state instead
+        // of re-optimising from zero.
+        ac.retrain();
+        assert_eq!(ac.retrain_count(), 3);
+        let warm_iters = smo_sum(&reg) - absorb_iters;
+        assert!(
+            warm_iters < cold_iters / 2.0,
+            "steady-state warm retrain should need far fewer SMO updates: \
+             warm {warm_iters} vs cold {cold_iters}"
+        );
+        let carried = reg
+            .snapshot()
+            .histogram("admittance.warm_start_alphas")
+            .expect("warm_start_alphas recorded")
+            .clone();
+        assert_eq!(carried.count, 3, "every retrain records carried alphas");
+        assert!(
+            carried.sum > 0.0,
+            "warm retrains must carry multipliers over"
+        );
     }
 }

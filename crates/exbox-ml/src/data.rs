@@ -222,6 +222,14 @@ impl Dataset {
         folds
     }
 
+    /// Squared Euclidean norm `‖xᵢ‖²` of every sample, in index order.
+    /// Precomputing these lets RBF kernels evaluate via
+    /// `‖x‖² + ‖z‖² − 2·x·z` instead of re-walking the difference
+    /// vector on every call (the SMO hot path does millions of evals).
+    pub fn squared_norms(&self) -> Vec<f64> {
+        self.xs.iter().map(|x| crate::kernel::dot(x, x)).collect()
+    }
+
     /// Concatenate another dataset of the same dimensionality.
     ///
     /// # Panics

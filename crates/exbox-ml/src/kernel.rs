@@ -71,12 +71,66 @@ impl Kernel {
         }
     }
 
+    /// Evaluate the kernel given precomputed squared norms
+    /// `nx = ‖x‖²`, `nz = ‖z‖²`. For RBF this replaces the per-eval
+    /// difference walk with a single dot product
+    /// (`‖x−z‖² = nx + nz − 2·x·z`); other kernels ignore the norms.
+    /// The tiny negative residues floating-point cancellation can
+    /// leave are clamped to zero, keeping `K(x, x) = 1` exact.
+    #[inline]
+    pub fn eval_with_norms(&self, x: &[f64], nx: f64, z: &[f64], nz: f64) -> f64 {
+        match *self {
+            Kernel::Rbf { gamma } => {
+                let d2 = (nx + nz - 2.0 * dot(x, z)).max(0.0);
+                (-gamma * d2).exp()
+            }
+            _ => self.eval(x, z),
+        }
+    }
+
     /// A sensible default RBF width for `dims`-dimensional
     /// standardised features: `γ = 1/dims`, the scikit-learn "scale"
     /// heuristic for unit-variance inputs.
     pub fn rbf_default(dims: usize) -> Self {
         Kernel::rbf(1.0 / dims.max(1) as f64)
     }
+}
+
+/// Build the full `n × n` Gram matrix `G[i·n + j] = K(xᵢ, xⱼ)` with
+/// row blocks of the upper triangle computed in parallel on `pool`
+/// and mirrored. The per-cell arithmetic is identical for every
+/// thread count, so the result is byte-identical whether built
+/// serially or on 8 threads — the determinism guarantee the
+/// committed `results/*.csv` rely on.
+pub fn gram_matrix(
+    kernel: Kernel,
+    data: &crate::data::Dataset,
+    pool: &exbox_par::ThreadPool,
+) -> Vec<f64> {
+    let n = data.len();
+    let norms = match kernel {
+        Kernel::Rbf { .. } => data.squared_norms(),
+        _ => Vec::new(),
+    };
+    let norm = |i: usize| norms.get(i).copied().unwrap_or(0.0);
+    // Upper-triangle rows (i..n); ragged lengths balance through the
+    // pool's dynamic chunking.
+    let rows: Vec<Vec<f64>> = pool.parallel_map(n, |i| {
+        let xi = data.x(i);
+        let ni = norm(i);
+        (i..n)
+            .map(|j| kernel.eval_with_norms(xi, ni, data.x(j), norm(j)))
+            .collect()
+    });
+    let mut g = vec![0.0; n * n];
+    for (i, row) in rows.iter().enumerate() {
+        for (off, &v) in row.iter().enumerate() {
+            let j = i + off;
+            g[i * n + j] = v;
+            g[j * n + i] = v;
+        }
+    }
+    g
 }
 
 /// Dot product of two equal-length slices.
@@ -149,6 +203,57 @@ mod tests {
         match Kernel::rbf_default(4) {
             Kernel::Rbf { gamma } => assert!((gamma - 0.25).abs() < 1e-12),
             _ => panic!("expected rbf"),
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_thread_count_invariant() {
+        use crate::data::{Dataset, Label};
+        let mut ds = Dataset::new(3);
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for i in 0..97 {
+            let x: Vec<f64> = (0..3).map(|_| (next() % 1000) as f64 / 100.0).collect();
+            let y = if i % 2 == 0 { Label::Pos } else { Label::Neg };
+            ds.push(x, y);
+        }
+        for kernel in [Kernel::Linear, Kernel::rbf(0.7), Kernel::poly(0.5, 1.0, 3)] {
+            let grams: Vec<Vec<f64>> = [1usize, 2, 8]
+                .iter()
+                .map(|&t| gram_matrix(kernel, &ds, &exbox_par::ThreadPool::new(t)))
+                .collect();
+            for g in &grams[1..] {
+                assert_eq!(grams[0].len(), g.len());
+                for (a, b) in grams[0].iter().zip(g) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "gram differs across threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrix_matches_direct_eval() {
+        use crate::data::{Dataset, Label};
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0, 1.0], Label::Pos);
+        ds.push(vec![2.0, -1.0], Label::Neg);
+        ds.push(vec![-3.0, 0.5], Label::Pos);
+        let k = Kernel::rbf(0.4);
+        let g = gram_matrix(k, &ds, &exbox_par::ThreadPool::serial());
+        for i in 0..3 {
+            for j in 0..3 {
+                let direct = k.eval(ds.x(i), ds.x(j));
+                assert!(
+                    (g[i * 3 + j] - direct).abs() < 1e-12,
+                    "gram[{i},{j}] = {} vs direct {direct}",
+                    g[i * 3 + j]
+                );
+            }
         }
     }
 

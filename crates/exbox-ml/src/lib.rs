@@ -55,14 +55,14 @@ pub mod persist;
 pub mod scale;
 pub mod svm;
 
-pub use cv::{cross_validate, CvReport};
+pub use cv::{cross_validate, cross_validate_pooled, CvReport};
 pub use data::{Dataset, Label};
-pub use kernel::Kernel;
+pub use kernel::{gram_matrix, Kernel};
 pub use linear::{LinearSvm, LinearSvmTrainer};
 pub use logreg::{LogisticRegression, LogisticRegressionTrainer};
 pub use metrics::{BinaryMetrics, ConfusionMatrix};
 pub use scale::{MinMaxScaler, StandardScaler};
-pub use svm::{SvmModel, SvmTrainer};
+pub use svm::{SvmFit, SvmModel, SvmTrainer, WarmStart};
 
 /// A trained binary classifier over dense `f64` feature vectors.
 ///
@@ -110,13 +110,13 @@ pub trait TrainClassifier {
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::cv::{cross_validate, CvReport};
+    pub use crate::cv::{cross_validate, cross_validate_pooled, CvReport};
     pub use crate::data::{Dataset, Label};
     pub use crate::kernel::Kernel;
     pub use crate::linear::{LinearSvm, LinearSvmTrainer};
     pub use crate::logreg::{LogisticRegression, LogisticRegressionTrainer};
     pub use crate::metrics::{BinaryMetrics, ConfusionMatrix};
     pub use crate::scale::{MinMaxScaler, StandardScaler};
-    pub use crate::svm::{SvmModel, SvmTrainer};
+    pub use crate::svm::{SvmFit, SvmModel, SvmTrainer, WarmStart};
     pub use crate::{Classifier, TrainClassifier};
 }

@@ -8,6 +8,23 @@
 //!
 //! * an incrementally-maintained error cache (`E_i = f(x_i) − y_i`),
 //! * an optional precomputed Gram matrix for small/medium datasets,
+//!   built in parallel row blocks on an [`exbox_par::ThreadPool`]
+//!   (byte-identical for every thread count),
+//! * a bounded LRU kernel-**row** cache for the `n > gram_limit`
+//!   regime, sized to the same memory envelope as a full Gram at the
+//!   limit,
+//! * precomputed squared norms so RBF evaluations reduce to one dot
+//!   product (`‖x−z‖² = ‖x‖² + ‖z‖² − 2·x·z`),
+//! * **warm starts**: [`SvmTrainer::fit_warm`] accepts the previous
+//!   fit's α vector, clamps it into the new box, repairs the
+//!   equality constraint `Σαᵢyᵢ = 0`, and rebuilds the error cache —
+//!   the basis of the Admittance Classifier's incremental online
+//!   retraining,
+//! * the standard **shrinking** heuristic: multipliers locked at a
+//!   bound with comfortably-satisfied KKT conditions for several
+//!   passes drop out of the working set; before convergence is
+//!   declared their errors are reconstructed and the full problem is
+//!   re-verified,
 //! * per-class cost weighting to handle the class imbalance typical of
 //!   admission datasets (most observed traffic matrices are
 //!   admissible until the network saturates),
@@ -19,9 +36,22 @@
 //! max Σαᵢ − ½ ΣΣ αᵢαⱼ yᵢyⱼ K(xᵢ,xⱼ)   s.t. 0 ≤ αᵢ ≤ Cᵢ, Σαᵢyᵢ = 0
 //! ```
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::rc::Rc;
+
+use exbox_par::ThreadPool;
+
 use crate::data::{Dataset, Label};
-use crate::kernel::Kernel;
+use crate::kernel::{dot, gram_matrix, Kernel};
 use crate::{Classifier, TrainClassifier};
+
+/// Consecutive quiescent-at-bound passes before a multiplier is
+/// shrunk out of the working set.
+const SHRINK_AFTER: u8 = 3;
+/// Problem size below which shrinking bookkeeping is not worth it.
+const SHRINK_MIN_SAMPLES: usize = 128;
 
 /// Hyper-parameters and driver for SMO training.
 #[derive(Debug, Clone)]
@@ -34,13 +64,16 @@ pub struct SvmTrainer {
     max_passes: u32,
     max_iters: u64,
     gram_limit: usize,
+    shrinking: bool,
+    pool: Option<ThreadPool>,
     seed: u64,
 }
 
 impl SvmTrainer {
     /// Create a trainer with the given kernel and defaults:
     /// `C = 1.0`, tolerance `1e-3`, 5 quiescent passes, balanced class
-    /// weights, Gram matrix cached for up to 4096 samples.
+    /// weights, Gram matrix cached for up to 4096 samples, shrinking
+    /// on, threads from [`ThreadPool::global`].
     pub fn new(kernel: Kernel) -> Self {
         SvmTrainer {
             kernel,
@@ -51,6 +84,8 @@ impl SvmTrainer {
             max_passes: 5,
             max_iters: 2_000_000,
             gram_limit: 4096,
+            shrinking: true,
+            pool: None,
             seed: 0xE5B0,
         }
     }
@@ -95,17 +130,37 @@ impl SvmTrainer {
         self
     }
 
-    /// Hard cap on total inner-loop iterations as a divergence backstop.
+    /// Hard cap on total inner-loop iterations as a divergence
+    /// backstop. A fit that hits the cap reports
+    /// [`SvmModel::converged`]` == false`.
     pub fn max_iters(mut self, iters: u64) -> Self {
         self.max_iters = iters;
         self
     }
 
     /// Largest sample count for which the full Gram matrix is
-    /// precomputed (`n²` doubles of memory). Above this, kernel values
-    /// are recomputed on demand.
+    /// precomputed (`n²` doubles of memory). Above this, kernel rows
+    /// are served from a bounded LRU cache of the same memory budget.
     pub fn gram_limit(mut self, limit: usize) -> Self {
         self.gram_limit = limit;
+        self
+    }
+
+    /// Enable/disable the shrinking heuristic (default on). Shrinking
+    /// never changes the verdict — the full problem is re-verified
+    /// before convergence is declared — but skips bound-locked
+    /// multipliers in the meantime.
+    pub fn shrinking(mut self, on: bool) -> Self {
+        self.shrinking = on;
+        self
+    }
+
+    /// Thread pool for the parallelisable stages (Gram construction,
+    /// warm-start error rebuild). Defaults to [`ThreadPool::global`],
+    /// i.e. `EXBOX_THREADS` / available cores. Results are
+    /// byte-identical for every setting.
+    pub fn pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -129,59 +184,102 @@ impl SvmTrainer {
             Label::Neg => self.c * self.neg_weight,
         }
     }
-}
 
-impl TrainClassifier for SvmTrainer {
-    type Model = SvmModel;
-
-    fn fit(&self, data: &Dataset) -> SvmModel {
+    /// Train with an optional warm start: `warm` carries the α vector
+    /// and bias of a previous fit, aligned by sample index (shorter or
+    /// longer α vectors are fine — extra entries are ignored, missing
+    /// ones start at zero). Carried values are clamped into the new
+    /// box `[0, Cᵢ]` and the equality constraint `Σαᵢyᵢ = 0` is
+    /// repaired before optimisation, so any α vector is a legal hint.
+    ///
+    /// Returns the full [`SvmFit`], whose [`SvmFit::warm_start`] feeds
+    /// the next retrain.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn fit_warm(&self, data: &Dataset, warm: Option<WarmStart<'_>>) -> SvmFit {
         assert!(!data.is_empty(), "cannot train SVM on empty dataset");
         let n = data.len();
         let dims = data.dims();
+        let pool = self.pool.unwrap_or_else(ThreadPool::global);
 
         // Degenerate one-class datasets: return a constant classifier
         // at the majority sign. The bootstrap phase guards against
         // this, but figure harnesses may hit it with tiny batches.
         if !data.has_both_classes() {
             let sign = data.y(0).signum();
-            return SvmModel {
-                kernel: self.kernel,
-                support: Vec::new(),
-                coef: Vec::new(),
-                bias: sign,
-                dims,
-                smo_iters: 0,
+            return SvmFit {
+                model: SvmModel {
+                    kernel: self.kernel,
+                    support: Vec::new(),
+                    coef: Vec::new(),
+                    support_norms: Vec::new(),
+                    bias: sign,
+                    dims,
+                    smo_iters: 0,
+                    converged: true,
+                },
+                alpha: vec![0.0; n],
+                warm_carried: 0,
+                shrunk_fraction: 0.0,
             };
         }
 
         let ys: Vec<f64> = (0..n).map(|i| data.y(i).signum()).collect();
         let costs: Vec<f64> = (0..n).map(|i| self.cost_for(data.y(i))).collect();
+        let cache = KernelCache::new(self.kernel, data, self.gram_limit, &pool);
 
-        // Gram cache (row-major upper storage kept simple: full matrix).
-        let gram: Option<Vec<f64>> = if n <= self.gram_limit {
-            let mut g = vec![0.0; n * n];
-            for i in 0..n {
-                for j in i..n {
-                    let v = self.kernel.eval(data.x(i), data.x(j));
-                    g[i * n + j] = v;
-                    g[j * n + i] = v;
+        // ---- α initialisation (warm start) -------------------------
+        let mut alpha = vec![0.0f64; n];
+        if let Some(init) = warm {
+            let init = init.alpha;
+            for i in 0..n.min(init.len()) {
+                let a = init[i].clamp(0.0, costs[i]);
+                if a > 1e-12 {
+                    alpha[i] = a;
                 }
             }
-            Some(g)
-        } else {
-            None
-        };
-        let kval = |i: usize, j: usize| -> f64 {
-            match &gram {
-                Some(g) => g[i * n + j],
-                None => self.kernel.eval(data.x(i), data.x(j)),
+            // Repair the dual equality constraint Σαᵢyᵢ = 0 (label
+            // flips and clamping can unbalance a carried vector):
+            // shave the surplus side from the highest indices down —
+            // deterministic, stays inside the box.
+            let s: f64 = alpha.iter().zip(&ys).map(|(a, y)| a * y).sum();
+            if s.abs() > 1e-12 {
+                let side = s.signum();
+                let mut excess = s.abs();
+                for i in (0..n).rev() {
+                    if excess <= 0.0 {
+                        break;
+                    }
+                    if ys[i] == side && alpha[i] > 0.0 {
+                        let cut = alpha[i].min(excess);
+                        alpha[i] -= cut;
+                        excess -= cut;
+                    }
+                }
             }
-        };
+        }
+        let warm_carried = alpha.iter().filter(|&&a| a > 0.0).count();
 
-        let mut alpha = vec![0.0f64; n];
-        let mut b = 0.0f64;
-        // err[i] = f(x_i) − y_i; with all α = 0, f(x) = b = 0.
-        let mut err: Vec<f64> = ys.iter().map(|y| -y).collect();
+        // ---- bias + error-cache initialisation ---------------------
+        // With all α = 0 and b = 0: f(x) = 0, so err[t] = −y_t. On a
+        // warm start we resume the previous (α, b) state verbatim:
+        // rebuild f₀(x_t) = Σ αᵢyᵢK(i,t) in parallel and set
+        // err[t] = f₀(t) + b − y_t. The error cache is then exactly
+        // consistent with the carried decision function, so an
+        // unchanged dataset replays the previous quiescent state
+        // instead of re-optimising (SMO's bias updates self-correct b
+        // as soon as any α moves, so a stale b is a hint, never a
+        // wound).
+        let mut b = warm.map(|w| w.bias).unwrap_or(0.0);
+        let mut err: Vec<f64>;
+        if warm_carried > 0 {
+            let targets: Vec<usize> = (0..n).collect();
+            let f0 = cache.decision_sums(&alpha, &ys, &targets, &pool);
+            err = (0..n).map(|t| f0[t] + b - ys[t]).collect();
+        } else {
+            err = ys.iter().map(|y| b - y).collect();
+        }
 
         // xorshift64* stream for the second-index heuristic.
         let mut rng_state = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -192,16 +290,26 @@ impl TrainClassifier for SvmTrainer {
             rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
         };
 
-        let mut quiescent_passes = 0u32;
+        // ---- SMO main loop with shrinking --------------------------
+        let shrink_enabled = self.shrinking && n >= SHRINK_MIN_SAMPLES;
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut shrunk = vec![false; n];
+        let mut streak = vec![0u8; n];
+        let mut shrunk_peak = 0usize;
+        let mut quiescent = 0u32;
         let mut iters = 0u64;
+        let mut updates = 0u64;
+        let mut capped = false;
 
-        while quiescent_passes < self.max_passes && iters < self.max_iters {
+        'outer: loop {
             let mut num_changed = 0usize;
-            for i in 0..n {
-                iters += 1;
+            for pos in 0..active.len() {
                 if iters >= self.max_iters {
-                    break;
+                    capped = true;
+                    break 'outer;
                 }
+                iters += 1;
+                let i = active[pos];
                 let ei = err[i];
                 let yi = ys[i];
                 let ci = costs[i];
@@ -211,97 +319,243 @@ impl TrainClassifier for SvmTrainer {
                     continue;
                 }
 
-                // Second-choice heuristic: pick j maximising |Ei − Ej|
-                // among current non-bound multipliers, falling back to
-                // a random index.
-                let mut j = usize::MAX;
-                let mut best = -1.0;
-                for (cand, &e) in err.iter().enumerate() {
-                    if cand == i {
-                        continue;
-                    }
-                    if alpha[cand] > 0.0 && alpha[cand] < costs[cand] {
-                        let gap = (ei - e).abs();
-                        if gap > best {
-                            best = gap;
-                            j = cand;
+                // Attempt a joint step on (i, j); mutates α, b and the
+                // error cache and evaluates to `true` on success. A
+                // macro rather than a closure so it can borrow the
+                // surrounding state mutably.
+                macro_rules! try_step {
+                    ($cand:expr) => {{
+                        let j: usize = $cand;
+                        let ei = err[i];
+                        let ej = err[j];
+                        let yj = ys[j];
+                        let cj = costs[j];
+                        let (ai_old, aj_old) = (alpha[i], alpha[j]);
+
+                        // Feasible segment for α_j.
+                        let (lo, hi) = if yi != yj {
+                            ((aj_old - ai_old).max(0.0), (cj + aj_old - ai_old).min(cj))
+                        } else {
+                            ((ai_old + aj_old - ci).max(0.0), (ai_old + aj_old).min(cj))
+                        };
+                        let eta = 2.0 * cache.pair(i, j) - cache.diag(i) - cache.diag(j);
+                        // Degenerate segment or non-negative curvature:
+                        // no usable descent direction on this pair.
+                        if hi - lo < 1e-12 || eta >= -1e-12 {
+                            false
+                        } else {
+                            let aj_new = (aj_old - yj * (ei - ej) / eta).clamp(lo, hi);
+                            if (aj_new - aj_old).abs() < 1e-7 {
+                                false
+                            } else {
+                                let ai_new = ai_old + yi * yj * (aj_old - aj_new);
+                                let kij = cache.pair(i, j);
+                                let kii = cache.diag(i);
+                                let kjj = cache.diag(j);
+
+                                // Bias update (Platt eqs. 20–21).
+                                let b1 = b
+                                    - ei
+                                    - yi * (ai_new - ai_old) * kii
+                                    - yj * (aj_new - aj_old) * kij;
+                                let b2 = b
+                                    - ej
+                                    - yi * (ai_new - ai_old) * kij
+                                    - yj * (aj_new - aj_old) * kjj;
+                                let b_new = if ai_new > 0.0 && ai_new < ci {
+                                    b1
+                                } else if aj_new > 0.0 && aj_new < cj {
+                                    b2
+                                } else {
+                                    0.5 * (b1 + b2)
+                                };
+
+                                // Incremental error-cache update over the
+                                // active set: f(x) gains
+                                // Δαᵢ yᵢ K(xᵢ,x) + Δαⱼ yⱼ K(xⱼ,x) + Δb.
+                                // Shrunk indices keep stale errors; they
+                                // are reconstructed before convergence is
+                                // declared.
+                                let dai = ai_new - ai_old;
+                                let daj = aj_new - aj_old;
+                                let db = b_new - b;
+                                {
+                                    let row_i = cache.row(i);
+                                    let row_j = cache.row(j);
+                                    for &t in &active {
+                                        err[t] += dai * yi * row_i[t] + daj * yj * row_j[t] + db;
+                                    }
+                                }
+
+                                alpha[i] = ai_new;
+                                alpha[j] = aj_new;
+                                b = b_new;
+                                true
+                            }
+                        }
+                    }};
+                }
+
+                // Platt's second-choice hierarchy. 1: the j maximising
+                // |Ei − Ej| among active non-bound multipliers (best
+                // single-step progress). A deterministic argmax alone
+                // can wedge on a pair whose step clips to nothing, so
+                // on failure 2: the remaining non-bound candidates from
+                // a random offset, then 3: everything else from a
+                // random offset.
+                let mut stepped = false;
+                let mut best_j = usize::MAX;
+                {
+                    let mut best = -1.0;
+                    for &cand in &active {
+                        if cand != i && alpha[cand] > 0.0 && alpha[cand] < costs[cand] {
+                            let gap = (ei - err[cand]).abs();
+                            if gap > best {
+                                best = gap;
+                                best_j = cand;
+                            }
                         }
                     }
                 }
-                if j == usize::MAX {
-                    j = (next_rand() % (n as u64 - 1)) as usize;
-                    if j >= i {
-                        j += 1;
+                if best_j != usize::MAX {
+                    stepped = try_step!(best_j);
+                }
+                if !stepped && active.len() >= 2 {
+                    let offset = (next_rand() % active.len() as u64) as usize;
+                    for k in 0..active.len() {
+                        let cand = active[(offset + k) % active.len()];
+                        if cand == i
+                            || cand == best_j
+                            || alpha[cand] <= 0.0
+                            || alpha[cand] >= costs[cand]
+                        {
+                            continue;
+                        }
+                        if try_step!(cand) {
+                            stepped = true;
+                            break;
+                        }
                     }
                 }
-
-                let ej = err[j];
-                let yj = ys[j];
-                let cj = costs[j];
-                let (ai_old, aj_old) = (alpha[i], alpha[j]);
-
-                // Feasible segment for α_j.
-                let (lo, hi) = if yi != yj {
-                    ((aj_old - ai_old).max(0.0), (cj + aj_old - ai_old).min(cj))
-                } else {
-                    ((ai_old + aj_old - ci).max(0.0), (ai_old + aj_old).min(cj))
-                };
-                if hi - lo < 1e-12 {
-                    continue;
+                if !stepped && active.len() >= 2 {
+                    let offset = (next_rand() % active.len() as u64) as usize;
+                    for k in 0..active.len() {
+                        let cand = active[(offset + k) % active.len()];
+                        if cand == i || (alpha[cand] > 0.0 && alpha[cand] < costs[cand]) {
+                            continue;
+                        }
+                        if try_step!(cand) {
+                            stepped = true;
+                            break;
+                        }
+                    }
                 }
-
-                let eta = 2.0 * kval(i, j) - kval(i, i) - kval(j, j);
-                if eta >= -1e-12 {
-                    // Non-negative curvature along the constraint: skip
-                    // (full Platt would evaluate the segment ends; the
-                    // random restart makes progress regardless).
-                    continue;
+                if stepped {
+                    num_changed += 1;
+                    updates += 1;
                 }
-
-                let mut aj_new = aj_old - yj * (ei - ej) / eta;
-                aj_new = aj_new.clamp(lo, hi);
-                if (aj_new - aj_old).abs() < 1e-7 {
-                    continue;
-                }
-                let ai_new = ai_old + yi * yj * (aj_old - aj_new);
-
-                // Bias update (Platt eqs. 20–21).
-                let b1 = b
-                    - ei
-                    - yi * (ai_new - ai_old) * kval(i, i)
-                    - yj * (aj_new - aj_old) * kval(i, j);
-                let b2 = b
-                    - ej
-                    - yi * (ai_new - ai_old) * kval(i, j)
-                    - yj * (aj_new - aj_old) * kval(j, j);
-                let b_new = if ai_new > 0.0 && ai_new < ci {
-                    b1
-                } else if aj_new > 0.0 && aj_new < cj {
-                    b2
-                } else {
-                    0.5 * (b1 + b2)
-                };
-
-                // Incremental error-cache update:
-                // f(x) gains Δαᵢ yᵢ K(xᵢ,x) + Δαⱼ yⱼ K(xⱼ,x) + Δb.
-                let dai = ai_new - ai_old;
-                let daj = aj_new - aj_old;
-                let db = b_new - b;
-                for (t, e) in err.iter_mut().enumerate() {
-                    *e += dai * yi * kval(i, t) + daj * yj * kval(j, t) + db;
-                }
-
-                alpha[i] = ai_new;
-                alpha[j] = aj_new;
-                b = b_new;
-                num_changed += 1;
             }
+
             if num_changed == 0 {
-                quiescent_passes += 1;
+                quiescent += 1;
             } else {
-                quiescent_passes = 0;
+                quiescent = 0;
+            }
+
+            if quiescent >= self.max_passes {
+                if active.len() < n {
+                    // Quiescent on the shrunk problem: reconstruct the
+                    // stale errors, reactivate everything and demand
+                    // one more clean pass over the full set.
+                    let targets: Vec<usize> = (0..n).filter(|&t| shrunk[t]).collect();
+                    let sums = cache.decision_sums(&alpha, &ys, &targets, &pool);
+                    for (k, &t) in targets.iter().enumerate() {
+                        err[t] = sums[k] + b - ys[t];
+                    }
+                    shrunk.iter_mut().for_each(|s| *s = false);
+                    streak.iter_mut().for_each(|s| *s = 0);
+                    active = (0..n).collect();
+                    quiescent = self.max_passes.saturating_sub(1);
+                } else {
+                    break;
+                }
+            } else if shrink_enabled && num_changed > 0 {
+                // Update bound-lock streaks; shrink indices whose KKT
+                // conditions hold with margin for SHRINK_AFTER passes.
+                let mut any = false;
+                for &i in &active {
+                    let r = ys[i] * err[i];
+                    let locked_lo = alpha[i] <= 0.0 && r > self.tol;
+                    let locked_hi = alpha[i] >= costs[i] && r < -self.tol;
+                    if locked_lo || locked_hi {
+                        streak[i] = streak[i].saturating_add(1);
+                        if streak[i] >= SHRINK_AFTER {
+                            shrunk[i] = true;
+                            any = true;
+                        }
+                    } else {
+                        streak[i] = 0;
+                    }
+                }
+                if any {
+                    active.retain(|&i| !shrunk[i]);
+                    shrunk_peak = shrunk_peak.max(n - active.len());
+                }
             }
         }
+
+        // ---- bias finalisation (Keerthi et al.) --------------------
+        // Pair updates are bias-blind (Eᵢ − Eⱼ cancels b), so the loop
+        // can quiesce in a state whose α is optimal while the running
+        // Platt-midpoint bias sits outside the KKT-feasible interval —
+        // classically when the last step leaves both multipliers at
+        // bound. Derive that interval from the KKT inequalities: each
+        // sample bounds b via v = y − f₀ (α at 0 / at C pushes b from
+        // one side, a free multiplier pins it from both). A bias
+        // already inside the tol-relaxed interval is kept bit-exact —
+        // every cleanly converged fit lands here, which preserves
+        // exact warm-start replay — otherwise snap to the interval
+        // midpoint.
+        if capped && active.len() < n {
+            // A capped run can exit mid-shrink with stale errors;
+            // reconstruct them so f₀ below is exact.
+            let targets: Vec<usize> = (0..n).filter(|&t| shrunk[t]).collect();
+            let sums = cache.decision_sums(&alpha, &ys, &targets, &pool);
+            for (k, &t) in targets.iter().enumerate() {
+                err[t] = sums[k] + b - ys[t];
+            }
+        }
+        let mut b_lo = f64::NEG_INFINITY;
+        let mut b_hi = f64::INFINITY;
+        for i in 0..n {
+            let v = ys[i] - (err[i] + ys[i] - b); // y − f₀
+                                                  // Classify against the box with the same 1e-8 slack the
+                                                  // support-vector extraction uses: step arithmetic leaves
+                                                  // ~1e-17 residues that must not masquerade as free
+                                                  // multipliers (a free multiplier pins b exactly).
+            let at_lower = alpha[i] <= 1e-8;
+            let at_upper = alpha[i] >= costs[i] - 1e-8;
+            if (at_lower && ys[i] > 0.0) || (at_upper && ys[i] < 0.0) || (!at_lower && !at_upper) {
+                b_lo = b_lo.max(v);
+            }
+            if (at_lower && ys[i] < 0.0) || (at_upper && ys[i] > 0.0) || (!at_lower && !at_upper) {
+                b_hi = b_hi.min(v);
+            }
+        }
+        if !(b >= b_lo - self.tol && b <= b_hi + self.tol) {
+            b = if b_lo.is_finite() && b_hi.is_finite() {
+                0.5 * (b_lo + b_hi)
+            } else if b_lo.is_finite() {
+                b_lo
+            } else if b_hi.is_finite() {
+                b_hi
+            } else {
+                b
+            };
+        }
+        // Even the best bias cannot satisfy contradictory bounds; that
+        // means true KKT violations remain despite pairwise quiescence.
+        let kkt_ok = b_lo <= b_hi + 2.0 * self.tol;
 
         // Extract support vectors.
         let mut support = Vec::new();
@@ -312,14 +566,278 @@ impl TrainClassifier for SvmTrainer {
                 coef.push(alpha[i] * ys[i]);
             }
         }
-        SvmModel {
-            kernel: self.kernel,
-            support,
-            coef,
-            bias: b,
-            dims,
-            smo_iters: iters,
+        let support_norms = support_norms(self.kernel, &support);
+        SvmFit {
+            model: SvmModel {
+                kernel: self.kernel,
+                support,
+                coef,
+                support_norms,
+                bias: b,
+                dims,
+                smo_iters: updates,
+                converged: !capped && kkt_ok,
+            },
+            alpha,
+            warm_carried,
+            shrunk_fraction: shrunk_peak as f64 / n as f64,
         }
+    }
+}
+
+impl TrainClassifier for SvmTrainer {
+    type Model = SvmModel;
+
+    fn fit(&self, data: &Dataset) -> SvmModel {
+        self.fit_warm(data, None).model
+    }
+}
+
+/// Dual state carried from a previous fit into
+/// [`SvmTrainer::fit_warm`]: the multipliers (aligned by sample
+/// index) and the bias they were quiescent with. Resuming both is
+/// essential — α alone with a re-derived bias would shift every
+/// cached error and manufacture KKT "violations" to re-optimise.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// Previous fit's multipliers, aligned to sample indices.
+    pub alpha: &'a [f64],
+    /// Previous fit's bias term.
+    pub bias: f64,
+}
+
+/// Result of one [`SvmTrainer::fit_warm`] call: the model plus the
+/// training-state the online retraining loop carries forward.
+#[derive(Debug, Clone)]
+pub struct SvmFit {
+    /// The trained model.
+    pub model: SvmModel,
+    /// Final multipliers, aligned to the input sample order — feed
+    /// these back as the next retrain's warm start.
+    pub alpha: Vec<f64>,
+    /// Number of α values carried in non-zero after clamping and
+    /// constraint repair (0 for cold fits).
+    pub warm_carried: usize,
+    /// Peak fraction of multipliers shrunk out of the working set
+    /// (0.0 when shrinking never engaged).
+    pub shrunk_fraction: f64,
+}
+
+impl SvmFit {
+    /// Borrow this fit's final state as the next retrain's warm start.
+    pub fn warm_start(&self) -> WarmStart<'_> {
+        WarmStart {
+            alpha: &self.alpha,
+            bias: self.model.bias(),
+        }
+    }
+}
+
+/// Squared norms of the support vectors (RBF fast path); empty for
+/// kernels that do not use them.
+fn support_norms(kernel: Kernel, support: &[Vec<f64>]) -> Vec<f64> {
+    match kernel {
+        Kernel::Rbf { .. } => support.iter().map(|sv| dot(sv, sv)).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// A kernel-row handle: either a slice of the full Gram matrix or a
+/// shared row from the LRU cache.
+enum RowHandle<'g> {
+    Slice(&'g [f64]),
+    Shared(Rc<Vec<f64>>),
+}
+
+impl Deref for RowHandle<'_> {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        match self {
+            RowHandle::Slice(s) => s,
+            RowHandle::Shared(r) => r,
+        }
+    }
+}
+
+/// Bounded LRU cache of full kernel rows for the `n > gram_limit`
+/// regime. Eviction scans for the oldest stamp — capacities are small
+/// (the budget keeps `cap · n ≤ gram_limit²` values), so O(cap) is
+/// fine.
+struct RowCache {
+    cap: usize,
+    stamp: u64,
+    rows: HashMap<usize, (u64, Rc<Vec<f64>>)>,
+}
+
+impl RowCache {
+    fn get(&mut self, i: usize) -> Option<Rc<Vec<f64>>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.rows.get_mut(&i).map(|e| {
+            e.0 = stamp;
+            Rc::clone(&e.1)
+        })
+    }
+
+    fn insert(&mut self, i: usize, row: Rc<Vec<f64>>) {
+        if self.rows.len() >= self.cap {
+            if let Some(&oldest) = self
+                .rows
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.rows.remove(&oldest);
+            }
+        }
+        self.stamp += 1;
+        self.rows.insert(i, (self.stamp, row));
+    }
+}
+
+/// Unified kernel-value access for the SMO: full Gram below the
+/// limit, LRU-cached rows above it, RBF norms precomputed either way.
+/// All evaluations route through [`Kernel::eval_with_norms`], so the
+/// two regimes and every thread count agree bit-for-bit.
+struct KernelCache<'a> {
+    kernel: Kernel,
+    data: &'a Dataset,
+    norms: Vec<f64>,
+    diag: Vec<f64>,
+    gram: Option<Vec<f64>>,
+    lru: RefCell<RowCache>,
+}
+
+impl<'a> KernelCache<'a> {
+    fn new(kernel: Kernel, data: &'a Dataset, gram_limit: usize, pool: &ThreadPool) -> Self {
+        let n = data.len();
+        let norms = match kernel {
+            Kernel::Rbf { .. } => data.squared_norms(),
+            _ => Vec::new(),
+        };
+        let gram = (n <= gram_limit).then(|| gram_matrix(kernel, data, pool));
+        let diag: Vec<f64> = match &gram {
+            Some(g) => (0..n).map(|i| g[i * n + i]).collect(),
+            None => (0..n)
+                .map(|i| {
+                    let x = data.x(i);
+                    let nx = norms.get(i).copied().unwrap_or(0.0);
+                    kernel.eval_with_norms(x, nx, x, nx)
+                })
+                .collect(),
+        };
+        // Same memory envelope as a full Gram at the limit:
+        // cap · n ≤ max(gram_limit, 64)² values.
+        let cap = if gram.is_some() {
+            0
+        } else {
+            (gram_limit.max(64).pow(2) / n.max(1)).clamp(8, n)
+        };
+        KernelCache {
+            kernel,
+            data,
+            norms,
+            diag,
+            gram,
+            lru: RefCell::new(RowCache {
+                cap,
+                stamp: 0,
+                rows: HashMap::new(),
+            }),
+        }
+    }
+
+    #[inline]
+    fn norm(&self, i: usize) -> f64 {
+        self.norms.get(i).copied().unwrap_or(0.0)
+    }
+
+    #[inline]
+    fn eval_idx(&self, i: usize, j: usize) -> f64 {
+        self.kernel
+            .eval_with_norms(self.data.x(i), self.norm(i), self.data.x(j), self.norm(j))
+    }
+
+    #[inline]
+    fn diag(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    /// `K(xᵢ, xⱼ)` — Gram lookup, cached-row peek, or direct eval.
+    fn pair(&self, i: usize, j: usize) -> f64 {
+        match &self.gram {
+            Some(g) => g[i * self.data.len() + j],
+            None => {
+                {
+                    let lru = self.lru.borrow();
+                    if let Some((_, r)) = lru.rows.get(&i) {
+                        return r[j];
+                    }
+                    if let Some((_, r)) = lru.rows.get(&j) {
+                        return r[i];
+                    }
+                }
+                self.eval_idx(i, j)
+            }
+        }
+    }
+
+    /// The full row `K(xᵢ, ·)`, computed and LRU-cached on demand in
+    /// the row-cache regime.
+    fn row(&self, i: usize) -> RowHandle<'_> {
+        let n = self.data.len();
+        match &self.gram {
+            Some(g) => RowHandle::Slice(&g[i * n..(i + 1) * n]),
+            None => {
+                if let Some(r) = self.lru.borrow_mut().get(i) {
+                    return RowHandle::Shared(r);
+                }
+                let row = Rc::new((0..n).map(|t| self.eval_idx(i, t)).collect::<Vec<f64>>());
+                self.lru.borrow_mut().insert(i, Rc::clone(&row));
+                RowHandle::Shared(row)
+            }
+        }
+    }
+
+    /// `Σᵢ αᵢyᵢK(i, t)` for each `t` in `targets`, computed in
+    /// parallel over targets with a fixed serial summation order per
+    /// target — deterministic for every thread count. Used to rebuild
+    /// the error cache on warm starts and un-shrinks.
+    fn decision_sums(
+        &self,
+        alpha: &[f64],
+        ys: &[f64],
+        targets: &[usize],
+        pool: &ThreadPool,
+    ) -> Vec<f64> {
+        let sv: Vec<usize> = (0..alpha.len()).filter(|&i| alpha[i] > 0.0).collect();
+        // Capture plain slices (the RefCell row cache is not Sync).
+        let kernel = self.kernel;
+        let data = self.data;
+        let norms = &self.norms;
+        let gram = self.gram.as_deref();
+        let n = data.len();
+        let norm = |i: usize| norms.get(i).copied().unwrap_or(0.0);
+        pool.parallel_map(targets.len(), |k| {
+            let t = targets[k];
+            let mut sum = 0.0;
+            match gram {
+                Some(g) => {
+                    for &i in &sv {
+                        sum += alpha[i] * ys[i] * g[i * n + t];
+                    }
+                }
+                None => {
+                    let xt = data.x(t);
+                    let nt = norm(t);
+                    for &i in &sv {
+                        sum +=
+                            alpha[i] * ys[i] * kernel.eval_with_norms(data.x(i), norm(i), xt, nt);
+                    }
+                }
+            }
+            sum
+        })
     }
 }
 
@@ -330,9 +848,12 @@ pub struct SvmModel {
     kernel: Kernel,
     support: Vec<Vec<f64>>,
     coef: Vec<f64>,
+    /// `‖svᵢ‖²` for the RBF fast path (empty for other kernels).
+    support_norms: Vec<f64>,
     bias: f64,
     dims: usize,
     smo_iters: u64,
+    converged: bool,
 }
 
 impl SvmModel {
@@ -341,10 +862,21 @@ impl SvmModel {
         self.support.len()
     }
 
-    /// Total SMO inner-loop iterations training spent producing this
-    /// model (0 for models reassembled via [`SvmModel::from_parts`]).
+    /// Number of α-pair optimisation steps training performed
+    /// (libsvm-style iteration count; 0 for models reassembled via
+    /// [`SvmModel::from_parts`], and near 0 for warm restarts that
+    /// only re-verify KKT conditions).
     pub fn smo_iterations(&self) -> u64 {
         self.smo_iters
+    }
+
+    /// `false` when training stopped at the `max_iters` divergence
+    /// backstop instead of reaching KKT quiescence — the partial
+    /// pass's progress is kept, but the model may be short of the
+    /// dual optimum. Models reassembled via [`SvmModel::from_parts`]
+    /// report `true`.
+    pub fn converged(&self) -> bool {
+        self.converged
     }
 
     /// The kernel the model was trained with.
@@ -382,13 +914,16 @@ impl SvmModel {
             support.iter().all(|x| x.len() == dims),
             "support vector dimensionality mismatch"
         );
+        let support_norms = support_norms(kernel, &support);
         SvmModel {
             kernel,
             support,
             coef,
+            support_norms,
             bias,
             dims,
             smo_iters: 0,
+            converged: true,
         }
     }
 
@@ -413,8 +948,20 @@ impl Classifier for SvmModel {
     fn decision_value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dims, "input dimensionality mismatch");
         let mut f = self.bias;
-        for (sv, &c) in self.support.iter().zip(&self.coef) {
-            f += c * self.kernel.eval(sv, x);
+        match self.kernel {
+            Kernel::Rbf { .. } => {
+                // Norm-precomputed path: one dot per support vector.
+                let nx = dot(x, x);
+                for ((sv, &c), &ns) in self.support.iter().zip(&self.coef).zip(&self.support_norms)
+                {
+                    f += c * self.kernel.eval_with_norms(sv, ns, x, nx);
+                }
+            }
+            _ => {
+                for (sv, &c) in self.support.iter().zip(&self.coef) {
+                    f += c * self.kernel.eval(sv, x);
+                }
+            }
         }
         f
     }
@@ -438,6 +985,29 @@ mod tests {
         ds
     }
 
+    /// A noisy capacity-region-like dataset big enough to engage
+    /// shrinking (n >= SHRINK_MIN_SAMPLES).
+    fn capacity_region(n: usize) -> Dataset {
+        let mut ds = Dataset::new(3);
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..n {
+            let x: Vec<f64> = (0..3).map(|_| (next() % 10) as f64).collect();
+            let y = if x.iter().sum::<f64>() <= 13.0 {
+                Label::Pos
+            } else {
+                Label::Neg
+            };
+            ds.push(x, y);
+        }
+        ds
+    }
+
     #[test]
     fn separates_linear_clusters_with_linear_kernel() {
         let model = SvmTrainer::new(Kernel::Linear)
@@ -452,13 +1022,24 @@ mod tests {
     }
 
     #[test]
-    fn training_reports_smo_iterations() {
+    fn training_reports_smo_iterations_and_convergence() {
         let model = SvmTrainer::new(Kernel::Linear)
             .c(10.0)
             .train(&linearly_separable());
         assert!(model.smo_iterations() > 0, "real training must iterate");
+        assert!(model.converged(), "easy problem must converge");
         let rebuilt = SvmModel::from_parts(Kernel::Linear, Vec::new(), Vec::new(), 1.0, 2);
         assert_eq!(rebuilt.smo_iterations(), 0);
+        assert!(rebuilt.converged());
+    }
+
+    #[test]
+    fn iteration_cap_marks_nonconvergence() {
+        let model = SvmTrainer::new(Kernel::rbf(0.5))
+            .c(10.0)
+            .max_iters(3)
+            .train(&linearly_separable());
+        assert!(!model.converged(), "capped fit must report nonconvergence");
     }
 
     #[test]
@@ -560,6 +1141,130 @@ mod tests {
             let a = with_gram.decision_value(&x);
             let b = no_gram.decision_value(&x);
             assert!((a - b).abs() < 1e-9, "gram path diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn row_cache_regime_matches_gram_regime_exactly() {
+        // Same dataset through the full-Gram and tiny-LRU regimes;
+        // every evaluation routes through eval_with_norms either way,
+        // so the fits agree bit-for-bit.
+        let ds = capacity_region(150);
+        let gram = SvmTrainer::new(Kernel::rbf(0.3))
+            .c(5.0)
+            .gram_limit(4096)
+            .train(&ds);
+        let lru = SvmTrainer::new(Kernel::rbf(0.3))
+            .c(5.0)
+            .gram_limit(0)
+            .train(&ds);
+        assert_eq!(gram.bias().to_bits(), lru.bias().to_bits());
+        assert_eq!(gram.num_support_vectors(), lru.num_support_vectors());
+        for x in [[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]] {
+            assert_eq!(
+                gram.decision_value(&x).to_bits(),
+                lru.decision_value(&x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_does_not_change_predictions() {
+        let ds = capacity_region(300);
+        let on = SvmTrainer::new(Kernel::rbf(0.2)).c(5.0).train(&ds);
+        let off = SvmTrainer::new(Kernel::rbf(0.2))
+            .c(5.0)
+            .shrinking(false)
+            .train(&ds);
+        let mut agree = 0;
+        for (x, _) in ds.iter() {
+            if on.predict(x) == off.predict(x) {
+                agree += 1;
+            }
+        }
+        // Both converge to the same dual optimum up to tolerance;
+        // allow a sliver of boundary cells to differ.
+        assert!(
+            agree as f64 / ds.len() as f64 > 0.98,
+            "shrinking changed {} / {} predictions",
+            ds.len() - agree,
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn warm_start_from_own_alpha_converges_almost_instantly() {
+        let ds = capacity_region(300);
+        let trainer = SvmTrainer::new(Kernel::rbf(0.2)).c(5.0);
+        let cold = trainer.fit_warm(&ds, None);
+        let warm = trainer.fit_warm(&ds, Some(cold.warm_start()));
+        assert!(warm.warm_carried > 0, "no multipliers carried");
+        assert!(
+            warm.model.smo_iterations() < cold.model.smo_iterations() / 2,
+            "warm restart should re-verify, not re-optimise: {} !< {}/2",
+            warm.model.smo_iterations(),
+            cold.model.smo_iterations()
+        );
+        // Both fits satisfy KKT within tol, so they agree everywhere
+        // except (at most) a sliver of boundary cells.
+        let agree = ds
+            .iter()
+            .filter(|(x, _)| warm.model.predict(x) == cold.model.predict(x))
+            .count();
+        assert!(
+            agree as f64 / ds.len() as f64 > 0.98,
+            "warm/cold predictions diverged on {} / {} samples",
+            ds.len() - agree,
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn warm_start_repairs_violated_constraint() {
+        // A deliberately unbalanced warm vector (all-ones) violates
+        // Σαy = 0; fit_warm must repair it and still learn.
+        let ds = linearly_separable();
+        let bogus = vec![1.0; ds.len()];
+        let fit = SvmTrainer::new(Kernel::rbf(0.5)).c(10.0).fit_warm(
+            &ds,
+            Some(WarmStart {
+                alpha: &bogus,
+                bias: 0.0,
+            }),
+        );
+        for (x, y) in ds.iter() {
+            assert_eq!(fit.model.predict(x), y);
+        }
+        let s: f64 = fit
+            .alpha
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a * ds.y(i).signum())
+            .sum();
+        assert!(s.abs() < 1e-6, "equality constraint violated: {s}");
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        let ds = capacity_region(200);
+        let fits: Vec<SvmModel> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                SvmTrainer::new(Kernel::rbf(0.2))
+                    .c(5.0)
+                    .pool(ThreadPool::new(t))
+                    .train(&ds)
+            })
+            .collect();
+        for m in &fits[1..] {
+            assert_eq!(fits[0].bias().to_bits(), m.bias().to_bits());
+            assert_eq!(fits[0].num_support_vectors(), m.num_support_vectors());
+            for x in [[0.0, 0.0, 0.0], [4.0, 4.0, 4.0], [9.0, 1.0, 2.0]] {
+                assert_eq!(
+                    fits[0].decision_value(&x).to_bits(),
+                    m.decision_value(&x).to_bits()
+                );
+            }
         }
     }
 

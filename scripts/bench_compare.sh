@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Compare a fresh `--json` bench run against the committed baseline.
+#
+# Usage:
+#   cargo bench -p exbox-bench --bench training_latency -- --json > /tmp/t.json
+#   scripts/bench_compare.sh BENCH_BASELINE.json /tmp/t.json [tolerance]
+#
+# The current run's document names its bench (`training_latency` /
+# `admission_latency`); the matching scenario map is pulled out of the
+# baseline and every shared scenario's p50/p95 is diffed. Exit is
+# non-zero when any shared scenario regressed by more than the
+# tolerance factor (default 2.5×, benches on shared CI boxes are
+# noisy), or when the warm-retrain acceptance bar fails:
+# `rbf_2000_retrain` p50 must be at least 2× below the baseline's
+# `rbf_2000_cold` p50.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 <baseline.json> <current.json> [tolerance]" >&2
+    exit 2
+fi
+baseline=$1
+current=$2
+# The exbox-obs histograms behind the benches use exponential buckets
+# 2× wide, so a latency jittering across a bucket edge reports exactly
+# a 2× p50/p95 change; the tolerance must exceed one bucket flip (plus
+# shared-CI-box noise) to avoid false alarms.
+tolerance=${3:-2.5}
+
+bench=$(jq -r '.bench' "$current")
+if ! jq -e --arg b "$bench" 'has($b)' "$baseline" > /dev/null; then
+    echo "baseline $baseline has no entry for bench '$bench'" >&2
+    exit 2
+fi
+
+echo "bench: $bench (tolerance ${tolerance}x)"
+printf '%-28s %14s %14s %8s %s\n' scenario base_p50_ns cur_p50_ns ratio verdict
+
+fail=0
+while IFS=$'\t' read -r name reps base_p50 base_p95 cur_p50 cur_p95; do
+    verdict=ok
+    # Guard p50 and p95 against the same regression factor; sub-µs
+    # scenarios sit below timer resolution, skip them. The p95 guard
+    # only applies at >= 20 recorded reps — below that p95 is the
+    # single worst rep, and one OS scheduling hiccup trips any
+    # tolerance.
+    if [ "$(jq -n --argjson b "$base_p50" '$b >= 1000')" = true ]; then
+        if [ "$(jq -n --argjson c "$cur_p50" --argjson b "$base_p50" --argjson t "$tolerance" \
+            '$c > $b * $t')" = true ]; then
+            verdict=REGRESSED
+            fail=1
+        elif [ "$reps" -ge 20 ] && [ "$(jq -n --argjson c "$cur_p95" --argjson b "$base_p95" \
+            --argjson t "$tolerance" '$c > $b * $t')" = true ]; then
+            verdict=REGRESSED-p95
+            fail=1
+        fi
+    fi
+    ratio=$(jq -n --argjson c "$cur_p50" --argjson b "$base_p50" \
+        'if $b > 0 then ($c / $b * 100 | round) / 100 else 0 end')
+    printf '%-28s %14s %14s %8s %s\n' "$name" "$base_p50" "$cur_p50" "$ratio" "$verdict"
+done < <(jq -r --arg b "$bench" --slurpfile cur "$current" '
+    .[$b] as $base
+    | $cur[0].scenarios
+    | to_entries[]
+    | select($base[.key] != null)
+    | [.key, .value.reps, $base[.key].p50_ns, $base[.key].p95_ns,
+       .value.p50_ns, .value.p95_ns]
+    | @tsv' "$baseline")
+
+# Warm-start acceptance bar (full training_latency runs only): a
+# steady-state retrain must cost at most half of the baseline's cold
+# 2,000-sample fit.
+if [ "$bench" = training_latency ]; then
+    cold=$(jq -r '.training_latency["rbf_2000_cold"].p50_ns // empty' "$baseline")
+    warm=$(jq -r '.scenarios["rbf_2000_retrain"].p50_ns // empty' "$current")
+    if [ -n "$cold" ] && [ -n "$warm" ]; then
+        if [ "$(jq -n --argjson w "$warm" --argjson c "$cold" '$w * 2 <= $c')" = true ]; then
+            echo "warm-start bar: retrain p50 ${warm}ns * 2 <= cold baseline ${cold}ns — ok"
+        else
+            echo "warm-start bar FAILED: retrain p50 ${warm}ns * 2 > cold baseline ${cold}ns"
+            fail=1
+        fi
+    fi
+fi
+
+exit $fail
