@@ -13,6 +13,25 @@
 //!   traffic matrices taking their *latest* observed label (the
 //!   paper's freshness rule, which is what lets ExBox adapt when the
 //!   network itself changes — Fig. 11).
+//!
+//! ## Serving fast path
+//!
+//! The classifier sits on the gateway's per-arrival datapath, so the
+//! online decision is engineered around three observations:
+//!
+//! 1. A trained [`SvmModel`] is converted into a [`CompactSvm`]
+//!    (flattened support vectors, pruned zero coefficients, linear
+//!    kernel collapsed to one dot product) after every retrain.
+//! 2. [`AdmittanceClassifier::decide`] computes the margin **once**
+//!    and derives the label from its sign — callers that need both no
+//!    longer pay two kernel expansions.
+//! 3. Traffic matrices live on a small discrete lattice and recur
+//!    constantly under steady load, so decisions are memoised in a
+//!    bounded, generation-stamped cache keyed by the matrix itself.
+//!    Every retrain (and, when the monotonicity guard is on, every
+//!    `observe`) bumps the generation, so a stale verdict can never be
+//!    served. `admittance.cache_hits` / `admittance.cache_misses`
+//!    count the traffic.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -51,6 +70,12 @@ struct AdmittanceMetrics {
     /// `admittance.cv_accuracy` — latest bootstrap cross-validation
     /// accuracy.
     cv_accuracy: Arc<Gauge>,
+    /// `admittance.cache_hits` — decisions served from the
+    /// matrix-keyed cache.
+    cache_hits: Arc<Counter>,
+    /// `admittance.cache_misses` — decisions that ran the model (or
+    /// found a stale-generation entry).
+    cache_misses: Arc<Counter>,
 }
 
 impl AdmittanceMetrics {
@@ -67,6 +92,8 @@ impl AdmittanceMetrics {
             shrunk_fraction: reg.histogram("svm.shrunk_fraction", &buckets::unit()),
             nonconverged_retrains: reg.counter("admittance.nonconverged_retrains"),
             cv_accuracy: reg.gauge("admittance.cv_accuracy"),
+            cache_hits: reg.counter("admittance.cache_hits"),
+            cache_misses: reg.counter("admittance.cache_misses"),
         }
     }
 }
@@ -139,6 +166,12 @@ pub struct AdmittanceConfig {
     pub warm_start: bool,
     /// Training seed.
     pub seed: u64,
+    /// Capacity of the matrix-keyed decision cache (distinct
+    /// matrices); `0` disables caching entirely. The environment
+    /// variable `EXBOX_DECISION_CACHE` overrides this at
+    /// construction, which is how the CI determinism check runs the
+    /// figure binaries cache-off without a code change.
+    pub decision_cache_size: usize,
 }
 
 impl Default for AdmittanceConfig {
@@ -152,6 +185,7 @@ impl Default for AdmittanceConfig {
             cv_folds: 5,
             warm_start: true,
             seed: 0xADB0,
+            decision_cache_size: 4096,
         }
     }
 }
@@ -165,10 +199,12 @@ pub enum Phase {
     Online,
 }
 
-/// A trained model of whichever backend.
+/// A trained model of whichever backend. SVM fits are stored in their
+/// compact serving form — the full [`SvmModel`] is only a training
+/// intermediate (the warm-start state lives in [`WarmState`]).
 #[derive(Debug, Clone)]
 enum Model {
-    Svm(SvmModel),
+    Svm(CompactSvm),
     Logistic(LogisticRegression),
     Pegasos(LinearSvm),
 }
@@ -200,6 +236,56 @@ struct WarmState {
     bias: f64,
 }
 
+/// Bounded, generation-stamped memo of `(label, margin)` verdicts
+/// keyed by traffic matrix. Entries from an older generation are
+/// treated as misses; [`DecisionCache::invalidate`] (called on every
+/// retrain, and on every `observe` when the monotonicity guard reads
+/// the sample store) is therefore O(1). Capacity pressure first drops
+/// the stale generations, then — if the live working set alone
+/// overflows — clears outright, so memory stays bounded by `cap` live
+/// entries plus whatever stale ones the next insert sweeps.
+#[derive(Debug)]
+struct DecisionCache {
+    cap: usize,
+    generation: u64,
+    map: HashMap<TrafficMatrix, (u64, Label, f64)>,
+}
+
+impl DecisionCache {
+    fn new(cap: usize) -> Self {
+        DecisionCache {
+            cap,
+            generation: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&self, key: &TrafficMatrix) -> Option<(Label, f64)> {
+        match self.map.get(key) {
+            Some(&(gen, label, margin)) if gen == self.generation => Some((label, margin)),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, key: TrafficMatrix, label: Label, margin: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            let gen = self.generation;
+            self.map.retain(|_, &mut (g, _, _)| g == gen);
+            if self.map.len() >= self.cap {
+                self.map.clear();
+            }
+        }
+        self.map.insert(key, (self.generation, label, margin));
+    }
+
+    fn invalidate(&mut self) {
+        self.generation += 1;
+    }
+}
+
 /// The Admittance Classifier.
 #[derive(Debug)]
 pub struct AdmittanceClassifier {
@@ -215,6 +301,7 @@ pub struct AdmittanceClassifier {
     scaler: Option<StandardScaler>,
     model: Option<Model>,
     warm: Option<WarmState>,
+    cache: DecisionCache,
     metrics: AdmittanceMetrics,
 }
 
@@ -242,6 +329,14 @@ impl AdmittanceClassifier {
             cfg.bootstrap_accuracy > 0.0 && cfg.bootstrap_accuracy <= 1.0,
             "bootstrap accuracy must be in (0, 1]"
         );
+        let mut cfg = cfg;
+        if let Ok(v) = std::env::var("EXBOX_DECISION_CACHE") {
+            match v.trim().parse::<usize>() {
+                Ok(n) => cfg.decision_cache_size = n,
+                Err(_) => eprintln!("exbox: ignoring invalid EXBOX_DECISION_CACHE={v:?}"),
+            }
+        }
+        let cache = DecisionCache::new(cfg.decision_cache_size);
         AdmittanceClassifier {
             cfg,
             phase: Phase::Bootstrap,
@@ -253,6 +348,7 @@ impl AdmittanceClassifier {
             scaler: None,
             model: None,
             warm: None,
+            cache,
             metrics: AdmittanceMetrics::bind(registry),
         }
     }
@@ -292,6 +388,12 @@ impl AdmittanceClassifier {
                 self.index.insert(matrix, self.samples.len());
                 self.samples.push((matrix, label));
             }
+        }
+        // The monotonicity guard reads the sample store directly, so
+        // with it enabled every observation can change a verdict —
+        // not just retrains.
+        if self.cfg.monotone_guard {
+            self.cache.invalidate();
         }
         match self.phase {
             Phase::Bootstrap => self.try_exit_bootstrap(),
@@ -457,7 +559,7 @@ impl AdmittanceClassifier {
                         .collect(),
                     bias: fit.model.bias(),
                 });
-                Model::Svm(fit.model)
+                Model::Svm(fit.model.compact())
             }
             Fitted::Logistic(m) => Model::Logistic(m),
             Fitted::Pegasos(m) => Model::Pegasos(m),
@@ -468,34 +570,77 @@ impl AdmittanceClassifier {
         self.scaler = Some(scaler);
         self.model = Some(model);
         self.retrain_count += 1;
+        self.cache.invalidate();
     }
 
     /// Signed distance-like score for the matrix that would result
     /// from an admission: positive ⇒ inside the learnt ExCR. `None`
     /// until a model exists (bootstrap before first training).
+    ///
+    /// Allocation-free: features and scaled features live in stack
+    /// arrays sized by [`TrafficMatrix::DIMS`].
     pub fn decision_value(&self, resulting: &TrafficMatrix) -> Option<f64> {
         let scaler = self.scaler.as_ref()?;
         let model = self.model.as_ref()?;
-        Some(model.decision_value(&scaler.transform(&resulting.features())))
+        let mut raw = [0.0f64; TrafficMatrix::DIMS];
+        resulting.features_into(&mut raw);
+        let mut scaled = [0.0f64; TrafficMatrix::DIMS];
+        scaler.transform_into(&raw, &mut scaled);
+        Some(model.decision_value(&scaled))
     }
 
     /// Classify an arrival (by the matrix it would produce). During
     /// bootstrap every flow is admissible by definition.
+    ///
+    /// Shared-reference and cache-free — safe to fan out across
+    /// threads. Callers holding `&mut self` that want the label *and*
+    /// the margin (or the memoised steady-state path) should use
+    /// [`AdmittanceClassifier::decide`] instead.
     pub fn classify(&self, resulting: &TrafficMatrix) -> Label {
-        match self.phase {
+        self.decide_uncached(resulting).0
+    }
+
+    /// Single-pass decision: label and margin from one model
+    /// evaluation, memoised in the matrix-keyed cache. The margin is
+    /// `None` until a model exists (bootstrap before first training) —
+    /// such decisions are never cached.
+    pub fn decide(&mut self, resulting: &TrafficMatrix) -> (Label, Option<f64>) {
+        if self.model.is_none() {
+            return self.decide_uncached(resulting);
+        }
+        if let Some((label, margin)) = self.cache.get(resulting) {
+            self.metrics.cache_hits.inc();
+            return (label, Some(margin));
+        }
+        self.metrics.cache_misses.inc();
+        let (label, margin) = self.decide_uncached(resulting);
+        if let Some(m) = margin {
+            self.cache.insert(*resulting, label, m);
+        }
+        (label, margin)
+    }
+
+    /// The uncached decision: one margin evaluation, label derived
+    /// from its sign (after the phase rule and the optional
+    /// monotonicity guard).
+    fn decide_uncached(&self, resulting: &TrafficMatrix) -> (Label, Option<f64>) {
+        let margin = self.decision_value(resulting);
+        let label = match self.phase {
             Phase::Bootstrap => Label::Pos,
             Phase::Online => {
-                if self.cfg.monotone_guard {
-                    if let Some(label) = self.dominance_label(resulting) {
-                        return label;
-                    }
-                }
-                match self.decision_value(resulting) {
-                    Some(v) => Label::from_signum(v),
-                    None => Label::Pos,
+                let guarded = if self.cfg.monotone_guard {
+                    self.dominance_label(resulting)
+                } else {
+                    None
+                };
+                match (guarded, margin) {
+                    (Some(l), _) => l,
+                    (None, Some(v)) => Label::from_signum(v),
+                    (None, None) => Label::Pos,
                 }
             }
-        }
+        };
+        (label, margin)
     }
 
     /// Downward-closure check against the stored samples: `Neg` when
@@ -699,6 +844,129 @@ mod tests {
                 "{backend:?} admits overloaded matrix"
             );
         }
+    }
+
+    #[test]
+    fn decide_matches_classify_and_decision_value() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        feed_bootstrap(&mut ac);
+        for w in 0..5 {
+            for s in 0..5 {
+                let m = matrix(w, s, 1);
+                let (label, margin) = ac.decide(&m);
+                assert_eq!(label, ac.classify(&m));
+                assert_eq!(margin, ac.decision_value(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn decide_caches_and_retrain_invalidates() {
+        let reg = MetricsRegistry::new();
+        let mut ac = AdmittanceClassifier::with_registry(AdmittanceConfig::default(), &reg);
+        feed_bootstrap(&mut ac);
+        let m = matrix(2, 1, 1);
+        let first = ac.decide(&m);
+        let counter = |reg: &MetricsRegistry, name: &str| reg.snapshot().counter(name).unwrap_or(0);
+        let misses_after_first = counter(&reg, "admittance.cache_misses");
+        assert!(misses_after_first >= 1);
+        assert_eq!(counter(&reg, "admittance.cache_hits"), 0);
+        // Repeat decisions hit the cache and return identical results.
+        for _ in 0..5 {
+            assert_eq!(ac.decide(&m), first);
+        }
+        assert_eq!(counter(&reg, "admittance.cache_hits"), 5);
+        assert_eq!(counter(&reg, "admittance.cache_misses"), misses_after_first);
+        // A retrain bumps the generation: same matrix misses again.
+        ac.retrain();
+        let again = ac.decide(&m);
+        assert_eq!(
+            counter(&reg, "admittance.cache_misses"),
+            misses_after_first + 1
+        );
+        // And the refreshed entry still agrees with the uncached path.
+        assert_eq!(again.0, ac.classify(&m));
+        assert_eq!(again.1, ac.decision_value(&m));
+    }
+
+    #[test]
+    fn bootstrap_decisions_are_not_cached() {
+        let reg = MetricsRegistry::new();
+        let mut ac = AdmittanceClassifier::with_registry(AdmittanceConfig::default(), &reg);
+        let m = matrix(3, 3, 3);
+        for _ in 0..3 {
+            assert_eq!(ac.decide(&m), (Label::Pos, None));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("admittance.cache_hits").unwrap_or(0), 0);
+        assert_eq!(snap.counter("admittance.cache_misses").unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let reg = MetricsRegistry::new();
+        let mut ac = AdmittanceClassifier::with_registry(
+            AdmittanceConfig {
+                decision_cache_size: 0,
+                ..AdmittanceConfig::default()
+            },
+            &reg,
+        );
+        feed_bootstrap(&mut ac);
+        let m = matrix(1, 1, 1);
+        let first = ac.decide(&m);
+        for _ in 0..4 {
+            assert_eq!(ac.decide(&m), first);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("admittance.cache_hits").unwrap_or(0), 0);
+        assert!(snap.counter("admittance.cache_misses").unwrap() >= 5);
+    }
+
+    #[test]
+    fn cache_stays_bounded_under_many_distinct_matrices() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            decision_cache_size: 8,
+            ..AdmittanceConfig::default()
+        });
+        feed_bootstrap(&mut ac);
+        for w in 0..10 {
+            for s in 0..10 {
+                let _ = ac.decide(&matrix(w, s, 2));
+            }
+        }
+        assert!(
+            ac.cache.map.len() <= 8,
+            "cache exceeded its bound: {}",
+            ac.cache.map.len()
+        );
+        // Bounded eviction must not corrupt verdicts.
+        let m = matrix(9, 9, 2);
+        assert_eq!(ac.decide(&m).0, ac.classify(&m));
+    }
+
+    #[test]
+    fn monotone_guard_observe_invalidates_cache() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            monotone_guard: true,
+            // Huge batch so the observes below never retrain — only
+            // the guard invalidation can keep the verdict fresh.
+            batch_size: 100_000,
+            ..AdmittanceConfig::default()
+        });
+        feed_bootstrap(&mut ac);
+        let probe = matrix(2, 2, 2);
+        let (before, _) = ac.decide(&probe);
+        assert_eq!(before, ac.classify(&probe));
+        // A dominated inadmissible observation flips the guard verdict
+        // for the probe without any retrain.
+        ac.observe(matrix(1, 1, 1), Label::Neg);
+        assert_eq!(ac.classify(&probe), Label::Neg);
+        assert_eq!(
+            ac.decide(&probe).0,
+            Label::Neg,
+            "cached verdict survived a guard-relevant observation"
+        );
     }
 
     #[test]

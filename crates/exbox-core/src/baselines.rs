@@ -222,7 +222,9 @@ impl AdmissionController for ExBoxController {
     }
 
     fn decide(&mut self, req: &FlowRequest) -> Decision {
-        match self.classifier.classify(&req.resulting_matrix) {
+        // Single-pass, cache-served decision (label identical to
+        // `classify`, so sweep CSVs are byte-stable cache on or off).
+        match self.classifier.decide(&req.resulting_matrix).0 {
             Label::Pos => Decision::Admit,
             Label::Neg => Decision::Reject,
         }

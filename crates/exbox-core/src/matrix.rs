@@ -148,6 +148,19 @@ impl TrafficMatrix {
         self.counts.iter().map(|&c| c as f64).collect()
     }
 
+    /// [`TrafficMatrix::features`] into a caller-provided buffer —
+    /// typically a `[f64; TrafficMatrix::DIMS]` stack array, keeping
+    /// the per-packet admission path allocation-free.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == DIMS`.
+    pub fn features_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), Self::DIMS, "feature buffer length mismatch");
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = c as f64;
+        }
+    }
+
     /// Enumerate all kinds with non-zero count, with their counts.
     pub fn iter_kinds(&self) -> impl Iterator<Item = (FlowKind, u32)> + '_ {
         AppClass::ALL.into_iter().flat_map(move |class| {

@@ -13,7 +13,7 @@
 //!    classifier, and re-evaluate admitted flows whose circumstances
 //!    changed (§4.3 — mobility, app adaptation).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -22,6 +22,7 @@ use exbox_net::{
     AppClass, Duration, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter,
 };
 use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
+use exbox_par::ThreadPool;
 
 use crate::admittance::{AdmittanceClassifier, Phase};
 use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
@@ -129,6 +130,9 @@ struct MiddleboxMetrics {
     departures: Arc<Counter>,
     /// `middlebox.polls` — polls that actually ran (interval elapsed).
     polls: Arc<Counter>,
+    /// `middlebox.rejected_evictions` — rejected-flow records evicted
+    /// because the bounded rejected set hit its capacity.
+    rejected_evictions: Arc<Counter>,
     /// `middlebox.decision_latency_ns` — time to decide one arrival.
     decision_latency_ns: Arc<Histogram>,
     /// `middlebox.poll_latency_ns` — time per executed poll.
@@ -146,6 +150,7 @@ impl MiddleboxMetrics {
             revokes: reg.counter("middlebox.revokes"),
             departures: reg.counter("middlebox.departures"),
             polls: reg.counter("middlebox.polls"),
+            rejected_evictions: reg.counter("middlebox.rejected_evictions"),
             decision_latency_ns: reg
                 .histogram("middlebox.decision_latency_ns", &buckets::latency_ns()),
             poll_latency_ns: reg.histogram("middlebox.poll_latency_ns", &buckets::latency_ns()),
@@ -159,6 +164,76 @@ struct FlowState {
     meter: QosMeter,
 }
 
+/// Minimum flow count before a poll's per-flow QoE estimation is
+/// fanned over the thread pool; below this the scoped-thread spawn
+/// costs more than the work.
+const PAR_POLL_MIN_FLOWS: usize = 64;
+
+/// Bounded FIFO set of rejected flows. Rejected flows never call
+/// [`Middlebox::flow_departed`] (their packets are dropped before the
+/// flow table sees them), so an unbounded set grows forever under
+/// scan-like traffic — here the oldest rejection records are evicted
+/// once the capacity is hit. An evicted flow that is still sending
+/// simply re-enters early classification and gets re-rejected.
+///
+/// The FIFO queue may hold stale keys (removed via departure); they
+/// are skipped at eviction time and swept wholesale once the queue
+/// grows past twice the live set.
+#[derive(Debug)]
+struct RejectedSet {
+    cap: usize,
+    queue: VecDeque<FlowKey>,
+    set: HashSet<FlowKey>,
+}
+
+impl RejectedSet {
+    fn new(cap: usize) -> Self {
+        RejectedSet {
+            cap: cap.max(1),
+            queue: VecDeque::new(),
+            set: HashSet::new(),
+        }
+    }
+
+    fn contains(&self, key: &FlowKey) -> bool {
+        self.set.contains(key)
+    }
+
+    fn remove(&mut self, key: &FlowKey) {
+        self.set.remove(key);
+    }
+
+    /// Insert a rejection record; returns how many old records were
+    /// evicted to stay within capacity (0 or 1).
+    fn insert(&mut self, key: FlowKey) -> u64 {
+        if !self.set.insert(key) {
+            return 0;
+        }
+        self.queue.push_back(key);
+        let mut evicted = 0;
+        while self.set.len() > self.cap {
+            match self.queue.pop_front() {
+                Some(old) => {
+                    if self.set.remove(&old) {
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        if self.queue.len() > 2 * self.set.len().max(self.cap) {
+            let set = &self.set;
+            self.queue.retain(|k| set.contains(k));
+        }
+        evicted
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+}
+
 /// Configuration for the middlebox shell.
 #[derive(Debug, Clone)]
 pub struct MiddleboxConfig {
@@ -168,6 +243,11 @@ pub struct MiddleboxConfig {
     pub poll_interval: Duration,
     /// Most recent [`DecisionEvent`]s retained in the audit ring.
     pub decision_log_capacity: usize,
+    /// Most rejected flows remembered for packet dropping (minimum 1).
+    /// Oldest rejection records are evicted FIFO beyond this, counted
+    /// by `middlebox.rejected_evictions`; an evicted flow that keeps
+    /// sending re-enters early classification.
+    pub rejected_capacity: usize,
 }
 
 impl Default for MiddleboxConfig {
@@ -176,6 +256,7 @@ impl Default for MiddleboxConfig {
             classify_window: 8,
             poll_interval: Duration::from_secs(2),
             decision_log_capacity: 1024,
+            rejected_capacity: 4096,
         }
     }
 }
@@ -190,7 +271,7 @@ pub struct Middlebox {
     estimator: QoeEstimator,
     matrix: TrafficMatrix,
     flows: HashMap<FlowKey, FlowState>,
-    rejected: HashSet<FlowKey>,
+    rejected: RejectedSet,
     last_poll: Instant,
     metrics: MiddleboxMetrics,
     decisions: EventRing<DecisionEvent>,
@@ -218,6 +299,7 @@ impl Middlebox {
     ) -> Self {
         let window = cfg.classify_window;
         let log_capacity = cfg.decision_log_capacity.max(1);
+        let rejected = RejectedSet::new(cfg.rejected_capacity);
         Middlebox {
             cfg,
             table: FlowTable::new(),
@@ -226,7 +308,7 @@ impl Middlebox {
             estimator,
             matrix: TrafficMatrix::empty(),
             flows: HashMap::new(),
-            rejected: HashSet::new(),
+            rejected,
             last_poll: Instant::ZERO,
             metrics: MiddleboxMetrics::bind(registry),
             decisions: EventRing::new(log_capacity),
@@ -279,12 +361,11 @@ impl Middlebox {
             Some(class) => {
                 let kind = FlowKind::new(class, snr);
                 let resulting = self.matrix.with_arrival(kind);
-                let ((label, margin), decide_ns) = exbox_obs::time_ns(|| {
-                    (
-                        self.admittance.classify(&resulting),
-                        self.admittance.decision_value(&resulting),
-                    )
-                });
+                // One single-pass (and cache-served under steady load)
+                // evaluation supplies both the label and the logged
+                // margin.
+                let ((label, margin), decide_ns) =
+                    exbox_obs::time_ns(|| self.admittance.decide(&resulting));
                 self.metrics.decision_latency_ns.record(decide_ns);
                 let reason = match (self.admittance.phase(), label) {
                     (Phase::Bootstrap, _) => DecisionReason::Bootstrap,
@@ -315,7 +396,8 @@ impl Middlebox {
                         Action::Forward
                     }
                     Label::Neg => {
-                        self.rejected.insert(pkt.flow);
+                        let evicted = self.rejected.insert(pkt.flow);
+                        self.metrics.rejected_evictions.add(evicted);
                         self.early.forget(&pkt.flow);
                         self.metrics.rejects.inc();
                         event.verdict = DecisionKind::Reject;
@@ -378,20 +460,35 @@ impl Middlebox {
             return Vec::new();
         }
 
+        let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        keys.sort();
+
         // Estimate acceptability per flow; the matrix label is the
         // conjunction (a matrix is achievable iff ALL flows are OK).
-        let mut all_ok = true;
-        let mut measured_any = false;
-        for fs in self.flows.values() {
-            let sample = fs.meter.sample();
-            if sample.throughput_bps <= 0.0 {
-                continue; // idle flow: no evidence this window
+        // Flows are independent here, so large cells fan the
+        // estimation over the thread pool — index-ordered reassembly
+        // plus the order-insensitive conjunction keep the outcome
+        // identical for every thread count.
+        let per_flow: Vec<Option<bool>> = {
+            let flows = &self.flows;
+            let estimator = &self.estimator;
+            let eval = |key: &FlowKey| {
+                let fs = &flows[key];
+                let sample = fs.meter.sample();
+                if sample.throughput_bps <= 0.0 {
+                    None // idle flow: no evidence this window
+                } else {
+                    Some(estimator.acceptable(fs.kind.class, &sample))
+                }
+            };
+            if keys.len() >= PAR_POLL_MIN_FLOWS {
+                ThreadPool::global().parallel_map(keys.len(), |i| eval(&keys[i]))
+            } else {
+                keys.iter().map(eval).collect()
             }
-            measured_any = true;
-            if !self.estimator.acceptable(fs.kind.class, &sample) {
-                all_ok = false;
-            }
-        }
+        };
+        let measured_any = per_flow.iter().any(|v| v.is_some());
+        let all_ok = per_flow.iter().flatten().all(|&ok| ok);
         if measured_any {
             let label = if all_ok { Label::Pos } else { Label::Neg };
             self.admittance.observe(self.matrix, label);
@@ -399,43 +496,45 @@ impl Middlebox {
 
         // Re-evaluate admitted flows against the current region; an
         // inadmissible flow is revoked (offload/discontinue is policy,
-        // the middlebox just reports).
+        // the middlebox just reports). X_m for an ongoing flow is the
+        // current matrix (it already contains the flow), so the matrix
+        // only changes when a flow is revoked — one decision per
+        // matrix state replaces the old one-evaluation-per-flow loop.
         let mut verdicts: Vec<(FlowKey, PollVerdict)> = Vec::new();
         if self.admittance.phase() == Phase::Online {
-            let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
-            keys.sort();
-            for key in keys {
-                let kind = self.flows[&key].kind;
-                // X_m for an ongoing flow is the current matrix (it
-                // already contains the flow).
-                let verdict = match self.admittance.classify(&self.matrix) {
-                    Label::Pos => PollVerdict::Keep,
-                    Label::Neg => PollVerdict::Revoke,
-                };
-                if verdict == PollVerdict::Revoke {
-                    let margin = self.admittance.decision_value(&self.matrix);
-                    self.matrix.remove(kind);
-                    self.flows.remove(&key);
-                    self.rejected.insert(key);
-                    verdicts.push((key, verdict));
-                    self.metrics.revokes.inc();
-                    self.decisions.push(DecisionEvent {
-                        at: now,
-                        flow: key,
-                        class: kind.class,
-                        snr: kind.snr,
-                        verdict: DecisionKind::Revoke,
-                        margin,
-                        reason: DecisionReason::RegionReevaluation,
-                    });
-                    // Removing one flow may already fix the matrix;
-                    // re-check before revoking more.
-                    if self.admittance.classify(&self.matrix) == Label::Pos {
-                        break;
+            let (mut label, mut margin) = self.admittance.decide(&self.matrix);
+            for &key in &keys {
+                match label {
+                    Label::Pos => {
+                        verdicts.push((key, PollVerdict::Keep));
+                        self.metrics.keeps.inc();
                     }
-                } else {
-                    verdicts.push((key, verdict));
-                    self.metrics.keeps.inc();
+                    Label::Neg => {
+                        let kind = self.flows[&key].kind;
+                        self.matrix.remove(kind);
+                        self.flows.remove(&key);
+                        let evicted = self.rejected.insert(key);
+                        self.metrics.rejected_evictions.add(evicted);
+                        verdicts.push((key, PollVerdict::Revoke));
+                        self.metrics.revokes.inc();
+                        self.decisions.push(DecisionEvent {
+                            at: now,
+                            flow: key,
+                            class: kind.class,
+                            snr: kind.snr,
+                            verdict: DecisionKind::Revoke,
+                            margin,
+                            reason: DecisionReason::RegionReevaluation,
+                        });
+                        // Removing one flow may already fix the
+                        // matrix; re-check before revoking more.
+                        let (next_label, next_margin) = self.admittance.decide(&self.matrix);
+                        if next_label == Label::Pos {
+                            break;
+                        }
+                        label = next_label;
+                        margin = next_margin;
+                    }
                 }
             }
         }
@@ -576,6 +675,70 @@ mod tests {
         let verdicts = m.poll(Instant::from_secs(5));
         assert!(m.admittance().num_samples() > before, "poll must observe");
         assert!(verdicts.is_empty() || verdicts.iter().all(|(_, v)| *v == PollVerdict::Keep));
+    }
+
+    /// A classifier pre-trained to admit only a single streaming flow.
+    fn single_flow_classifier() -> AdmittanceClassifier {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+        for n in 0..80u32 {
+            let total = n % 8;
+            let mut mat = TrafficMatrix::empty();
+            for _ in 0..total {
+                mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+            }
+            let y = if total <= 1 { Label::Pos } else { Label::Neg };
+            ac.observe(mat, y);
+        }
+        assert_eq!(ac.phase(), Phase::Online);
+        ac
+    }
+
+    #[test]
+    fn rejected_set_is_bounded_and_counts_evictions() {
+        let reg = MetricsRegistry::new();
+        let mut m = Middlebox::with_registry(
+            MiddleboxConfig {
+                rejected_capacity: 2,
+                ..MiddleboxConfig::default()
+            },
+            estimator(),
+            single_flow_classifier(),
+            &reg,
+        );
+        // One admitted flow fills the region; every later arrival is
+        // rejected (scan-like traffic).
+        let k1 = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(k1, 10) {
+            m.process_packet(&p, SnrLevel::High);
+        }
+        assert_eq!(m.admitted_flows(), 1);
+        let scans: Vec<FlowKey> = (2..5)
+            .map(|i| FlowKey::synthetic(i, i, 1, Protocol::Tcp))
+            .collect();
+        for &k in &scans {
+            for p in streaming_pkts(k, 12) {
+                m.process_packet(&p, SnrLevel::High);
+            }
+        }
+        assert_eq!(m.rejected.len(), 2, "rejected set must stay bounded");
+        assert_eq!(
+            reg.snapshot()
+                .counter("middlebox.rejected_evictions")
+                .unwrap(),
+            1,
+            "third rejection must evict the oldest record"
+        );
+        // The evicted (oldest) scan flow is no longer auto-dropped: it
+        // re-enters early classification and its first packet forwards.
+        assert_eq!(
+            m.process_packet(&streaming_pkts(scans[0], 1)[0], SnrLevel::High),
+            Action::Forward
+        );
+        // The still-remembered newest scan flow keeps dropping.
+        assert_eq!(
+            m.process_packet(&streaming_pkts(scans[2], 1)[0], SnrLevel::High),
+            Action::Drop
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`svm`] — soft-margin Support Vector Machine trained with the
 //!   Sequential Minimal Optimization (SMO) algorithm, with linear,
 //!   polynomial and RBF kernels ([`kernel`]).
+//! * [`compact`] — a flattened, pruned serving form of a trained SVM
+//!   ([`CompactSvm`]) for the per-arrival admission fast path.
 //! * [`linear`] — a fast primal solver (Pegasos-style SGD) for linear
 //!   SVMs, used when training sets grow large.
 //! * [`logreg`] — logistic regression, provided because the paper notes
@@ -45,6 +47,7 @@
 //! assert_eq!(model.predict(&[7.0, 7.0]), Label::Neg);
 //! ```
 
+pub mod compact;
 pub mod cv;
 pub mod data;
 pub mod kernel;
@@ -55,6 +58,7 @@ pub mod persist;
 pub mod scale;
 pub mod svm;
 
+pub use compact::CompactSvm;
 pub use cv::{cross_validate, cross_validate_pooled, CvReport};
 pub use data::{Dataset, Label};
 pub use kernel::{gram_matrix, Kernel};
@@ -110,6 +114,7 @@ pub trait TrainClassifier {
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::compact::CompactSvm;
     pub use crate::cv::{cross_validate, cross_validate_pooled, CvReport};
     pub use crate::data::{Dataset, Label};
     pub use crate::kernel::Kernel;

@@ -62,11 +62,28 @@ impl StandardScaler {
     /// # Panics
     /// Panics on dimensionality mismatch.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; x.len()];
+        self.transform_into(x, &mut out);
+        out
+    }
+
+    /// Transform one feature vector into a caller-provided buffer —
+    /// the zero-allocation form the admission fast path uses with a
+    /// stack scratch array. Bit-identical to
+    /// [`StandardScaler::transform`].
+    ///
+    /// # Panics
+    /// Panics when `x` does not match the fitted dimensionality or
+    /// `out` does not match `x` in length.
+    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
-        x.iter()
-            .zip(self.mean.iter().zip(&self.std))
-            .map(|(&v, (&m, &s))| (v - m) / s)
-            .collect()
+        assert_eq!(out.len(), x.len(), "output buffer length mismatch");
+        for (o, (&v, (&m, &s))) in out
+            .iter_mut()
+            .zip(x.iter().zip(self.mean.iter().zip(&self.std)))
+        {
+            *o = (v - m) / s;
+        }
     }
 
     /// Transform a whole dataset (labels preserved).

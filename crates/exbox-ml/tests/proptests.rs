@@ -107,6 +107,26 @@ proptest! {
         prop_assert_eq!(all, expect);
     }
 
+    /// The zero-allocation scaler path is bit-identical to the
+    /// allocating one.
+    #[test]
+    fn scaler_transform_into_matches_transform(
+        rows in prop::collection::vec(finite_vec(3), 2..20),
+        q in finite_vec(3),
+    ) {
+        let mut ds = Dataset::new(3);
+        for r in &rows {
+            ds.push(r.clone(), Label::Pos);
+        }
+        let s = StandardScaler::fit(&ds);
+        let heap = s.transform(&q);
+        let mut stack = [0.0f64; 3];
+        s.transform_into(&q, &mut stack);
+        for (a, b) in heap.iter().zip(&stack) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
     /// Logistic-regression probabilities are monotone in the decision
     /// value and bounded.
     #[test]
@@ -120,5 +140,67 @@ proptest! {
         let (lo, hi) = if m.decision_value(&[a]) <= m.decision_value(&[b]) { (a, b) } else { (b, a) };
         prop_assert!(m.probability(&[lo]) <= m.probability(&[hi]) + 1e-12);
         prop_assert!((0.0..=1.0).contains(&m.probability(&[a])));
+    }
+}
+
+// SVM training is the expensive part of these properties, so they run
+// in their own block with a reduced case count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CompactSvm decisions are bit-exact with the source SvmModel for
+    /// the kernel-expansion kernels (RBF / polynomial) on arbitrary
+    /// training data and query points.
+    #[test]
+    fn compact_svm_matches_model_bitwise(
+        rows in prop::collection::vec(finite_vec(3), 8..20),
+        queries in prop::collection::vec(finite_vec(3), 1..4),
+        gamma in 0.05f64..2.0,
+    ) {
+        let mut ds = Dataset::new(3);
+        for (i, r) in rows.iter().enumerate() {
+            // Alternating labels guarantee both classes are present.
+            let y = if i % 2 == 0 { Label::Pos } else { Label::Neg };
+            ds.push(r.clone(), y);
+        }
+        for kernel in [Kernel::rbf(gamma), Kernel::poly(gamma, 1.0, 2)] {
+            let model = SvmTrainer::new(kernel).c(5.0).train(&ds);
+            let compact = model.compact();
+            for q in &queries {
+                prop_assert_eq!(
+                    model.decision_value(q).to_bits(),
+                    compact.decision_value(q).to_bits(),
+                    "compact diverged for {:?} at {:?}", kernel, q
+                );
+            }
+        }
+    }
+
+    /// The collapsed linear form agrees with the naive kernel
+    /// expansion to floating-point round-off and never flips a label
+    /// away from the margin.
+    #[test]
+    fn compact_linear_collapse_agrees(
+        rows in prop::collection::vec(finite_vec(3), 8..20),
+        queries in prop::collection::vec(finite_vec(3), 1..4),
+    ) {
+        let mut ds = Dataset::new(3);
+        for (i, r) in rows.iter().enumerate() {
+            let y = if i % 2 == 0 { Label::Pos } else { Label::Neg };
+            ds.push(r.clone(), y);
+        }
+        let model = SvmTrainer::new(Kernel::Linear).c(5.0).train(&ds);
+        let compact = model.compact();
+        prop_assert!(compact.is_collapsed());
+        for q in &queries {
+            let naive = model.decision_value(q);
+            let fast = compact.decision_value(q);
+            // Support vectors and queries are bounded by ±100, so an
+            // absolute tolerance scaled by the margin magnitude holds.
+            prop_assert!(
+                (naive - fast).abs() <= 1e-7 * (1.0 + naive.abs()),
+                "collapsed linear diverged at {:?}: {} vs {}", q, naive, fast
+            );
+        }
     }
 }

@@ -10,9 +10,12 @@
 # baseline and every shared scenario's p50/p95 is diffed. Exit is
 # non-zero when any shared scenario regressed by more than the
 # tolerance factor (default 2.5×, benches on shared CI boxes are
-# noisy), or when the warm-retrain acceptance bar fails:
-# `rbf_2000_retrain` p50 must be at least 2× below the baseline's
-# `rbf_2000_cold` p50.
+# noisy), or when an acceptance bar fails:
+#  * training_latency: `rbf_2000_retrain` p50 must be at least 2×
+#    below the baseline's `rbf_2000_cold` p50 (warm starts pay off);
+#  * admission_latency: `AdmissionSteady/cached` p50 must be at least
+#    2× below `AdmissionSteady/uncached` p50 *within the current run*
+#    (the decision cache pays off).
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -78,6 +81,23 @@ if [ "$bench" = training_latency ]; then
             echo "warm-start bar: retrain p50 ${warm}ns * 2 <= cold baseline ${cold}ns — ok"
         else
             echo "warm-start bar FAILED: retrain p50 ${warm}ns * 2 > cold baseline ${cold}ns"
+            fail=1
+        fi
+    fi
+fi
+
+# Admission fast-path acceptance bar: within the same run (so machine
+# speed cancels out), serving a recurring matrix from the decision
+# cache must be at least 2× cheaper at the median than re-running the
+# model.
+if [ "$bench" = admission_latency ]; then
+    cached=$(jq -r '.scenarios["AdmissionSteady/cached"].p50_ns // empty' "$current")
+    uncached=$(jq -r '.scenarios["AdmissionSteady/uncached"].p50_ns // empty' "$current")
+    if [ -n "$cached" ] && [ -n "$uncached" ]; then
+        if [ "$(jq -n --argjson c "$cached" --argjson u "$uncached" '$c * 2 <= $u')" = true ]; then
+            echo "fast-path bar: cached p50 ${cached}ns * 2 <= uncached p50 ${uncached}ns — ok"
+        else
+            echo "fast-path bar FAILED: cached p50 ${cached}ns * 2 > uncached p50 ${uncached}ns"
             fail=1
         fi
     fi
