@@ -1,0 +1,128 @@
+//! Checkpoint/restore determinism demo: the same Fig.-7-style WiFi
+//! workload replayed straight through versus killed at the halfway
+//! point, checkpointed, restored and continued. The two CSV outputs
+//! must be **byte-identical** — the `exbox-ckpt` round-trip is
+//! decision-bit-exact, so a crash costs nothing but the restart.
+//!
+//! ```sh
+//! cargo run --release -p exbox-bench --bin ckpt_restore_demo -- --straight    > straight.csv
+//! cargo run --release -p exbox-bench --bin ckpt_restore_demo -- --interrupted > interrupted.csv
+//! cmp straight.csv interrupted.csv
+//! ```
+//!
+//! Output: `fed,predicted,correct,cum_accuracy` every 20 arrivals.
+
+use exbox_bench::{csv_header, f, wifi_testbed_labeler};
+use exbox_core::prelude::*;
+use exbox_core::qoe::QosScale;
+use exbox_obs::MetricsRegistry;
+use exbox_testbed::{build_samples, Sample, SnrPolicy};
+use exbox_traffic::{ClassMix, RandomPattern};
+
+fn acfg() -> AdmittanceConfig {
+    AdmittanceConfig {
+        batch_size: 20,
+        bootstrap_min_samples: 50,
+        ..AdmittanceConfig::default()
+    }
+}
+
+/// A deterministic synthetic estimator (the checkpoint also carries
+/// the IQX fits; the demo asserts they survive the round-trip).
+fn estimator() -> QoeEstimator {
+    let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+        (0..20)
+            .map(|i| {
+                let q = i as f64 / 19.0;
+                (q, a + b * (-g * q).exp())
+            })
+            .collect()
+    };
+    train_estimator(
+        &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+        QoeEstimator::paper_thresholds(),
+        paper_directions(),
+        QosScale::new(1e3, 1e8),
+    )
+}
+
+/// Replay `samples` through the classifier, printing one CSV row per
+/// 20 arrivals. Returns (correct, fed) so a resumed run can continue
+/// the running tally exactly where it stopped.
+fn replay(
+    classifier: &mut AdmittanceClassifier,
+    samples: &[Sample],
+    mut fed: usize,
+    mut correct: usize,
+) -> (usize, usize) {
+    for s in samples {
+        let predicted = classifier.classify(&s.matrix);
+        if predicted == s.truth {
+            correct += 1;
+        }
+        classifier.observe(s.matrix, s.observed);
+        fed += 1;
+        if fed.is_multiple_of(20) {
+            println!(
+                "{fed},{},{},{}",
+                if predicted.is_pos() { 1 } else { 0 },
+                u8::from(predicted == s.truth),
+                f(correct as f64 / fed as f64)
+            );
+        }
+    }
+    (fed, correct)
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let interrupted = match mode.as_str() {
+        "--interrupted" => true,
+        "--straight" | "" => false,
+        other => {
+            eprintln!("usage: ckpt_restore_demo [--straight|--interrupted], got {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("building ground truth on the WiFi DES...");
+    let mixes: Vec<ClassMix> = RandomPattern::new(4, 10, 0xF167).matrices(160);
+    let mut labeler = wifi_testbed_labeler(0x71F1);
+    let samples = build_samples(&mixes, SnrPolicy::AllHigh, &mut labeler, None);
+    eprintln!("{} arrival samples", samples.len());
+
+    csv_header(&["fed", "predicted", "correct", "cum_accuracy"]);
+
+    let reg = MetricsRegistry::new();
+    let mut classifier = AdmittanceClassifier::with_registry(acfg(), &reg);
+
+    if !interrupted {
+        replay(&mut classifier, &samples, 0, 0);
+    } else {
+        let half = samples.len() / 2;
+        let (fed, correct) = replay(&mut classifier, &samples[..half], 0, 0);
+
+        // The crash: snapshot, drop the live state, restore.
+        let mut ckpt = Vec::new();
+        save_checkpoint(&classifier, &estimator(), &mut ckpt).expect("checkpoint must write");
+        drop(classifier);
+        eprintln!(
+            "interrupted after {fed} samples; checkpoint is {} bytes; restoring...",
+            ckpt.len()
+        );
+        let restore_reg = MetricsRegistry::new();
+        let (mut restored, _est) =
+            load_checkpoint(&ckpt[..], acfg(), &restore_reg).expect("checkpoint must load");
+        // This workload (50-sample bootstrap, killed halfway through
+        // >150 samples) must come back online, not re-bootstrapping.
+        assert_eq!(
+            restored.phase(),
+            Phase::Online,
+            "restore lost the learnt region"
+        );
+
+        replay(&mut restored, &samples[half..], fed, correct);
+    }
+
+    exbox_bench::dump_metrics();
+}

@@ -40,6 +40,7 @@ use exbox_ml::prelude::*;
 use exbox_obs::{buckets, Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::matrix::TrafficMatrix;
+use crate::recovery::{FaultKind, FaultPlan, RetryBackoff};
 
 /// Instrumentation handles for the classifier, resolved once at
 /// construction so the hot paths touch only atomics.
@@ -76,6 +77,13 @@ struct AdmittanceMetrics {
     /// `admittance.cache_misses` — decisions that ran the model (or
     /// found a stale-generation entry).
     cache_misses: Arc<Counter>,
+    /// `recovery.retrain_failures` — retrain attempts that failed
+    /// (today only injectable via [`FaultPlan`]; the hook is where a
+    /// real trainer error would land).
+    retrain_failures: Arc<Counter>,
+    /// `recovery.retrain_retries` — retrain attempts made after one or
+    /// more failures, once the backoff window elapsed.
+    retrain_retries: Arc<Counter>,
 }
 
 impl AdmittanceMetrics {
@@ -94,6 +102,8 @@ impl AdmittanceMetrics {
             cv_accuracy: reg.gauge("admittance.cv_accuracy"),
             cache_hits: reg.counter("admittance.cache_hits"),
             cache_misses: reg.counter("admittance.cache_misses"),
+            retrain_failures: reg.counter("recovery.retrain_failures"),
+            retrain_retries: reg.counter("recovery.retrain_retries"),
         }
     }
 }
@@ -303,6 +313,37 @@ pub struct AdmittanceClassifier {
     warm: Option<WarmState>,
     cache: DecisionCache,
     metrics: AdmittanceMetrics,
+    faults: FaultPlan,
+    backoff: RetryBackoff,
+}
+
+/// The classifier's complete learnt state, as captured into and
+/// restored from an `exbox-ckpt` checkpoint (see [`crate::persist`]).
+/// Everything needed to resume decision-making bit-exactly: phase,
+/// sample store, counters, scaler statistics, the served model and the
+/// warm-start dual state.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassifierState {
+    pub phase: Phase,
+    pub samples: Vec<(TrafficMatrix, Label)>,
+    pub pending: usize,
+    pub observations: u64,
+    pub retrain_count: u64,
+    /// `(means, stds)` of the fitted scaler.
+    pub scaler: Option<(Vec<f64>, Vec<f64>)>,
+    pub model: Option<ModelState>,
+    /// `(per-sample (label, alpha), bias)` warm-start dual state.
+    pub warm: Option<(Vec<(Label, f64)>, f64)>,
+}
+
+/// Serialisable form of [`Model`]. SVMs travel as a full [`SvmModel`]
+/// (the checkpoint embeds the existing `exbox-svm v1` document);
+/// linear-family models are just weights and a bias.
+#[derive(Debug, Clone)]
+pub(crate) enum ModelState {
+    Svm(SvmModel),
+    Logistic(Vec<f64>, f64),
+    Pegasos(Vec<f64>, f64),
 }
 
 impl AdmittanceClassifier {
@@ -331,9 +372,12 @@ impl AdmittanceClassifier {
         );
         let mut cfg = cfg;
         if let Ok(v) = std::env::var("EXBOX_DECISION_CACHE") {
-            match v.trim().parse::<usize>() {
-                Ok(n) => cfg.decision_cache_size = n,
-                Err(_) => eprintln!("exbox: ignoring invalid EXBOX_DECISION_CACHE={v:?}"),
+            // Zero is a valid setting here (cache off), so any usize
+            // passes; garbage warns and keeps the configured size.
+            if let Some(n) =
+                exbox_par::parse_env_knob::<usize>("EXBOX_DECISION_CACHE", &v, |_| true)
+            {
+                cfg.decision_cache_size = n;
             }
         }
         let cache = DecisionCache::new(cfg.decision_cache_size);
@@ -350,7 +394,30 @@ impl AdmittanceClassifier {
             warm: None,
             cache,
             metrics: AdmittanceMetrics::bind(registry),
+            faults: FaultPlan::disabled(),
+            backoff: RetryBackoff::default(),
         }
+    }
+
+    /// Install a fault-injection plan (see [`FaultPlan`]); the default
+    /// is [`FaultPlan::disabled`]. The middlebox forwards its own plan
+    /// here so one `EXBOX_FAULTS` spec drives both components.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// `true` when a trained model (and its scaler) is loaded, i.e.
+    /// [`AdmittanceClassifier::decision_value`] can produce a margin.
+    /// `false` during bootstrap-before-first-train and after a failed
+    /// restore — the states the middlebox serves in degraded mode.
+    pub fn model_available(&self) -> bool {
+        self.model.is_some() && self.scaler.is_some()
+    }
+
+    /// Failed retrain attempts since the last success (0 in healthy
+    /// operation).
+    pub fn consecutive_retrain_failures(&self) -> u32 {
+        self.backoff.consecutive_failures()
     }
 
     /// Current phase.
@@ -401,8 +468,19 @@ impl AdmittanceClassifier {
                 self.pending += 1;
                 if self.pending >= self.cfg.batch_size {
                     self.pending = 0;
-                    self.retrain();
-                    true
+                    if self.backoff.ready() {
+                        if self.backoff.consecutive_failures() > 0 {
+                            self.metrics.retrain_retries.inc();
+                        }
+                        self.retrain();
+                        true
+                    } else {
+                        // A recent retrain failure armed the backoff:
+                        // skip this trigger rather than hammering a
+                        // failing trainer every batch.
+                        self.backoff.tick();
+                        false
+                    }
                 } else {
                     false
                 }
@@ -512,6 +590,16 @@ impl AdmittanceClassifier {
         if ds.is_empty() {
             return;
         }
+        // Fault hook: a forced training failure leaves the previous
+        // model (possibly none) serving and arms the retry backoff.
+        if self.faults.should_inject(FaultKind::RetrainFail) {
+            self.metrics.retrain_failures.inc();
+            self.backoff.on_failure();
+            return;
+        }
+        // Drawn before the timing closure so the injector sees a
+        // stable draw order regardless of trainer internals.
+        let sabotage_convergence = self.faults.should_inject(FaultKind::RetrainNonConverge);
         let batch = ds.len();
         let cfg = &self.cfg;
         let carried = self.carried_warm();
@@ -520,6 +608,14 @@ impl AdmittanceClassifier {
             let scaled = scaler.transform_dataset(&ds);
             let fit = match Self::svm_trainer(cfg, scaled.dims()) {
                 Some(trainer) => {
+                    let trainer = if sabotage_convergence {
+                        // One SMO step, then the max_iters backstop
+                        // fires: the fit reports converged() == false
+                        // exactly like a genuinely stuck solver.
+                        trainer.max_iters(1)
+                    } else {
+                        trainer
+                    };
                     let warm = carried
                         .as_ref()
                         .map(|(alpha, bias)| WarmStart { alpha, bias: *bias });
@@ -570,7 +666,81 @@ impl AdmittanceClassifier {
         self.scaler = Some(scaler);
         self.model = Some(model);
         self.retrain_count += 1;
+        self.backoff.on_success();
         self.cache.invalidate();
+    }
+
+    /// Capture the complete learnt state for checkpointing. The SVM
+    /// variant re-expands the served [`CompactSvm`] into a full
+    /// [`SvmModel`]: the served coefficients are all non-zero (exact
+    /// zeros were pruned at compaction), so re-compacting on restore
+    /// rebuilds identical rows, coefficients and cached norms —
+    /// decisions round-trip bit-exactly.
+    pub(crate) fn export_state(&self) -> ClassifierState {
+        let model = self.model.as_ref().map(|m| match m {
+            Model::Svm(compact) => {
+                let mut support = Vec::with_capacity(compact.num_support_vectors());
+                let mut coef = Vec::with_capacity(compact.num_support_vectors());
+                for (c, row) in compact.support_iter() {
+                    coef.push(c);
+                    support.push(row.to_vec());
+                }
+                ModelState::Svm(SvmModel::from_parts(
+                    compact.kernel(),
+                    support,
+                    coef,
+                    compact.bias(),
+                    compact.dims(),
+                ))
+            }
+            Model::Logistic(m) => ModelState::Logistic(m.weights().to_vec(), m.bias()),
+            Model::Pegasos(m) => ModelState::Pegasos(m.weights().to_vec(), m.bias()),
+        });
+        ClassifierState {
+            phase: self.phase,
+            samples: self.samples.clone(),
+            pending: self.pending,
+            observations: self.observations,
+            retrain_count: self.retrain_count,
+            scaler: self
+                .scaler
+                .as_ref()
+                .map(|s| (s.means().to_vec(), s.stds().to_vec())),
+            model,
+            warm: self.warm.as_ref().map(|w| (w.alphas.clone(), w.bias)),
+        }
+    }
+
+    /// Rebuild a classifier from a restored [`ClassifierState`]. The
+    /// fault plan and backoff start fresh (they are runtime policy,
+    /// not learnt state); the decision cache starts cold.
+    pub(crate) fn import_state(
+        cfg: AdmittanceConfig,
+        state: ClassifierState,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let mut ac = Self::with_registry(cfg, registry);
+        ac.phase = state.phase;
+        ac.index = state
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, (m, _))| (*m, i))
+            .collect();
+        ac.samples = state.samples;
+        ac.pending = state.pending;
+        ac.observations = state.observations;
+        ac.retrain_count = state.retrain_count;
+        ac.scaler = state
+            .scaler
+            .map(|(mean, std)| StandardScaler::from_parts(mean, std));
+        ac.model = state.model.map(|m| match m {
+            ModelState::Svm(model) => Model::Svm(model.compact()),
+            ModelState::Logistic(w, b) => Model::Logistic(LogisticRegression::from_parts(w, b)),
+            ModelState::Pegasos(w, b) => Model::Pegasos(LinearSvm::from_parts(w, b)),
+        });
+        ac.warm = state.warm.map(|(alphas, bias)| WarmState { alphas, bias });
+        ac
     }
 
     /// Signed distance-like score for the matrix that would result
@@ -1106,5 +1276,120 @@ mod tests {
             carried.sum > 0.0,
             "warm retrains must carry multipliers over"
         );
+    }
+
+    #[test]
+    fn injected_retrain_failure_arms_backoff_and_keeps_old_model() {
+        let reg = MetricsRegistry::new();
+        let mut ac = AdmittanceClassifier::with_registry(
+            AdmittanceConfig {
+                batch_size: 1,
+                ..AdmittanceConfig::default()
+            },
+            &reg,
+        );
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.phase(), Phase::Online);
+        let trained = ac.retrain_count();
+        assert!(ac.model_available());
+
+        ac.set_fault_plan(FaultPlan::with_registry(
+            &[(FaultKind::RetrainFail, 1.0)],
+            11,
+            &reg,
+        ));
+        let m = matrix(1, 1, 0);
+        // batch_size 1: each observation is a retrain trigger. With
+        // every attempt failing, the backoff schedule (1, 2, 4, …)
+        // spaces the attempts out: 8 triggers see attempts at
+        // trigger 1, 3, 6 and skips elsewhere.
+        for _ in 0..8 {
+            ac.observe(m, truth(&m));
+        }
+        assert_eq!(ac.retrain_count(), trained, "no failed retrain may count");
+        assert!(ac.model_available(), "old model must keep serving");
+        assert!(ac.consecutive_retrain_failures() >= 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("recovery.retrain_failures"), Some(3));
+        assert_eq!(snap.counter("recovery.retrain_retries"), Some(2));
+        assert_eq!(snap.counter("faults.injected"), Some(3));
+
+        // Heal the trainer: the next ready trigger retrains and the
+        // backoff resets.
+        ac.set_fault_plan(FaultPlan::disabled());
+        for _ in 0..8 {
+            ac.observe(m, truth(&m));
+        }
+        assert!(ac.retrain_count() > trained);
+        assert_eq!(ac.consecutive_retrain_failures(), 0);
+    }
+
+    #[test]
+    fn injected_nonconvergence_surfaces_in_metrics() {
+        let reg = MetricsRegistry::new();
+        // Cold fits only: a warm steady-state verify could finish
+        // inside even a sabotaged iteration budget.
+        let mut ac = AdmittanceClassifier::with_registry(
+            AdmittanceConfig {
+                warm_start: false,
+                ..AdmittanceConfig::default()
+            },
+            &reg,
+        );
+        feed_bootstrap(&mut ac);
+        let base = reg
+            .snapshot()
+            .counter("admittance.nonconverged_retrains")
+            .unwrap_or(0);
+        ac.set_fault_plan(FaultPlan::with_registry(
+            &[(FaultKind::RetrainNonConverge, 1.0)],
+            5,
+            &reg,
+        ));
+        ac.retrain();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("admittance.nonconverged_retrains"),
+            Some(base + 1),
+            "sabotaged fit must report nonconvergence"
+        );
+        // A capped fit still produces a (bad) model; serving continues.
+        assert!(ac.model_available());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_decisions_and_counters() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 8,
+            ..AdmittanceConfig::default()
+        });
+        run_trace(&mut ac);
+        let reg = MetricsRegistry::new();
+        let restored = AdmittanceClassifier::import_state(
+            AdmittanceConfig {
+                batch_size: 8,
+                ..AdmittanceConfig::default()
+            },
+            ac.export_state(),
+            &reg,
+        );
+        assert_eq!(restored.phase(), ac.phase());
+        assert_eq!(restored.num_samples(), ac.num_samples());
+        assert_eq!(restored.num_observations(), ac.num_observations());
+        assert_eq!(restored.retrain_count(), ac.retrain_count());
+        for w in 0..6 {
+            for s in 0..6 {
+                for c in 0..4 {
+                    let m = matrix(w, s, c);
+                    assert_eq!(restored.classify(&m), ac.classify(&m));
+                    let (a, b) = (ac.decision_value(&m), restored.decision_value(&m));
+                    assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "margin not bit-exact at {m:?}"
+                    );
+                }
+            }
+        }
     }
 }

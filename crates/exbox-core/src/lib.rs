@@ -28,7 +28,11 @@
 //! * [`excr`] — extract the learnt region as Fig.-2-style slices,
 //!   per-axis capacities and frontier curves.
 //! * [`persist`] — save/load fitted QoE estimators (the paper's §4.4
-//!   model sharing across networks).
+//!   model sharing across networks) and full-state `exbox-ckpt`
+//!   checkpoints for crash-safe restarts.
+//! * [`recovery`] — deterministic fault injection ([`FaultPlan`], the
+//!   `EXBOX_FAULTS` knob) and the bounded retrain backoff behind the
+//!   middlebox's degraded-mode policy.
 //!
 //! ## Quick start
 //!
@@ -62,6 +66,7 @@ pub mod matrix;
 pub mod middlebox;
 pub mod persist;
 pub mod qoe;
+pub mod recovery;
 pub mod selection;
 
 pub use admittance::{AdmittanceClassifier, AdmittanceConfig, ClassifierBackend, Phase};
@@ -75,8 +80,12 @@ pub use matrix::{FlowKind, SnrLevel, TrafficMatrix};
 pub use middlebox::{
     Action, DecisionEvent, DecisionKind, DecisionReason, Middlebox, MiddleboxConfig, PollVerdict,
 };
-pub use persist::{load_estimator, save_estimator};
+pub use persist::{
+    load_checkpoint, load_checkpoint_from_path, load_estimator, save_checkpoint,
+    save_checkpoint_to_path, save_estimator,
+};
 pub use qoe::{ClassQoeModel, MetricDirection, QoeEstimator};
+pub use recovery::{FaultKind, FaultPlan, RetryBackoff};
 pub use selection::{NetworkCell, NetworkSelector, Selection};
 
 /// Convenience re-exports.
@@ -92,8 +101,12 @@ pub mod prelude {
         Action, DecisionEvent, DecisionKind, DecisionReason, Middlebox, MiddleboxConfig,
         PollVerdict,
     };
+    pub use crate::persist::{
+        load_checkpoint, load_checkpoint_from_path, save_checkpoint, save_checkpoint_to_path,
+    };
     pub use crate::qoe::{
         paper_directions, train_estimator, ClassQoeModel, MetricDirection, QoeEstimator,
     };
+    pub use crate::recovery::{FaultKind, FaultPlan, RetryBackoff};
     pub use crate::selection::{NetworkCell, NetworkSelector, Selection};
 }

@@ -12,9 +12,22 @@
 //!    the fitted IQX models, feed `(X, Y)` observations back into the
 //!    classifier, and re-evaluate admitted flows whose circumstances
 //!    changed (§4.3 — mobility, app adaptation).
+//!
+//! ## Crash safety and degraded mode
+//!
+//! [`Middlebox::checkpoint`] snapshots the learnt state (classifier +
+//! QoE fits) into the `exbox-ckpt` format; [`Middlebox::restore`]
+//! resumes from it without re-entering bootstrap. When no model is
+//! servable — a checkpoint failed to restore, or retraining keeps
+//! failing — the middlebox degrades to the occupancy baseline
+//! ([`MaxClient`]) instead of blindly admitting or rejecting, counted
+//! by `recovery.fallback_decisions`. Fault injection for all of this
+//! lives in [`crate::recovery`] (`EXBOX_FAULTS`).
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
 use std::sync::Arc;
 
 use exbox_ml::Label;
@@ -24,9 +37,12 @@ use exbox_net::{
 use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
 use exbox_par::ThreadPool;
 
-use crate::admittance::{AdmittanceClassifier, Phase};
+use crate::admittance::{AdmittanceClassifier, AdmittanceConfig, Phase};
+use crate::baselines::{AdmissionController, FlowRequest, MaxClient};
 use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
+use crate::persist;
 use crate::qoe::QoeEstimator;
+use crate::recovery::{FaultKind, FaultPlan};
 
 /// What the datapath should do with a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +85,9 @@ pub enum DecisionReason {
     /// A poll re-evaluated the standing matrix against a re-learnt
     /// region and found it inadmissible.
     RegionReevaluation,
+    /// No model was servable (failed restore or repeated retrain
+    /// failures): the occupancy baseline decided instead.
+    DegradedFallback,
 }
 
 /// One structured admission-control decision, kept in the middlebox's
@@ -133,6 +152,16 @@ struct MiddleboxMetrics {
     /// `middlebox.rejected_evictions` — rejected-flow records evicted
     /// because the bounded rejected set hit its capacity.
     rejected_evictions: Arc<Counter>,
+    /// `recovery.fallback_decisions` — arrival decisions served by the
+    /// occupancy baseline because no model was available.
+    fallback_decisions: Arc<Counter>,
+    /// `recovery.poll_errors` — polls whose QoE-estimation pass failed
+    /// (injected or real); the observation feed is skipped.
+    poll_errors: Arc<Counter>,
+    /// `recovery.checkpoint_writes` — checkpoints written successfully.
+    checkpoint_writes: Arc<Counter>,
+    /// `recovery.restores` — middleboxes restored from a checkpoint.
+    restores: Arc<Counter>,
     /// `middlebox.decision_latency_ns` — time to decide one arrival.
     decision_latency_ns: Arc<Histogram>,
     /// `middlebox.poll_latency_ns` — time per executed poll.
@@ -151,6 +180,10 @@ impl MiddleboxMetrics {
             departures: reg.counter("middlebox.departures"),
             polls: reg.counter("middlebox.polls"),
             rejected_evictions: reg.counter("middlebox.rejected_evictions"),
+            fallback_decisions: reg.counter("recovery.fallback_decisions"),
+            poll_errors: reg.counter("recovery.poll_errors"),
+            checkpoint_writes: reg.counter("recovery.checkpoint_writes"),
+            restores: reg.counter("recovery.restores"),
             decision_latency_ns: reg
                 .histogram("middlebox.decision_latency_ns", &buckets::latency_ns()),
             poll_latency_ns: reg.histogram("middlebox.poll_latency_ns", &buckets::latency_ns()),
@@ -248,6 +281,9 @@ pub struct MiddleboxConfig {
     /// by `middlebox.rejected_evictions`; an evicted flow that keeps
     /// sending re-enters early classification.
     pub rejected_capacity: usize,
+    /// Flow cap used by the degraded-mode [`MaxClient`] fallback when
+    /// no classifier model is servable (minimum 1).
+    pub fallback_max_flows: u32,
 }
 
 impl Default for MiddleboxConfig {
@@ -257,6 +293,7 @@ impl Default for MiddleboxConfig {
             poll_interval: Duration::from_secs(2),
             decision_log_capacity: 1024,
             rejected_capacity: 4096,
+            fallback_max_flows: 10,
         }
     }
 }
@@ -275,6 +312,14 @@ pub struct Middlebox {
     last_poll: Instant,
     metrics: MiddleboxMetrics,
     decisions: EventRing<DecisionEvent>,
+    /// Occupancy baseline serving decisions while no model is
+    /// available (degraded mode).
+    fallback: MaxClient,
+    /// Set when a restore failed and the middlebox started fresh; the
+    /// fallback then gates admissions (even during bootstrap) until a
+    /// model is re-learnt.
+    recovering: bool,
+    faults: FaultPlan,
 }
 
 impl Middlebox {
@@ -294,12 +339,15 @@ impl Middlebox {
     pub fn with_registry(
         cfg: MiddleboxConfig,
         estimator: QoeEstimator,
-        admittance: AdmittanceClassifier,
+        mut admittance: AdmittanceClassifier,
         registry: &MetricsRegistry,
     ) -> Self {
         let window = cfg.classify_window;
         let log_capacity = cfg.decision_log_capacity.max(1);
         let rejected = RejectedSet::new(cfg.rejected_capacity);
+        let fallback = MaxClient::new(cfg.fallback_max_flows.max(1));
+        let faults = FaultPlan::from_env(registry);
+        admittance.set_fault_plan(faults.clone());
         Middlebox {
             cfg,
             table: FlowTable::new(),
@@ -312,7 +360,33 @@ impl Middlebox {
             last_poll: Instant::ZERO,
             metrics: MiddleboxMetrics::bind(registry),
             decisions: EventRing::new(log_capacity),
+            fallback,
+            recovering: false,
+            faults,
         }
+    }
+
+    /// Replace the fault-injection plan (tests and fault drills); the
+    /// wrapped classifier shares the same plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.admittance.set_fault_plan(plan.clone());
+        self.faults = plan;
+    }
+
+    /// True while admission decisions are served by the occupancy
+    /// fallback instead of the learnt region: no model is servable and
+    /// either the classifier already left bootstrap (it lost or never
+    /// regained its model) or the middlebox is recovering from a
+    /// failed restore.
+    pub fn is_degraded(&self) -> bool {
+        !self.admittance.model_available()
+            && (self.recovering || self.admittance.phase() == Phase::Online)
+    }
+
+    /// True until the first model is (re-)learnt after a failed
+    /// restore.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// The bounded audit trail of admit/reject/revoke decisions,
@@ -342,6 +416,101 @@ impl Middlebox {
         self.flows.len()
     }
 
+    /// Snapshot the learnt state (Admittance Classifier + QoE fits)
+    /// into the versioned `exbox-ckpt` format. Live flow-table state
+    /// is deliberately not checkpointed: after a crash the flows are
+    /// re-discovered through early classification, while the learnt
+    /// region — the expensive part — survives.
+    pub fn checkpoint<W: Write>(&self, out: W) -> io::Result<()> {
+        persist::save_checkpoint(&self.admittance, &self.estimator, out)?;
+        self.metrics.checkpoint_writes.inc();
+        Ok(())
+    }
+
+    /// [`Middlebox::checkpoint`] to a file, written atomically (temp
+    /// file + fsync + rename) so a crash mid-write never clobbers the
+    /// previous good checkpoint.
+    pub fn checkpoint_to_path<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        persist::save_checkpoint_to_path(&self.admittance, &self.estimator, path.as_ref())?;
+        self.metrics.checkpoint_writes.inc();
+        Ok(())
+    }
+
+    /// Rebuild a middlebox from a checkpoint, resuming with the learnt
+    /// region instead of re-entering bootstrap. Reports to the
+    /// process-wide registry.
+    pub fn restore<R: Read>(
+        cfg: MiddleboxConfig,
+        acfg: AdmittanceConfig,
+        input: R,
+    ) -> io::Result<Self> {
+        Self::restore_with_registry(cfg, acfg, input, exbox_obs::global())
+    }
+
+    /// Like [`Middlebox::restore`] with an explicit registry.
+    pub fn restore_with_registry<R: Read>(
+        cfg: MiddleboxConfig,
+        acfg: AdmittanceConfig,
+        input: R,
+        registry: &MetricsRegistry,
+    ) -> io::Result<Self> {
+        let (admittance, estimator) = persist::load_checkpoint(input, acfg, registry)?;
+        let mb = Self::with_registry(cfg, estimator, admittance, registry);
+        mb.metrics.restores.inc();
+        Ok(mb)
+    }
+
+    /// [`Middlebox::restore`] from a checkpoint file. Checkpoint-read
+    /// faults (`ckpt_corrupt` / `ckpt_truncate` in `EXBOX_FAULTS`) are
+    /// injected here, against the in-memory copy — the file itself is
+    /// never touched.
+    pub fn restore_from_path<P: AsRef<Path>>(
+        cfg: MiddleboxConfig,
+        acfg: AdmittanceConfig,
+        path: P,
+    ) -> io::Result<Self> {
+        Self::restore_from_path_with_registry(cfg, acfg, path, exbox_obs::global())
+    }
+
+    /// Like [`Middlebox::restore_from_path`] with an explicit registry.
+    pub fn restore_from_path_with_registry<P: AsRef<Path>>(
+        cfg: MiddleboxConfig,
+        acfg: AdmittanceConfig,
+        path: P,
+        registry: &MetricsRegistry,
+    ) -> io::Result<Self> {
+        let faults = FaultPlan::from_env(registry);
+        let (admittance, estimator) =
+            persist::load_checkpoint_from_path(path.as_ref(), acfg, registry, &faults)?;
+        let mb = Self::with_registry(cfg, estimator, admittance, registry);
+        mb.metrics.restores.inc();
+        Ok(mb)
+    }
+
+    /// Restore from a checkpoint file, degrading instead of dying: on
+    /// any restore error (missing, torn, corrupt, malformed) a fresh
+    /// middlebox is assembled around `fallback_estimator` with
+    /// [`Middlebox::is_recovering`] set, so the occupancy baseline
+    /// gates admissions until a model is re-learnt. The error, if any,
+    /// is returned alongside for logging.
+    pub fn recover_from_path<P: AsRef<Path>>(
+        cfg: MiddleboxConfig,
+        acfg: AdmittanceConfig,
+        fallback_estimator: QoeEstimator,
+        path: P,
+        registry: &MetricsRegistry,
+    ) -> (Self, Option<io::Error>) {
+        match Self::restore_from_path_with_registry(cfg.clone(), acfg.clone(), path, registry) {
+            Ok(mb) => (mb, None),
+            Err(err) => {
+                let fresh = AdmittanceClassifier::with_registry(acfg, registry);
+                let mut mb = Self::with_registry(cfg, fallback_estimator, fresh, registry);
+                mb.recovering = true;
+                (mb, Some(err))
+            }
+        }
+    }
+
     /// Process one packet crossing the gateway. `snr` is the client's
     /// current SNR level as reported by the AP/eNodeB (§3.3).
     pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
@@ -361,16 +530,36 @@ impl Middlebox {
             Some(class) => {
                 let kind = FlowKind::new(class, snr);
                 let resulting = self.matrix.with_arrival(kind);
+                let degraded = self.is_degraded();
                 // One single-pass (and cache-served under steady load)
                 // evaluation supplies both the label and the logged
-                // margin.
-                let ((label, margin), decide_ns) =
-                    exbox_obs::time_ns(|| self.admittance.decide(&resulting));
+                // margin; in degraded mode the occupancy baseline
+                // stands in and the margin is unknowable.
+                let ((label, margin), decide_ns) = if degraded {
+                    let fallback = &mut self.fallback;
+                    let matrix = &self.matrix;
+                    exbox_obs::time_ns(move || {
+                        fallback.sync_load(matrix, &|_| 0.0);
+                        let req = FlowRequest {
+                            kind,
+                            demand_bps: 0.0,
+                            resulting_matrix: resulting,
+                        };
+                        (fallback.decide(&req).as_label(), None)
+                    })
+                } else {
+                    exbox_obs::time_ns(|| self.admittance.decide(&resulting))
+                };
                 self.metrics.decision_latency_ns.record(decide_ns);
-                let reason = match (self.admittance.phase(), label) {
-                    (Phase::Bootstrap, _) => DecisionReason::Bootstrap,
-                    (Phase::Online, Label::Pos) => DecisionReason::InsideRegion,
-                    (Phase::Online, Label::Neg) => DecisionReason::OutsideRegion,
+                let reason = if degraded {
+                    self.metrics.fallback_decisions.inc();
+                    DecisionReason::DegradedFallback
+                } else {
+                    match (self.admittance.phase(), label) {
+                        (Phase::Bootstrap, _) => DecisionReason::Bootstrap,
+                        (Phase::Online, Label::Pos) => DecisionReason::InsideRegion,
+                        (Phase::Online, Label::Neg) => DecisionReason::OutsideRegion,
+                    }
                 };
                 let mut event = DecisionEvent {
                     at: pkt.timestamp,
@@ -456,6 +645,9 @@ impl Middlebox {
     /// The body of an executed poll (separated so [`Middlebox::poll`]
     /// can time it).
     fn run_poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        if self.recovering && self.admittance.model_available() {
+            self.recovering = false;
+        }
         if self.flows.is_empty() {
             return Vec::new();
         }
@@ -489,7 +681,14 @@ impl Middlebox {
         };
         let measured_any = per_flow.iter().any(|v| v.is_some());
         let all_ok = per_flow.iter().flatten().all(|&ok| ok);
-        if measured_any {
+        // A failed estimation pass (injected here; a wedged AP stats
+        // feed in a real deployment) yields no trustworthy labels, so
+        // the observation is skipped — re-evaluation against the
+        // already-learnt region below still runs.
+        let poll_errored = self.faults.should_inject(FaultKind::PollError);
+        if poll_errored {
+            self.metrics.poll_errors.inc();
+        } else if measured_any {
             let label = if all_ok { Label::Pos } else { Label::Neg };
             self.admittance.observe(self.matrix, label);
         }
@@ -739,6 +938,143 @@ mod tests {
             m.process_packet(&streaming_pkts(scans[2], 1)[0], SnrLevel::High),
             Action::Drop
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_online_with_identical_decisions() {
+        let reg = MetricsRegistry::new();
+        let mut m = Middlebox::with_registry(
+            MiddleboxConfig::default(),
+            estimator(),
+            single_flow_classifier(),
+            &reg,
+        );
+        let mut buf = Vec::new();
+        m.checkpoint(&mut buf).unwrap();
+        assert_eq!(
+            reg.snapshot()
+                .counter("recovery.checkpoint_writes")
+                .unwrap(),
+            1
+        );
+
+        let restored_reg = MetricsRegistry::new();
+        let mut r = Middlebox::restore_with_registry(
+            MiddleboxConfig::default(),
+            AdmittanceConfig::default(),
+            &buf[..],
+            &restored_reg,
+        )
+        .expect("restore must succeed");
+        assert_eq!(r.admittance().phase(), Phase::Online, "no re-bootstrap");
+        assert!(!r.is_degraded());
+        assert_eq!(
+            restored_reg
+                .snapshot()
+                .counter("recovery.restores")
+                .unwrap(),
+            1
+        );
+
+        // The restarted gateway must reach the same verdicts on the
+        // same traffic as the original would have.
+        let k1 = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        let k2 = FlowKey::synthetic(2, 2, 1, Protocol::Tcp);
+        let drive = |mb: &mut Middlebox| -> Vec<Action> {
+            let mut out = Vec::new();
+            for p in streaming_pkts(k1, 10) {
+                out.push(mb.process_packet(&p, SnrLevel::High));
+            }
+            for p in streaming_pkts(k2, 12) {
+                out.push(mb.process_packet(&p, SnrLevel::High));
+            }
+            out
+        };
+        assert_eq!(drive(&mut m), drive(&mut r));
+        assert_eq!(r.admitted_flows(), 1);
+    }
+
+    #[test]
+    fn failed_restore_degrades_to_occupancy_fallback() {
+        let reg = MetricsRegistry::new();
+        let (mut m, err) = Middlebox::recover_from_path(
+            MiddleboxConfig {
+                fallback_max_flows: 1,
+                ..MiddleboxConfig::default()
+            },
+            AdmittanceConfig::default(),
+            estimator(),
+            "/nonexistent/exbox-gateway.ckpt",
+            &reg,
+        );
+        assert!(err.is_some(), "missing checkpoint must surface an error");
+        assert!(m.is_recovering());
+        assert!(m.is_degraded());
+
+        // The occupancy fallback (cap 1) gates admissions instead of
+        // bootstrap's admit-everything.
+        let k1 = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(k1, 10) {
+            assert_eq!(m.process_packet(&p, SnrLevel::High), Action::Forward);
+        }
+        assert_eq!(m.admitted_flows(), 1);
+        let k2 = FlowKey::synthetic(2, 2, 1, Protocol::Tcp);
+        let last = streaming_pkts(k2, 12)
+            .iter()
+            .map(|p| m.process_packet(p, SnrLevel::High))
+            .last();
+        assert_eq!(last, Some(Action::Drop), "fallback must cap occupancy");
+        assert_eq!(m.admitted_flows(), 1);
+
+        let events = m.decision_log().snapshot();
+        assert!(!events.is_empty());
+        for ev in &events {
+            assert_eq!(ev.reason, DecisionReason::DegradedFallback);
+            assert_eq!(ev.margin, None, "no model, no margin");
+        }
+        assert_eq!(
+            reg.snapshot()
+                .counter("recovery.fallback_decisions")
+                .unwrap(),
+            2,
+            "one fallback decision per classified arrival"
+        );
+    }
+
+    #[test]
+    fn injected_poll_error_skips_observation_feed() {
+        let reg = MetricsRegistry::new();
+        let mut m = Middlebox::with_registry(
+            MiddleboxConfig::default(),
+            estimator(),
+            AdmittanceClassifier::with_registry(AdmittanceConfig::default(), &reg),
+            &reg,
+        );
+        m.set_fault_plan(crate::recovery::FaultPlan::with_registry(
+            &[(FaultKind::PollError, 1.0)],
+            9,
+            &reg,
+        ));
+        let key = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+        for p in streaming_pkts(key, 10) {
+            m.process_packet(&p, SnrLevel::High);
+        }
+        for i in 0..50u64 {
+            m.record_delivery(
+                &key,
+                Instant::from_millis(i * 10),
+                Instant::from_millis(i * 10 + 5),
+                1400,
+            );
+        }
+        let before = m.admittance().num_samples();
+        let _ = m.poll(Instant::from_secs(5));
+        assert_eq!(
+            m.admittance().num_samples(),
+            before,
+            "a failed poll must not feed observations"
+        );
+        assert_eq!(reg.snapshot().counter("recovery.poll_errors").unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Property-based tests for the `exbox-ckpt` checkpoint format:
+//! round-trips are decision-bit-exact for arbitrary learnt states, and
+//! no corruption or truncation of the byte stream is ever served.
+
+use exbox_core::prelude::*;
+use exbox_core::qoe::{paper_directions, train_estimator, QoeEstimator, QosScale};
+use exbox_ml::Label;
+use exbox_net::AppClass;
+use exbox_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+fn estimator() -> QoeEstimator {
+    let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+        (0..20)
+            .map(|i| {
+                let q = i as f64 / 19.0;
+                (q, a + b * (-g * q).exp())
+            })
+            .collect()
+    };
+    train_estimator(
+        &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+        QoeEstimator::paper_thresholds(),
+        paper_directions(),
+        QosScale::new(1e3, 1e8),
+    )
+}
+
+fn cfg() -> AdmittanceConfig {
+    AdmittanceConfig {
+        batch_size: 8,
+        ..AdmittanceConfig::default()
+    }
+}
+
+fn arb_kind() -> impl Strategy<Value = FlowKind> {
+    (0usize..3, 0usize..2)
+        .prop_map(|(c, s)| FlowKind::new(AppClass::from_index(c), SnrLevel::from_index(s)))
+}
+
+fn arb_matrix() -> impl Strategy<Value = TrafficMatrix> {
+    prop::collection::vec(arb_kind(), 0..12).prop_map(|kinds| {
+        let mut m = TrafficMatrix::empty();
+        for k in kinds {
+            m.add(k);
+        }
+        m
+    })
+}
+
+/// A classifier taken online by a deterministic grid feed, then pushed
+/// into an arbitrary mid-batch state by random extra observations —
+/// partial pending batches, post-retrain warm state, relabelled
+/// entries and all.
+fn classifier_from(extra: &[(TrafficMatrix, bool)]) -> AdmittanceClassifier {
+    let reg = MetricsRegistry::new();
+    let mut ac = AdmittanceClassifier::with_registry(cfg(), &reg);
+    for w in 0..4u32 {
+        for s in 0..4u32 {
+            for c in 0..4u32 {
+                let mut m = TrafficMatrix::empty();
+                for _ in 0..w {
+                    m.add(FlowKind::new(AppClass::Web, SnrLevel::High));
+                }
+                for _ in 0..s {
+                    m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+                }
+                for _ in 0..c {
+                    m.add(FlowKind::new(AppClass::Conferencing, SnrLevel::Low));
+                }
+                let y = if m.total() <= 6 {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                };
+                ac.observe(m, y);
+            }
+        }
+    }
+    assert_eq!(ac.phase(), Phase::Online, "fixture must go online");
+    for &(m, pos) in extra {
+        let y = if pos { Label::Pos } else { Label::Neg };
+        ac.observe(m, y);
+    }
+    ac
+}
+
+fn checkpoint_bytes(ac: &AdmittanceClassifier) -> Vec<u8> {
+    let mut buf = Vec::new();
+    save_checkpoint(ac, &estimator(), &mut buf).expect("save must succeed");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Save → load is decision-bit-exact for any reachable learnt
+    /// state, and the restored classifier keeps agreeing with the
+    /// original as both continue to learn from identical traffic.
+    #[test]
+    fn checkpoint_roundtrip_is_decision_bit_exact(
+        extra in prop::collection::vec((arb_matrix(), any::<bool>()), 0..30),
+        queries in prop::collection::vec(arb_matrix(), 1..20),
+    ) {
+        let mut original = classifier_from(&extra);
+        let buf = checkpoint_bytes(&original);
+
+        let reg = MetricsRegistry::new();
+        let (mut restored, _est) =
+            load_checkpoint(&buf[..], cfg(), &reg).expect("load must succeed");
+
+        prop_assert_eq!(restored.phase(), original.phase());
+        prop_assert_eq!(restored.num_samples(), original.num_samples());
+        prop_assert_eq!(restored.num_observations(), original.num_observations());
+        prop_assert_eq!(restored.retrain_count(), original.retrain_count());
+        for q in &queries {
+            prop_assert_eq!(restored.classify(q), original.classify(q));
+            prop_assert_eq!(
+                restored.decision_value(q).map(f64::to_bits),
+                original.decision_value(q).map(f64::to_bits),
+                "margin must be bit-exact for {q}"
+            );
+        }
+
+        // Keep both learning from the same stream: the restored
+        // instance must track the original through further retrains.
+        for q in &queries {
+            let y = if q.total() <= 6 { Label::Pos } else { Label::Neg };
+            original.observe(*q, y);
+            restored.observe(*q, y);
+        }
+        prop_assert_eq!(restored.retrain_count(), original.retrain_count());
+        for q in &queries {
+            prop_assert_eq!(
+                restored.decision_value(q).map(f64::to_bits),
+                original.decision_value(q).map(f64::to_bits)
+            );
+        }
+    }
+
+    /// Flipping any single byte anywhere in the stream makes the load
+    /// fail cleanly — never a panic, never a silently wrong model.
+    #[test]
+    fn corrupted_checkpoint_is_rejected_not_served(
+        extra in prop::collection::vec((arb_matrix(), any::<bool>()), 0..10),
+        pos in 0.0f64..1.0,
+        xor in 1u8..255,
+    ) {
+        let mut buf = checkpoint_bytes(&classifier_from(&extra));
+        let idx = ((buf.len() - 1) as f64 * pos) as usize;
+        buf[idx] ^= xor;
+        let reg = MetricsRegistry::new();
+        prop_assert!(
+            load_checkpoint(&buf[..], cfg(), &reg).is_err(),
+            "byte {idx} ^ {xor:#04x} must be detected"
+        );
+    }
+
+    /// A torn write (any prefix of the stream) is detected — the
+    /// trailing checksum line is missing or mismatched.
+    #[test]
+    fn truncated_checkpoint_is_rejected_not_served(
+        extra in prop::collection::vec((arb_matrix(), any::<bool>()), 0..10),
+        cut in 0.0f64..1.0,
+    ) {
+        let mut buf = checkpoint_bytes(&classifier_from(&extra));
+        // Cutting only the final newline still leaves a complete
+        // checkpoint, so stop short of it.
+        let keep = ((buf.len() - 2) as f64 * cut) as usize;
+        buf.truncate(keep);
+        let reg = MetricsRegistry::new();
+        prop_assert!(
+            load_checkpoint(&buf[..], cfg(), &reg).is_err(),
+            "prefix of {keep} bytes must be rejected"
+        );
+    }
+}

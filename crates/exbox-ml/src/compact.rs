@@ -141,6 +141,20 @@ impl CompactSvm {
     pub fn is_collapsed(&self) -> bool {
         self.weights.is_some()
     }
+
+    /// `(coefficient, support-vector row)` pairs in serving order.
+    /// The checkpoint path serialises the *served* model from these,
+    /// so a reload (via [`SvmModel::from_parts`] + [`SvmModel::compact`])
+    /// rebuilds identical rows, coefficients and cached norms — and
+    /// therefore bit-identical decisions.
+    pub fn support_iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        // `max(1)` keeps chunks_exact well-defined for a degenerate
+        // zero-dim model (sv is empty there, so the iterator is too).
+        self.coef
+            .iter()
+            .copied()
+            .zip(self.sv.chunks_exact(self.dims.max(1)))
+    }
 }
 
 impl Classifier for CompactSvm {

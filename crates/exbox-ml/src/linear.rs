@@ -173,6 +173,21 @@ impl LinearSvm {
     pub fn bias(&self) -> f64 {
         self.b
     }
+
+    /// Reassemble a model from persisted weights (the
+    /// checkpoint/restore path). Decisions are bit-identical to the
+    /// model the parts came from.
+    ///
+    /// # Panics
+    /// Panics on empty weights or non-finite parameters.
+    pub fn from_parts(w: Vec<f64>, b: f64) -> Self {
+        assert!(!w.is_empty(), "weights must be non-empty");
+        assert!(
+            w.iter().all(|v| v.is_finite()) && b.is_finite(),
+            "model parameters must be finite"
+        );
+        LinearSvm { w, b }
+    }
 }
 
 impl Classifier for LinearSvm {

@@ -108,9 +108,24 @@ impl SvmModel {
             let parts: Vec<&str> = line.split_whitespace().collect();
             match parts.as_slice() {
                 [] => continue,
-                ["kernel", rest @ ..] => kernel = Some(kernel_from_parts(rest)?),
-                ["dims", d] => dims = Some(d.parse::<usize>().map_err(|_| bad("bad dims"))?),
-                ["bias", b] => bias = Some(b.parse::<f64>().map_err(|_| bad("bad bias"))?),
+                ["kernel", rest @ ..] => {
+                    if kernel.is_some() {
+                        return Err(bad("duplicate kernel line"));
+                    }
+                    kernel = Some(kernel_from_parts(rest)?);
+                }
+                ["dims", d] => {
+                    if dims.is_some() {
+                        return Err(bad("duplicate dims line"));
+                    }
+                    dims = Some(d.parse::<usize>().map_err(|_| bad("bad dims"))?);
+                }
+                ["bias", b] => {
+                    if bias.is_some() {
+                        return Err(bad("duplicate bias line"));
+                    }
+                    bias = Some(b.parse::<f64>().map_err(|_| bad("bad bias"))?);
+                }
                 ["sv", rest @ ..] => {
                     if rest.is_empty() {
                         return Err(bad("empty sv line"));
@@ -118,11 +133,6 @@ impl SvmModel {
                     let c: f64 = rest[0].parse().map_err(|_| bad("bad sv coef"))?;
                     let x: Result<Vec<f64>, _> = rest[1..].iter().map(|v| v.parse()).collect();
                     let x = x.map_err(|_| bad("bad sv coordinate"))?;
-                    if let Some(d) = dims {
-                        if x.len() != d {
-                            return Err(bad("sv dimensionality mismatch"));
-                        }
-                    }
                     coef.push(c);
                     support.push(x);
                 }
@@ -133,7 +143,16 @@ impl SvmModel {
         let kernel = kernel.ok_or_else(|| bad("missing kernel"))?;
         let dims = dims.ok_or_else(|| bad("missing dims"))?;
         let bias = bias.ok_or_else(|| bad("missing bias"))?;
-        if !support.iter().all(|x| x.iter().all(|v| v.is_finite())) || !bias.is_finite() {
+        // The sv/dims lines may arrive in any order, so every row is
+        // validated against the final dims here rather than during the
+        // line loop (where a row preceding `dims` would slip through).
+        if support.iter().any(|x| x.len() != dims) {
+            return Err(bad("sv dimensionality mismatch"));
+        }
+        if !support.iter().all(|x| x.iter().all(|v| v.is_finite()))
+            || !coef.iter().all(|c| c.is_finite())
+            || !bias.is_finite()
+        {
             return Err(bad("non-finite model values"));
         }
         Ok(SvmModel::from_parts(kernel, support, coef, bias, dims))
@@ -219,5 +238,63 @@ mod tests {
     fn rejects_garbage_numbers() {
         let text = "exbox-svm v1\nkernel rbf nan\ndims 1\nbias 0\n";
         assert!(SvmModel::load(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_coefficients() {
+        // A NaN/inf *coefficient* must be rejected just like a NaN
+        // support coordinate or bias.
+        for c in ["NaN", "inf", "-inf"] {
+            let text = format!("exbox-svm v1\nkernel linear\ndims 1\nbias 0\nsv {c} 1.0\n");
+            let err = SvmModel::load(text.as_bytes()).expect_err("coef must be finite");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+        // Non-finite support coordinates and bias stay rejected too.
+        let text = "exbox-svm v1\nkernel linear\ndims 1\nbias 0\nsv 1.0 inf\n";
+        assert!(SvmModel::load(text.as_bytes()).is_err());
+        let text = "exbox-svm v1\nkernel linear\ndims 1\nbias NaN\nsv 1.0 1.0\n";
+        assert!(SvmModel::load(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_sv_before_dims_with_wrong_width() {
+        // The sv line precedes dims, so the old in-loop check never
+        // ran; the row must still be validated against dims.
+        let text = "exbox-svm v1\nkernel linear\nsv 1.0 0.5\ndims 2\nbias 0\n";
+        let err = SvmModel::load(text.as_bytes()).expect_err("wrong-width sv must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A correctly sized row before dims is fine.
+        let ok = "exbox-svm v1\nkernel linear\nsv 1.0 0.5 0.5\ndims 2\nbias 0\n";
+        assert!(SvmModel::load(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        for dup in ["kernel linear", "dims 2", "bias 0"] {
+            let text = format!("exbox-svm v1\nkernel linear\ndims 2\nbias 0\n{dup}\n");
+            let err = SvmModel::load(text.as_bytes()).expect_err("duplicate key must fail");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut buf = Vec::new();
+        trained().save(&mut buf).unwrap();
+        // Cutting the file anywhere inside the header/metadata (or mid
+        // sv line, leaving a dangling token) must error, never panic.
+        for cut in [1, 8, 14, 30, buf.len() * 2 / 3] {
+            let prefix = &buf[..cut.min(buf.len())];
+            match SvmModel::load(prefix) {
+                Ok(m) => {
+                    // Only acceptable if the cut landed exactly on a
+                    // record boundary past all required fields.
+                    assert!(m.num_support_vectors() <= trained().num_support_vectors());
+                }
+                Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+            }
+        }
+        // Cut mid-way through the required fields: always an error.
+        assert!(SvmModel::load(&b"exbox-svm v1\nkernel rbf 0.7\ndims"[..]).is_err());
     }
 }

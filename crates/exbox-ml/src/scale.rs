@@ -95,6 +95,26 @@ impl StandardScaler {
         out
     }
 
+    /// Reassemble a scaler from persisted statistics (the
+    /// checkpoint/restore path). `mean` and `std` must be the values a
+    /// fitted scaler reported via [`StandardScaler::means`] /
+    /// [`StandardScaler::stds`]; transforms are then bit-identical to
+    /// the original scaler's.
+    ///
+    /// # Panics
+    /// Panics when the vectors are empty, differ in length, contain
+    /// non-finite values, or any std is not positive.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert!(!mean.is_empty(), "scaler needs at least one feature");
+        assert_eq!(mean.len(), std.len(), "mean/std length mismatch");
+        assert!(mean.iter().all(|v| v.is_finite()), "means must be finite");
+        assert!(
+            std.iter().all(|v| v.is_finite() && *v > 0.0),
+            "stds must be finite and positive"
+        );
+        StandardScaler { mean, std }
+    }
+
     /// Per-feature means learned at fit time.
     pub fn means(&self) -> &[f64] {
         &self.mean
@@ -227,5 +247,29 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn fit_empty_panics() {
         let _ = StandardScaler::fit(&Dataset::new(1));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_bit_exact() {
+        let s = StandardScaler::fit(&ds());
+        let rebuilt = StandardScaler::from_parts(s.means().to_vec(), s.stds().to_vec());
+        for x in [[0.0, 10.0], [3.7, 11.2], [-5.0, 9.9]] {
+            let a = s.transform(&x);
+            let b = rebuilt.transform(&x);
+            assert_eq!(a[0].to_bits(), b[0].to_bits());
+            assert_eq!(a[1].to_bits(), b[1].to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_parts_rejects_zero_std() {
+        let _ = StandardScaler::from_parts(vec![0.0], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_parts_rejects_nan_mean() {
+        let _ = StandardScaler::from_parts(vec![f64::NAN], vec![1.0]);
     }
 }

@@ -53,6 +53,29 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Shared parser for the workspace's environment knobs
+/// (`EXBOX_THREADS`, `EXBOX_DECISION_CACHE`, …): trim whitespace,
+/// parse, then apply the knob's validity predicate. Anything invalid —
+/// empty, non-numeric, overflowing, or rejected by `valid` — warns
+/// once on stderr and returns `None`, so every knob degrades the same
+/// way: the caller keeps its built-in default.
+///
+/// Lives here (the lowest crate every knob user already depends on)
+/// so the behaviour cannot drift between crates again.
+pub fn parse_env_knob<T: std::str::FromStr>(
+    name: &str,
+    raw: &str,
+    valid: impl Fn(&T) -> bool,
+) -> Option<T> {
+    match raw.trim().parse::<T>() {
+        Ok(v) if valid(&v) => Some(v),
+        _ => {
+            eprintln!("exbox: ignoring invalid {name}={raw:?}");
+            None
+        }
+    }
+}
+
 /// `par.tasks` — chunks of work claimed by pool workers, process-wide.
 fn tasks_counter() -> &'static Arc<Counter> {
     static TASKS: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -95,9 +118,8 @@ impl ThreadPool {
         static GLOBAL: OnceLock<usize> = OnceLock::new();
         let threads = *GLOBAL.get_or_init(|| {
             if let Ok(v) = std::env::var("EXBOX_THREADS") {
-                match v.trim().parse::<usize>() {
-                    Ok(n) if n >= 1 => return n,
-                    _ => eprintln!("exbox-par: ignoring invalid EXBOX_THREADS={v:?}"),
+                if let Some(n) = parse_env_knob::<usize>("EXBOX_THREADS", &v, |n| *n >= 1) {
+                    return n;
                 }
             }
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -279,5 +301,33 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_threads_panics() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn env_knob_accepts_valid_values() {
+        assert_eq!(parse_env_knob::<usize>("K", "8", |_| true), Some(8));
+        // Surrounding whitespace is tolerated.
+        assert_eq!(parse_env_knob::<usize>("K", "  8 \n", |_| true), Some(8));
+        // Zero is valid where the predicate allows it
+        // (EXBOX_DECISION_CACHE=0 legitimately disables the cache).
+        assert_eq!(parse_env_knob::<usize>("K", "0", |_| true), Some(0));
+    }
+
+    #[test]
+    fn env_knob_rejects_invalid_values() {
+        // Zero where the knob requires a positive value (EXBOX_THREADS).
+        assert_eq!(parse_env_knob::<usize>("K", "0", |n| *n >= 1), None);
+        // Whitespace-only, empty, garbage.
+        assert_eq!(parse_env_knob::<usize>("K", "   ", |_| true), None);
+        assert_eq!(parse_env_knob::<usize>("K", "", |_| true), None);
+        assert_eq!(parse_env_knob::<usize>("K", "eight", |_| true), None);
+        // Overflow and negatives for unsigned knobs.
+        assert_eq!(
+            parse_env_knob::<usize>("K", "99999999999999999999999999", |_| true),
+            None
+        );
+        assert_eq!(parse_env_knob::<usize>("K", "-3", |_| true), None);
+        // Trailing junk after the number.
+        assert_eq!(parse_env_knob::<usize>("K", "8 threads", |_| true), None);
     }
 }
