@@ -1,0 +1,156 @@
+//! Closed-loop serving throughput of the concurrent sharded gateway.
+//!
+//! `GatewayThroughput/{1,2,4,8}shard` replays the same flow-arrival
+//! storm through a serving-only [`ConcurrentGateway`] with 1/2/4/8
+//! shards, each shard driven by its own pinned `exbox-par`
+//! [`WorkerPool`] worker. Every flow sends 10 packets (classified at
+//! the 8th, decided against the shared matrix, admitted, then
+//! departed), so the run exercises the full packet path: rejected-set
+//! check, flow table, early classification, lock-free snapshot pin,
+//! shared-matrix update and departure.
+//!
+//! One rep = serving the whole storm; the record's `n` is total
+//! packets, so `p50_ns / n` is the per-packet serving cost. On a
+//! multi-core runner the 4-shard scenario must beat 1-shard by ≥ 2.5x
+//! (`scripts/bench_compare.sh` gates this when `nproc ≥ 4`); on one
+//! core the scenarios mostly measure sharding overhead.
+//!
+//! Hand-rolled harness (offline sandbox, no Criterion). `--json` for
+//! `scripts/bench_compare.sh`, `--quick` for the CI smoke job.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use exbox_bench::{bench_args, emit_records, measure, BenchRecord};
+use exbox_core::gateway::{ConcurrentGateway, GatewayConfig, ModelSnapshot};
+use exbox_core::prelude::*;
+use exbox_ml::Label;
+use exbox_net::{AppClass, Direction, FlowKey, Instant, Packet, Protocol};
+use exbox_obs::buckets;
+use exbox_par::WorkerPool;
+
+/// A classifier trained to a roomy streaming region (<= 32 flows), so
+/// the storm below keeps admitting and departing rather than
+/// saturating into pure rejections.
+fn trained_classifier() -> AdmittanceClassifier {
+    let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+        batch_size: 4096, // static during the run (serving-only anyway)
+        bootstrap_min_samples: 128,
+        ..AdmittanceConfig::default()
+    });
+    for n in 0..256u32 {
+        let total = n % 64;
+        let mut mat = TrafficMatrix::empty();
+        for _ in 0..total {
+            mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+        }
+        let y = if total <= 32 { Label::Pos } else { Label::Neg };
+        ac.observe(mat, y);
+    }
+    assert_eq!(ac.phase(), Phase::Online, "fixture must go online");
+    ac
+}
+
+fn estimator() -> QoeEstimator {
+    let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+        (0..20)
+            .map(|i| {
+                let q = i as f64 / 19.0;
+                (q, a + b * (-g * q).exp())
+            })
+            .collect()
+    };
+    train_estimator(
+        &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+        QoeEstimator::paper_thresholds(),
+        paper_directions(),
+        exbox_core::qoe::QosScale::new(1e3, 1e8),
+    )
+}
+
+const PKTS_PER_FLOW: usize = 10;
+
+fn flow_packets(id: u32) -> (FlowKey, Vec<Packet>) {
+    let key = FlowKey::synthetic(id, id, 1, Protocol::Tcp);
+    let pkts = (0..PKTS_PER_FLOW)
+        .map(|i| {
+            Packet::new(
+                Instant::from_millis(2 * i as u64),
+                1400,
+                key,
+                Direction::Downlink,
+                i as u64,
+            )
+        })
+        .collect();
+    (key, pkts)
+}
+
+fn main() {
+    let args = bench_args();
+    let mut records: Vec<BenchRecord> = Vec::new();
+    // One rep is a whole storm (~ms..s), not a single call.
+    let bounds = buckets::exponential(10_000.0, 2.0, 32);
+    let flows: u32 = if args.quick { 2_048 } else { 16_384 };
+    let reps: u32 = if args.quick { 3 } else { 15 };
+
+    let classifier = trained_classifier();
+    let est = estimator();
+
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = GatewayConfig {
+            shards,
+            ..GatewayConfig::default()
+        };
+        // Partition the storm by owner shard once (the hash is fixed,
+        // so this is identical for every rep).
+        let probe = ConcurrentGateway::serving_only(
+            cfg.clone(),
+            est.clone(),
+            ModelSnapshot::from_classifier(1, &classifier),
+        );
+        let mut partition: Vec<Vec<(FlowKey, Vec<Packet>)>> = vec![Vec::new(); shards];
+        for id in 1..=flows {
+            let (key, pkts) = flow_packets(id);
+            partition[probe.shard_for(&key)].push((key, pkts));
+        }
+        drop(probe);
+        let partition = Arc::new(partition);
+        let total_pkts = flows as usize * PKTS_PER_FLOW;
+
+        let pool = WorkerPool::new(shards);
+        records.push(measure(
+            format!("GatewayThroughput/{shards}shard"),
+            total_pkts,
+            2,
+            reps,
+            &bounds,
+            || {
+                let mut gw = ConcurrentGateway::serving_only(
+                    cfg.clone(),
+                    est.clone(),
+                    ModelSnapshot::from_classifier(1, &classifier),
+                );
+                let gw_shards = gw.take_shards();
+                for (idx, mut shard) in gw_shards.into_iter().enumerate() {
+                    let chunk = Arc::clone(&partition);
+                    pool.submit(idx, move || {
+                        let mut served = 0u64;
+                        for (key, pkts) in &chunk[shard.id()] {
+                            for p in pkts {
+                                shard.process_packet(p, SnrLevel::High);
+                                served += 1;
+                            }
+                            shard.flow_departed(key);
+                        }
+                        black_box(served);
+                    });
+                }
+                pool.barrier();
+                black_box(gw.matrix());
+            },
+        ));
+    }
+
+    emit_records("gateway_throughput", &records, args);
+}

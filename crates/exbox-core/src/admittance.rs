@@ -237,6 +237,34 @@ impl Model {
     }
 }
 
+/// An opaque, immutable handle to the classifier's served model of
+/// whichever backend — the unit the concurrent gateway publishes
+/// inside an epoch-stamped [`crate::gateway::ModelSnapshot`].
+///
+/// Decisions through a `ServingModel` are bit-exact with
+/// [`AdmittanceClassifier::decision_value`] on the same scaled input:
+/// it wraps the very same backend value the classifier serves. It is
+/// `Send + Sync` (the compact SVM, logistic and Pegasos forms are all
+/// plain owned data), so many shards can evaluate one shared snapshot
+/// concurrently through `&self`.
+#[derive(Debug, Clone)]
+pub struct ServingModel(Model);
+
+impl ServingModel {
+    /// Signed decision score for an already-scaled feature vector;
+    /// positive ⇒ inside the learnt ExCR.
+    pub fn decision_value(&self, scaled: &[f64]) -> f64 {
+        self.0.decision_value(scaled)
+    }
+}
+
+// The whole serving pair must be shareable across shard threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServingModel>();
+    assert_send_sync::<StandardScaler>();
+};
+
 /// Dual state carried between SVM retrains: per-sample (label at the
 /// time of the fit, α) plus the bias. Aligned to sample-store indices,
 /// which are stable because repeats replace in place.
@@ -757,6 +785,18 @@ impl AdmittanceClassifier {
         let mut scaled = [0.0f64; TrafficMatrix::DIMS];
         scaler.transform_into(&raw, &mut scaled);
         Some(model.decision_value(&scaled))
+    }
+
+    /// Export the current serving view — phase plus, once trained, the
+    /// fitted scaler and model — for publication as an immutable
+    /// [`crate::gateway::ModelSnapshot`]. The clones are taken once
+    /// per retrain (off the packet path), never per decision.
+    pub fn serving_state(&self) -> (Phase, Option<(StandardScaler, ServingModel)>) {
+        let pair = match (&self.scaler, &self.model) {
+            (Some(s), Some(m)) => Some((s.clone(), ServingModel(m.clone()))),
+            _ => None,
+        };
+        (self.phase, pair)
     }
 
     /// Classify an arrival (by the matrix it would produce). During

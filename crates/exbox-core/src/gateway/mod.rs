@@ -1,0 +1,486 @@
+//! Concurrent sharded gateway: lock-free model snapshots, off-path
+//! retraining, multi-core packet serving.
+//!
+//! The single-threaded [`Middlebox`](crate::middlebox::Middlebox)
+//! interleaves serving and learning in one loop; this module splits
+//! them so admission keeps scaling with cores while the SVM trains:
+//!
+//! ```text
+//!            packets (flow-hashed)                 observations
+//!   ┌──────┐  ┌───────────────┐   try_send (bounded)  ┌─────────────┐
+//!   │ NIC  │─▶│ GatewayShard 0│──────────────────────▶│             │
+//!   │ RSS  │─▶│ GatewayShard 1│──────────────────────▶│   trainer   │
+//!   │      │─▶│      ...      │──────────────────────▶│   thread    │
+//!   └──────┘  └───────┬───────┘                       └──────┬──────┘
+//!                     │ pin (never blocks)                   │ publish
+//!                     ▼                                      ▼
+//!              ┌─────────────────────────────────────────────────┐
+//!              │ SnapshotCell<ModelSnapshot>  (epoch-stamped RCU)│
+//!              └─────────────────────────────────────────────────┘
+//! ```
+//!
+//! - **Sharding.** [`ConcurrentGateway`] partitions flow state across
+//!   `N` [`GatewayShard`]s by flow hash ([`ConcurrentGateway::shard_for`]).
+//!   Each shard owns its flow table, early classifier, QoS meters,
+//!   rejected set, decision cache and metrics registry — the packet
+//!   path takes no cross-shard lock and bounces no shared cache line.
+//! - **Snapshots.** Learnt state (scaler + compacted model + phase)
+//!   is published as an immutable epoch-stamped
+//!   [`ModelSnapshot`] behind a [`SnapshotCell`]: readers pin
+//!   lock-free, the writer swaps atomically and retires the old
+//!   snapshot only after every in-flight reader moved on (quiescent-
+//!   state reclamation — see [`snapshot`]).
+//! - **Off-path training.** Observations travel a *bounded* MPSC
+//!   channel to one background trainer thread that owns the full
+//!   [`AdmittanceClassifier`]; retrains, checkpoints and recovery
+//!   never run on the packet path. Backpressure drops observations
+//!   (counted as `gateway.obs_dropped`) rather than stalling packets.
+//!
+//! Shard count comes from [`GatewayConfig::shards`] or the
+//! `EXBOX_SHARDS` environment knob ([`GatewayConfig::from_env`]). A
+//! 1-shard gateway makes the same per-flow verdicts as the
+//! single-threaded middlebox on the same trace (asserted in
+//! `tests/gateway_concurrent.rs`).
+
+pub mod shard;
+pub mod snapshot;
+mod trainer;
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+use exbox_ml::Label;
+use exbox_net::{FlowKey, Instant, Packet};
+use exbox_obs::{MetricsRegistry, MetricsSnapshot};
+
+use crate::admittance::{AdmittanceClassifier, AdmittanceConfig};
+use crate::matrix::{SnrLevel, TrafficMatrix};
+use crate::middlebox::{Action, MiddleboxConfig, PollVerdict};
+use crate::persist;
+use crate::qoe::QoeEstimator;
+use crate::recovery::FaultPlan;
+
+pub use shard::{GatewayShard, SharedMatrix};
+pub use snapshot::{ModelSnapshot, SnapshotCell, SnapshotGuard, SnapshotReader};
+
+use trainer::{TrainerHandle, TrainerMsg};
+
+/// Environment knob selecting the shard count (positive integer).
+pub const SHARDS_ENV: &str = "EXBOX_SHARDS";
+
+/// Gateway assembly knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Number of serving shards (≥ 1). Each shard is independently
+    /// drivable by one worker thread.
+    pub shards: usize,
+    /// Per-shard middlebox knobs (classify window, poll interval,
+    /// rejected-set capacity, fallback cap, …).
+    pub middlebox: MiddleboxConfig,
+    /// Bound of the shard → trainer observation queue. A full queue
+    /// drops observations (`gateway.obs_dropped`) instead of blocking.
+    pub obs_queue: usize,
+    /// Capacity of each shard's epoch-keyed decision cache; 0 disables
+    /// caching.
+    pub decision_cache_size: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 1,
+            middlebox: MiddleboxConfig::default(),
+            obs_queue: 256,
+            decision_cache_size: 4096,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Defaults, with the shard count overridden by `EXBOX_SHARDS`
+    /// when set to a positive integer (anything else is ignored).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(raw) = std::env::var(SHARDS_ENV) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    cfg.shards = n;
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// The sharded serving layer plus its background trainer.
+///
+/// Two driving styles:
+///
+/// - **Sequential** (tests, traces, single-core deployments): call
+///   [`process_packet`](Self::process_packet) /
+///   [`poll`](Self::poll) / [`flow_departed`](Self::flow_departed) on
+///   the gateway itself; packets are routed to their owner shard
+///   in-line. Deterministic — replaying a trace yields the same
+///   verdict multiset for any shard count.
+/// - **Concurrent** (benchmarks, real deployments): move the shards
+///   out with [`take_shards`](Self::take_shards) and drive each from
+///   its own thread (a shard is `Send`, methods take `&mut self`).
+///   The gateway keeps the registries, snapshot cell and trainer, so
+///   [`merged_metrics`](Self::merged_metrics), checkpointing and
+///   shutdown still work while the shards are out.
+#[derive(Debug)]
+pub struct ConcurrentGateway {
+    cfg: GatewayConfig,
+    shards: Vec<GatewayShard>,
+    shard_registries: Vec<MetricsRegistry>,
+    trainer_registry: MetricsRegistry,
+    shared: Arc<SharedMatrix>,
+    cell: Arc<SnapshotCell<ModelSnapshot>>,
+    control: SnapshotReader<ModelSnapshot>,
+    recovering: Arc<AtomicBool>,
+    obs_tx: mpsc::SyncSender<TrainerMsg>,
+    trainer: Option<TrainerHandle>,
+}
+
+impl ConcurrentGateway {
+    /// Assemble a gateway around a (fresh or pre-trained) classifier
+    /// and spawn its background trainer. The classifier's current
+    /// serving state becomes the initial published snapshot (epoch 0);
+    /// fault injection follows `EXBOX_FAULTS`.
+    pub fn new(
+        cfg: GatewayConfig,
+        estimator: QoeEstimator,
+        classifier: AdmittanceClassifier,
+    ) -> Self {
+        Self::build(cfg, estimator, Some(classifier), None, false)
+    }
+
+    /// Like [`ConcurrentGateway::new`] with an explicit fault plan
+    /// (shared by the trainer's classifier and every shard's poll
+    /// path) instead of reading `EXBOX_FAULTS`.
+    pub fn with_fault_plan(
+        cfg: GatewayConfig,
+        estimator: QoeEstimator,
+        classifier: AdmittanceClassifier,
+        faults: FaultPlan,
+    ) -> Self {
+        Self::build(cfg, estimator, Some(classifier), Some(faults), false)
+    }
+
+    /// Assemble a gateway that only serves: `snapshot` is published
+    /// once and never replaced, no trainer thread is spawned, and
+    /// shard observations are discarded. This is the configuration
+    /// for deterministic replay (shard-count invariance tests) and
+    /// for throughput benchmarks that must not retrain mid-run.
+    pub fn serving_only(
+        cfg: GatewayConfig,
+        estimator: QoeEstimator,
+        snapshot: ModelSnapshot,
+    ) -> Self {
+        let gw = Self::build(cfg, estimator, None, None, false);
+        // `build` published ModelSnapshot::initial(); replace it with
+        // the caller's snapshot so readers see exactly one state.
+        gw.cell.publish(snapshot);
+        gw
+    }
+
+    /// Restore a gateway from a checkpoint file, degrading instead of
+    /// dying (the concurrent analogue of
+    /// [`Middlebox::recover_from_path`](crate::middlebox::Middlebox::recover_from_path)):
+    /// on any restore error a fresh gateway is assembled around
+    /// `fallback_estimator` with [`is_recovering`](Self::is_recovering)
+    /// set, so the occupancy fallback gates admissions on every shard
+    /// until the background trainer re-learns a model and publishes
+    /// it. The error, if any, is returned alongside for logging.
+    pub fn recover_from_path<P: AsRef<Path>>(
+        cfg: GatewayConfig,
+        acfg: AdmittanceConfig,
+        fallback_estimator: QoeEstimator,
+        path: P,
+        registry: &MetricsRegistry,
+    ) -> (Self, Option<io::Error>) {
+        let faults = FaultPlan::from_env(registry);
+        match persist::load_checkpoint_from_path(path.as_ref(), acfg.clone(), registry, &faults) {
+            Ok((classifier, estimator)) => {
+                registry.counter("recovery.restores").inc();
+                let gw = Self::build(cfg, estimator, Some(classifier), Some(faults), false);
+                (gw, None)
+            }
+            Err(err) => {
+                let fresh = AdmittanceClassifier::with_registry(acfg, registry);
+                let gw = Self::build(cfg, fallback_estimator, Some(fresh), Some(faults), true);
+                (gw, Some(err))
+            }
+        }
+    }
+
+    fn build(
+        mut cfg: GatewayConfig,
+        estimator: QoeEstimator,
+        classifier: Option<AdmittanceClassifier>,
+        faults: Option<FaultPlan>,
+        recovering_now: bool,
+    ) -> Self {
+        cfg.shards = cfg.shards.max(1);
+        let initial = match &classifier {
+            Some(classifier) => ModelSnapshot::from_classifier(0, classifier),
+            None => ModelSnapshot::initial(),
+        };
+        let cell = SnapshotCell::new(initial);
+        let control = cell.reader();
+        let shared = Arc::new(SharedMatrix::new());
+        let recovering = Arc::new(AtomicBool::new(recovering_now));
+        let (obs_tx, obs_rx) = mpsc::sync_channel(cfg.obs_queue.max(1));
+
+        let trainer_registry = MetricsRegistry::new();
+        let trainer = classifier.map(|mut classifier| {
+            let plan = faults
+                .clone()
+                .unwrap_or_else(|| FaultPlan::from_env(&trainer_registry));
+            classifier.set_fault_plan(plan);
+            TrainerHandle::spawn(
+                classifier,
+                estimator.clone(),
+                Arc::clone(&cell),
+                Arc::clone(&recovering),
+                trainer_registry.counter("recovery.checkpoint_writes"),
+                obs_rx,
+                obs_tx.clone(),
+            )
+        });
+        // Serving-only: the closure above never ran, so `obs_rx` was
+        // dropped with it and shard observations hit a disconnected
+        // channel (discarded by design).
+
+        let mut shard_registries = Vec::with_capacity(cfg.shards);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for id in 0..cfg.shards {
+            let reg = MetricsRegistry::new();
+            let plan = faults.clone().unwrap_or_else(|| FaultPlan::from_env(&reg));
+            shards.push(GatewayShard::new(
+                id,
+                cfg.middlebox.clone(),
+                estimator.clone(),
+                Arc::clone(&shared),
+                cell.reader(),
+                obs_tx.clone(),
+                Arc::clone(&recovering),
+                plan,
+                cfg.decision_cache_size,
+                &reg,
+            ));
+            shard_registries.push(reg);
+        }
+
+        ConcurrentGateway {
+            cfg,
+            shards,
+            shard_registries,
+            trainer_registry,
+            shared,
+            cell,
+            control,
+            recovering,
+            obs_tx,
+            trainer,
+        }
+    }
+
+    /// Number of serving shards.
+    pub fn shard_count(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The shard index owning `key`'s flow state. Deterministic across
+    /// runs and processes (fixed-key [`DefaultHasher`]); every packet,
+    /// QoS report and departure for one flow must reach this shard.
+    pub fn shard_for(&self, key: &FlowKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.cfg.shards as u64) as usize
+    }
+
+    /// Move the shards out for concurrent driving (one thread each).
+    /// The sequential drivers panic afterwards; everything else on the
+    /// gateway — metrics, checkpointing, shutdown — keeps working.
+    pub fn take_shards(&mut self) -> Vec<GatewayShard> {
+        std::mem::take(&mut self.shards)
+    }
+
+    fn shard_mut(&mut self, idx: usize) -> &mut GatewayShard {
+        assert!(
+            !self.shards.is_empty(),
+            "gateway shards were taken; drive them directly"
+        );
+        &mut self.shards[idx]
+    }
+
+    /// Sequential driver: route one packet to its owner shard.
+    pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
+        let idx = self.shard_for(&pkt.flow);
+        self.shard_mut(idx).process_packet(pkt, snr)
+    }
+
+    /// Sequential driver: poll every shard (shard order), concatenating
+    /// the verdicts.
+    pub fn poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        assert!(
+            !self.shards.is_empty(),
+            "gateway shards were taken; drive them directly"
+        );
+        let mut verdicts = Vec::new();
+        for shard in &mut self.shards {
+            verdicts.extend(shard.poll(now));
+        }
+        verdicts
+    }
+
+    /// Sequential driver: record a delivery report for an admitted flow.
+    pub fn record_delivery(&mut self, key: &FlowKey, sent: Instant, received: Instant, size: u32) {
+        let idx = self.shard_for(key);
+        self.shard_mut(idx)
+            .record_delivery(key, sent, received, size);
+    }
+
+    /// Sequential driver: record a drop report for an admitted flow.
+    pub fn record_drop(&mut self, key: &FlowKey) {
+        let idx = self.shard_for(key);
+        self.shard_mut(idx).record_drop(key);
+    }
+
+    /// Sequential driver: a flow ended — release its admission.
+    pub fn flow_departed(&mut self, key: &FlowKey) {
+        let idx = self.shard_for(key);
+        self.shard_mut(idx).flow_departed(key);
+    }
+
+    /// Flows currently admitted across all (non-taken) shards.
+    pub fn admitted_flows(&self) -> usize {
+        self.shards.iter().map(GatewayShard::admitted_flows).sum()
+    }
+
+    /// Point-in-time copy of the cell-wide traffic matrix.
+    pub fn matrix(&self) -> TrafficMatrix {
+        self.shared.snapshot()
+    }
+
+    /// The shared occupancy cell (for tests asserting global state
+    /// while shards are driven on other threads).
+    pub fn shared_matrix(&self) -> Arc<SharedMatrix> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn snapshot_epoch(&mut self) -> u64 {
+        self.control.pin().epoch()
+    }
+
+    /// Number of snapshots published since construction (including the
+    /// initial one published by the constructor).
+    pub fn publish_count(&self) -> u64 {
+        self.cell.publish_count()
+    }
+
+    /// An extra reader handle onto the snapshot cell (for tests that
+    /// watch publishes from other threads).
+    pub fn snapshot_reader(&self) -> SnapshotReader<ModelSnapshot> {
+        self.cell.reader()
+    }
+
+    /// True while admissions are served by the occupancy fallback —
+    /// same rule as [`Middlebox::is_degraded`](crate::middlebox::Middlebox::is_degraded),
+    /// evaluated against the published snapshot.
+    pub fn is_degraded(&mut self) -> bool {
+        let recovering = self.recovering.load(Ordering::SeqCst);
+        let guard = self.control.pin();
+        !guard.model_available()
+            && (recovering || guard.phase() == crate::admittance::Phase::Online)
+    }
+
+    /// True while the gateway is recovering from a failed restore and
+    /// no re-learnt model has been published yet.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::SeqCst)
+    }
+
+    /// Feed one observation straight to the background trainer
+    /// (blocking; tests and offline trace feeds). Returns `false` when
+    /// the gateway is serving-only or the trainer exited.
+    pub fn inject_observation(&self, matrix: TrafficMatrix, label: Label) -> bool {
+        self.obs_tx
+            .send(TrainerMsg::Observe { matrix, label })
+            .is_ok()
+    }
+
+    /// Wait until the trainer processed every message sent before this
+    /// call. Returns `false` when there is no trainer.
+    pub fn flush_trainer(&self) -> bool {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.obs_tx.send(TrainerMsg::Flush { ack: ack_tx }).is_err() {
+            return false;
+        }
+        ack_rx.recv().is_ok()
+    }
+
+    /// Checkpoint the learnt state through the trainer queue — the
+    /// write happens on the trainer thread, after every observation
+    /// queued before this call, and never stalls a shard.
+    pub fn checkpoint_to_path<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.obs_tx
+            .send(TrainerMsg::Checkpoint {
+                path: path.as_ref().to_path_buf(),
+                ack: ack_tx,
+            })
+            .map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "serving-only gateway has no trainer to checkpoint",
+                )
+            })?;
+        ack_rx.recv().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "trainer exited before acknowledging the checkpoint",
+            )
+        })?
+    }
+
+    /// Per-shard metrics registries, indexed by shard id.
+    pub fn shard_registries(&self) -> &[MetricsRegistry] {
+        &self.shard_registries
+    }
+
+    /// The trainer thread's registry (`recovery.checkpoint_writes`,
+    /// plus fault-plan counters when the plan was bound here).
+    pub fn trainer_registry(&self) -> &MetricsRegistry {
+        &self.trainer_registry
+    }
+
+    /// One coherent metrics view across every shard and the trainer:
+    /// counters summed, gauges maxed, histograms merged bucket-wise
+    /// (see [`MetricsSnapshot::merged`]). Counter names match the
+    /// single-threaded middlebox, so existing dashboards read a
+    /// gateway exactly like a middlebox.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut parts: Vec<MetricsSnapshot> = self
+            .shard_registries
+            .iter()
+            .map(MetricsRegistry::snapshot)
+            .collect();
+        parts.push(self.trainer_registry.snapshot());
+        MetricsSnapshot::merged(&parts)
+    }
+
+    /// Stop the background trainer and take back the classifier (for
+    /// inspection or a final synchronous checkpoint). `None` for a
+    /// serving-only gateway. Shards keep serving the last published
+    /// snapshot after shutdown.
+    pub fn shutdown(&mut self) -> Option<AdmittanceClassifier> {
+        self.trainer.take().map(TrainerHandle::shutdown)
+    }
+}

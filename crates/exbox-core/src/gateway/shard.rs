@@ -1,0 +1,511 @@
+//! Per-shard serving state and the shared atomic occupancy cell.
+//!
+//! A [`GatewayShard`] is one flow-hash partition of the middlebox
+//! pipeline: its own flow table, early classifier, QoS meters,
+//! rejected set, decision cache and `exbox-obs` sub-registry — so the
+//! packet path touches no cross-shard locks and increments no shared
+//! counters. The only cross-shard state a decision reads is the
+//! [`SharedMatrix`] (the cell-wide traffic matrix, six atomic
+//! counters) and the published [`ModelSnapshot`] (pinned lock-free).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
+
+use exbox_ml::Label;
+use exbox_net::{EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
+use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
+
+use crate::admittance::Phase;
+use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
+use crate::middlebox::{
+    Action, DecisionEvent, DecisionKind, DecisionReason, MiddleboxConfig, PollVerdict, RejectedSet,
+};
+use crate::qoe::QoeEstimator;
+use crate::recovery::{FaultKind, FaultPlan};
+
+use super::snapshot::{ModelSnapshot, SnapshotReader};
+use super::trainer::TrainerMsg;
+
+/// The cell-wide traffic matrix as atomics: shard decisions read a
+/// point-in-time [`TrafficMatrix`] from it and admissions/departures
+/// update it, so every shard decides against the *global* occupancy —
+/// which is what makes verdicts shard-count-invariant when a trace is
+/// replayed deterministically.
+///
+/// All operations are `SeqCst` (six counters; the cost is noise next
+/// to the model evaluation). Under concurrent serving a snapshot is
+/// each counter's latest value, not an inter-counter consistent cut —
+/// the same tolerance the paper's periodic-poll design already has.
+#[derive(Debug, Default)]
+pub struct SharedMatrix {
+    counts: [AtomicU32; TrafficMatrix::DIMS],
+}
+
+impl SharedMatrix {
+    /// The empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point-in-time copy as a value-type matrix.
+    pub fn snapshot(&self) -> TrafficMatrix {
+        TrafficMatrix::from_counts(std::array::from_fn(|i| {
+            self.counts[i].load(Ordering::SeqCst)
+        }))
+    }
+
+    /// Record an admission.
+    pub fn add(&self, kind: FlowKind) {
+        self.counts[kind.flat_index()].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record a departure or revocation (saturating at zero).
+    pub fn remove(&self, kind: FlowKind) {
+        let _ =
+            self.counts[kind.flat_index()].fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Total admitted flows right now.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+    }
+}
+
+/// Per-shard instrumentation. Counter names match the single-threaded
+/// middlebox (`middlebox.*`, `recovery.*`) so the merged export reads
+/// identically; each shard binds its **own** registry, so the hot-path
+/// increments land on shard-private cache lines — contention-free —
+/// and only [`exbox_obs::MetricsSnapshot::merged`] ever sums them.
+#[derive(Debug)]
+struct ShardMetrics {
+    packets: Arc<Counter>,
+    admits: Arc<Counter>,
+    rejects: Arc<Counter>,
+    drops_rejected: Arc<Counter>,
+    keeps: Arc<Counter>,
+    revokes: Arc<Counter>,
+    departures: Arc<Counter>,
+    polls: Arc<Counter>,
+    rejected_evictions: Arc<Counter>,
+    fallback_decisions: Arc<Counter>,
+    poll_errors: Arc<Counter>,
+    /// `gateway.obs_dropped` — observations dropped because the
+    /// bounded trainer queue was full (backpressure made visible).
+    obs_dropped: Arc<Counter>,
+    /// `gateway.cache_hits` / `gateway.cache_misses` — the shard's
+    /// epoch-keyed decision cache.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    decision_latency_ns: Arc<Histogram>,
+    poll_latency_ns: Arc<Histogram>,
+}
+
+impl ShardMetrics {
+    fn bind(reg: &MetricsRegistry) -> Self {
+        ShardMetrics {
+            packets: reg.counter("middlebox.packets"),
+            admits: reg.counter("middlebox.admits"),
+            rejects: reg.counter("middlebox.rejects"),
+            drops_rejected: reg.counter("middlebox.drops_rejected"),
+            keeps: reg.counter("middlebox.keeps"),
+            revokes: reg.counter("middlebox.revokes"),
+            departures: reg.counter("middlebox.departures"),
+            polls: reg.counter("middlebox.polls"),
+            rejected_evictions: reg.counter("middlebox.rejected_evictions"),
+            fallback_decisions: reg.counter("recovery.fallback_decisions"),
+            poll_errors: reg.counter("recovery.poll_errors"),
+            obs_dropped: reg.counter("gateway.obs_dropped"),
+            cache_hits: reg.counter("gateway.cache_hits"),
+            cache_misses: reg.counter("gateway.cache_misses"),
+            decision_latency_ns: reg
+                .histogram("middlebox.decision_latency_ns", &buckets::latency_ns()),
+            poll_latency_ns: reg.histogram("middlebox.poll_latency_ns", &buckets::latency_ns()),
+        }
+    }
+}
+
+/// Bounded decision memo keyed by `(snapshot epoch, resulting
+/// matrix)`. A new epoch clears the map lazily on first insert, so a
+/// snapshot publish costs the shard nothing until it actually decides
+/// again.
+#[derive(Debug)]
+struct ShardDecisionCache {
+    cap: usize,
+    epoch: u64,
+    map: HashMap<TrafficMatrix, (Label, f64)>,
+}
+
+impl ShardDecisionCache {
+    fn new(cap: usize) -> Self {
+        ShardDecisionCache {
+            cap,
+            epoch: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&self, epoch: u64, key: &TrafficMatrix) -> Option<(Label, f64)> {
+        if epoch != self.epoch {
+            return None;
+        }
+        self.map.get(key).copied()
+    }
+
+    fn insert(&mut self, epoch: u64, key: TrafficMatrix, label: Label, margin: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        if epoch != self.epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            self.map.clear();
+        }
+        self.map.insert(key, (label, margin));
+    }
+}
+
+#[derive(Debug)]
+struct ShardFlow {
+    kind: FlowKind,
+    meter: QosMeter,
+}
+
+/// One flow-hash partition of the serving pipeline. Owned by exactly
+/// one worker thread at a time (`GatewayShard` is `Send`, methods take
+/// `&mut self`); all cross-shard coupling goes through the shared
+/// matrix, the snapshot cell and the trainer queue.
+#[derive(Debug)]
+pub struct GatewayShard {
+    id: usize,
+    cfg: MiddleboxConfig,
+    table: FlowTable,
+    early: EarlyClassifier,
+    flows: HashMap<FlowKey, ShardFlow>,
+    rejected: RejectedSet,
+    cache: ShardDecisionCache,
+    estimator: QoeEstimator,
+    shared: Arc<SharedMatrix>,
+    reader: SnapshotReader<ModelSnapshot>,
+    obs_tx: SyncSender<TrainerMsg>,
+    recovering: Arc<AtomicBool>,
+    metrics: ShardMetrics,
+    decisions: EventRing<DecisionEvent>,
+    faults: FaultPlan,
+    last_poll: Instant,
+}
+
+impl GatewayShard {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        cfg: MiddleboxConfig,
+        estimator: QoeEstimator,
+        shared: Arc<SharedMatrix>,
+        reader: SnapshotReader<ModelSnapshot>,
+        obs_tx: SyncSender<TrainerMsg>,
+        recovering: Arc<AtomicBool>,
+        faults: FaultPlan,
+        decision_cache_size: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let window = cfg.classify_window;
+        let log_capacity = cfg.decision_log_capacity.max(1);
+        let rejected = RejectedSet::new(cfg.rejected_capacity);
+        GatewayShard {
+            id,
+            cfg,
+            table: FlowTable::new(),
+            early: EarlyClassifier::with_default_profiles(window),
+            flows: HashMap::new(),
+            rejected,
+            cache: ShardDecisionCache::new(decision_cache_size),
+            estimator,
+            shared,
+            reader,
+            obs_tx,
+            recovering,
+            metrics: ShardMetrics::bind(registry),
+            decisions: EventRing::new(log_capacity),
+            faults,
+            last_poll: Instant::ZERO,
+        }
+    }
+
+    /// This shard's index within the gateway.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Flows currently admitted *by this shard*.
+    pub fn admitted_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// This shard's bounded admit/reject/revoke audit ring.
+    pub fn decision_log(&self) -> &EventRing<DecisionEvent> {
+        &self.decisions
+    }
+
+    /// The cell-wide traffic matrix as this shard reads it.
+    pub fn matrix(&self) -> TrafficMatrix {
+        self.shared.snapshot()
+    }
+
+    /// True while this shard serves admissions through the occupancy
+    /// fallback: the published snapshot carries no model and either
+    /// the trainer already left bootstrap or the gateway is recovering
+    /// from a failed restore. Same rule as
+    /// [`crate::middlebox::Middlebox::is_degraded`].
+    pub fn is_degraded(&mut self) -> bool {
+        let recovering = self.recovering.load(Ordering::SeqCst);
+        let guard = self.reader.pin();
+        !guard.model_available() && (recovering || guard.phase() == Phase::Online)
+    }
+
+    /// Process one packet of this shard's partition. Mirrors
+    /// [`crate::middlebox::Middlebox::process_packet`] step for step;
+    /// the decision evaluates the pinned [`ModelSnapshot`] against the
+    /// shared matrix instead of an in-line classifier.
+    pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
+        self.metrics.packets.inc();
+        if self.rejected.contains(&pkt.flow) {
+            self.metrics.drops_rejected.inc();
+            return Action::Drop;
+        }
+        self.table.observe(pkt);
+        if self.flows.contains_key(&pkt.flow) {
+            return Action::Forward;
+        }
+        let class = match self.early.observe(pkt) {
+            None => return Action::Forward,
+            Some(class) => class,
+        };
+        let kind = FlowKind::new(class, snr);
+        let matrix = self.shared.snapshot();
+        let resulting = matrix.with_arrival(kind);
+        let recovering = self.recovering.load(Ordering::SeqCst);
+        let guard = self.reader.pin();
+        let degraded = !guard.model_available() && (recovering || guard.phase() == Phase::Online);
+        let cache = &mut self.cache;
+        let metrics = &self.metrics;
+        let fallback_cap = self.cfg.fallback_max_flows.max(1);
+        let ((label, margin), decide_ns) = if degraded {
+            // Inline MaxClient semantics (`sync_load` + `decide`):
+            // admit while the current occupancy is below the cap.
+            exbox_obs::time_ns(|| {
+                let label = if matrix.total() < fallback_cap {
+                    Label::Pos
+                } else {
+                    Label::Neg
+                };
+                (label, None)
+            })
+        } else {
+            let epoch = guard.epoch();
+            exbox_obs::time_ns(|| {
+                if let Some((label, margin)) = cache.get(epoch, &resulting) {
+                    metrics.cache_hits.inc();
+                    return (label, Some(margin));
+                }
+                let (label, margin) = guard.decide(&resulting);
+                if let Some(m) = margin {
+                    metrics.cache_misses.inc();
+                    cache.insert(epoch, resulting, label, m);
+                }
+                (label, margin)
+            })
+        };
+        let phase = guard.phase();
+        drop(guard);
+        self.metrics.decision_latency_ns.record(decide_ns);
+        let reason = if degraded {
+            self.metrics.fallback_decisions.inc();
+            DecisionReason::DegradedFallback
+        } else {
+            match (phase, label) {
+                (Phase::Bootstrap, _) => DecisionReason::Bootstrap,
+                (Phase::Online, Label::Pos) => DecisionReason::InsideRegion,
+                (Phase::Online, Label::Neg) => DecisionReason::OutsideRegion,
+            }
+        };
+        let mut event = DecisionEvent {
+            at: pkt.timestamp,
+            flow: pkt.flow,
+            class,
+            snr,
+            verdict: DecisionKind::Admit,
+            margin,
+            reason,
+        };
+        match label {
+            Label::Pos => {
+                self.shared.add(kind);
+                self.flows.insert(
+                    pkt.flow,
+                    ShardFlow {
+                        kind,
+                        meter: QosMeter::new(),
+                    },
+                );
+                self.metrics.admits.inc();
+                self.decisions.push(event);
+                Action::Forward
+            }
+            Label::Neg => {
+                let evicted = self.rejected.insert(pkt.flow);
+                self.metrics.rejected_evictions.add(evicted);
+                self.early.forget(&pkt.flow);
+                self.metrics.rejects.inc();
+                event.verdict = DecisionKind::Reject;
+                self.decisions.push(event);
+                Action::Drop
+            }
+        }
+    }
+
+    /// Record a delivery report for a flow admitted by this shard.
+    pub fn record_delivery(&mut self, key: &FlowKey, sent: Instant, received: Instant, size: u32) {
+        if let Some(fs) = self.flows.get_mut(key) {
+            fs.meter.deliver(sent, received, size);
+        }
+    }
+
+    /// Record a drop report for a flow admitted by this shard.
+    pub fn record_drop(&mut self, key: &FlowKey) {
+        if let Some(fs) = self.flows.get_mut(key) {
+            fs.meter.drop_packet();
+        }
+    }
+
+    /// A flow of this shard's partition ended: release its slot.
+    pub fn flow_departed(&mut self, key: &FlowKey) {
+        if let Some(fs) = self.flows.remove(key) {
+            self.shared.remove(fs.kind);
+            self.metrics.departures.inc();
+        }
+        self.rejected.remove(key);
+        self.early.forget(key);
+        self.table.remove(key);
+    }
+
+    /// Periodic poll over this shard's flows: QoE estimation, one
+    /// observation shipped to the background trainer (non-blocking —
+    /// a full queue drops the observation and counts
+    /// `gateway.obs_dropped` rather than stalling), and region
+    /// re-evaluation against the pinned snapshot. A no-op before
+    /// `poll_interval` has elapsed.
+    ///
+    /// Sharded-observation semantics: the label is the conjunction
+    /// over *this shard's* flows against the *global* matrix. With one
+    /// shard this is exactly the single-threaded middlebox feed; with
+    /// many, each shard contributes a partial conjunction (a `Neg`
+    /// from any shard still marks the matrix inadmissible — the
+    /// conjunction distributes over the partition; shards report
+    /// `Pos` only for flow subsets that are all acceptable).
+    pub fn poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        if now.saturating_since(self.last_poll) < self.cfg.poll_interval {
+            return Vec::new();
+        }
+        self.last_poll = now;
+        self.metrics.polls.inc();
+        let (verdicts, poll_ns) = exbox_obs::time_ns(|| self.run_poll(now));
+        self.metrics.poll_latency_ns.record(poll_ns);
+        verdicts
+    }
+
+    fn run_poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        if self.flows.is_empty() {
+            return Vec::new();
+        }
+        let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        keys.sort();
+
+        // Per-flow acceptability; idle flows contribute no evidence.
+        // Shards *are* the parallelism here, so the estimation stays
+        // serial within one shard.
+        let per_flow: Vec<Option<bool>> = keys
+            .iter()
+            .map(|key| {
+                let fs = &self.flows[key];
+                let sample = fs.meter.sample();
+                if sample.throughput_bps <= 0.0 {
+                    None
+                } else {
+                    Some(self.estimator.acceptable(fs.kind.class, &sample))
+                }
+            })
+            .collect();
+        let measured_any = per_flow.iter().any(|v| v.is_some());
+        let all_ok = per_flow.iter().flatten().all(|&ok| ok);
+        let poll_errored = self.faults.should_inject(FaultKind::PollError);
+        if poll_errored {
+            self.metrics.poll_errors.inc();
+        } else if measured_any {
+            let label = if all_ok { Label::Pos } else { Label::Neg };
+            match self.obs_tx.try_send(TrainerMsg::Observe {
+                matrix: self.shared.snapshot(),
+                label,
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => self.metrics.obs_dropped.inc(),
+                // Training disabled or trainer shut down: the
+                // observation has nowhere to go by design.
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+
+        // Region re-evaluation, mirroring the middlebox loop: one
+        // decision per matrix state; revoking a flow updates both the
+        // shared matrix and the local working copy before re-deciding.
+        let mut verdicts: Vec<(FlowKey, PollVerdict)> = Vec::new();
+        let guard = self.reader.pin();
+        if guard.phase() == Phase::Online {
+            let mut matrix = self.shared.snapshot();
+            let (mut label, mut margin) = guard.decide(&matrix);
+            for &key in &keys {
+                match label {
+                    Label::Pos => {
+                        verdicts.push((key, PollVerdict::Keep));
+                        self.metrics.keeps.inc();
+                    }
+                    Label::Neg => {
+                        let kind = self.flows[&key].kind;
+                        self.shared.remove(kind);
+                        matrix.remove(kind);
+                        self.flows.remove(&key);
+                        let evicted = self.rejected.insert(key);
+                        self.metrics.rejected_evictions.add(evicted);
+                        verdicts.push((key, PollVerdict::Revoke));
+                        self.metrics.revokes.inc();
+                        self.decisions.push(DecisionEvent {
+                            at: now,
+                            flow: key,
+                            class: kind.class,
+                            snr: kind.snr,
+                            verdict: DecisionKind::Revoke,
+                            margin,
+                            reason: DecisionReason::RegionReevaluation,
+                        });
+                        let (next_label, next_margin) = guard.decide(&matrix);
+                        if next_label == Label::Pos {
+                            break;
+                        }
+                        label = next_label;
+                        margin = next_margin;
+                    }
+                }
+            }
+        }
+        drop(guard);
+        for fs in self.flows.values_mut() {
+            fs.meter.reset();
+        }
+        verdicts
+    }
+}

@@ -1,0 +1,470 @@
+//! Epoch-stamped model snapshots and the lock-free cell that
+//! publishes them.
+//!
+//! The serving problem: shards must read the learnt state (scaler +
+//! model + phase) on every admission decision, while the background
+//! trainer replaces that state after every retrain. A lock — even a
+//! reader/writer lock — would put every packet behind a contended
+//! atomic RMW on the reader side and let a publishing writer stall
+//! the decision path. Instead the gateway uses an RCU-style
+//! [`SnapshotCell`]:
+//!
+//! * the current [`ModelSnapshot`] lives behind one `AtomicPtr`;
+//!   **readers never take a lock** — pinning is two `SeqCst` loads and
+//!   one store on a reader-private epoch slot, with no RMW on any
+//!   shared cache line,
+//! * the writer swaps in a freshly boxed snapshot and **retires** the
+//!   old pointer instead of freeing it; retired snapshots are
+//!   reclaimed only after a grace period — once every registered
+//!   reader has been observed past the retiring epoch (quiescent-state
+//!   reclamation),
+//! * snapshots are immutable once published, so a reader that pinned
+//!   an older epoch simply keeps serving the older (still coherent)
+//!   model until its next pin.
+//!
+//! This is the only `unsafe` in the workspace; the invariant it rests
+//! on is spelled out at [`SnapshotCell::reclaim`].
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use exbox_ml::{Label, StandardScaler};
+
+use crate::admittance::{AdmittanceClassifier, Phase, ServingModel};
+use crate::matrix::TrafficMatrix;
+
+/// One immutable generation of learnt state, as published by the
+/// background trainer and served concurrently by every shard.
+///
+/// The scaler and model are stamped with the epoch they were exported
+/// under (`scaler_epoch` / `model_epoch`); because a snapshot is built
+/// in one piece and never mutated after publication, the stamps always
+/// agree with [`ModelSnapshot::epoch`] — the linearizability smoke
+/// test spins readers against a publishing writer and asserts exactly
+/// that (a torn scaler/model pair would surface as a stamp mismatch).
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    epoch: u64,
+    phase: Phase,
+    scaler: Option<StandardScaler>,
+    model: Option<ServingModel>,
+    scaler_epoch: u64,
+    model_epoch: u64,
+}
+
+impl ModelSnapshot {
+    /// The pre-training snapshot: bootstrap phase, no model, epoch 0.
+    pub fn initial() -> Self {
+        ModelSnapshot {
+            epoch: 0,
+            phase: Phase::Bootstrap,
+            scaler: None,
+            model: None,
+            scaler_epoch: 0,
+            model_epoch: 0,
+        }
+    }
+
+    /// Export the classifier's current serving state as epoch `epoch`.
+    /// Called by the trainer once per publish (phase change or
+    /// successful retrain) — never on the packet path.
+    pub fn from_classifier(epoch: u64, classifier: &AdmittanceClassifier) -> Self {
+        let (phase, pair) = classifier.serving_state();
+        let (scaler, model) = match pair {
+            Some((s, m)) => (Some(s), Some(m)),
+            None => (None, None),
+        };
+        ModelSnapshot {
+            epoch,
+            phase,
+            scaler,
+            model,
+            scaler_epoch: epoch,
+            model_epoch: epoch,
+        }
+    }
+
+    /// The generation counter this snapshot was published under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The classifier phase at publish time.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Whether a scaler/model pair is servable.
+    pub fn model_available(&self) -> bool {
+        self.scaler.is_some() && self.model.is_some()
+    }
+
+    /// True when the epoch stamps on the scaler and model both match
+    /// the snapshot epoch — the invariant the linearizability test
+    /// asserts under concurrent publishes.
+    pub fn stamps_consistent(&self) -> bool {
+        self.scaler_epoch == self.epoch && self.model_epoch == self.epoch
+    }
+
+    /// Signed decision score for the matrix that would result from an
+    /// admission; `None` until a model exists. Allocation-free and
+    /// `&self` — many shards evaluate one snapshot concurrently.
+    /// Bit-exact with [`AdmittanceClassifier::decision_value`] on the
+    /// same state (same scaler transform, same backend arithmetic).
+    pub fn decision_value(&self, resulting: &TrafficMatrix) -> Option<f64> {
+        let scaler = self.scaler.as_ref()?;
+        let model = self.model.as_ref()?;
+        let mut raw = [0.0f64; TrafficMatrix::DIMS];
+        resulting.features_into(&mut raw);
+        let mut scaled = [0.0f64; TrafficMatrix::DIMS];
+        scaler.transform_into(&raw, &mut scaled);
+        Some(model.decision_value(&scaled))
+    }
+
+    /// Single-pass decision, mirroring the uncached
+    /// [`AdmittanceClassifier::decide`] semantics: admit everything in
+    /// bootstrap; online, the margin sign decides (admit when no model
+    /// exists — the degraded fallback gates that case upstream).
+    pub fn decide(&self, resulting: &TrafficMatrix) -> (Label, Option<f64>) {
+        let margin = self.decision_value(resulting);
+        let label = match self.phase {
+            Phase::Bootstrap => Label::Pos,
+            Phase::Online => match margin {
+                Some(v) => Label::from_signum(v),
+                None => Label::Pos,
+            },
+        };
+        (label, margin)
+    }
+}
+
+/// A reader's pin slot: the epoch it is currently pinned at, or
+/// [`IDLE`] when not inside a read-side critical section.
+#[derive(Debug)]
+struct ReaderSlot {
+    pinned: AtomicU64,
+}
+
+/// Sentinel for "not pinned".
+const IDLE: u64 = u64::MAX;
+
+/// A retired pointer waiting for its grace period: the cell epoch at
+/// the moment of retirement, and the boxed value it replaced.
+struct Retired<T> {
+    tag: u64,
+    ptr: *mut T,
+}
+
+/// Lock-free single-writer/multi-reader publication cell (RCU with
+/// quiescent-state-based reclamation), built on `std::sync::atomic`
+/// only.
+///
+/// * [`SnapshotReader::pin`] gives wait-free read access to the
+///   current value — no locks, no shared-line RMW.
+/// * [`SnapshotCell::publish`] swaps in a new boxed value, retires the
+///   old pointer, and frees retirements whose grace period has passed
+///   (no reader still pinned at or before their tag).
+///
+/// Values must be `Send + Sync`: readers on any thread dereference
+/// the shared pointer, and retired boxes are dropped on the writer's
+/// thread.
+pub struct SnapshotCell<T> {
+    current: AtomicPtr<T>,
+    /// Publish counter; also the clock retirement tags and reader pins
+    /// are measured against.
+    epoch: AtomicU64,
+    readers: Mutex<Vec<Arc<ReaderSlot>>>,
+    retired: Mutex<Vec<Retired<T>>>,
+}
+
+// SAFETY: the raw pointers inside `current`/`retired` all originate
+// from `Box<T>` and are only dereferenced (readers) or dropped
+// (writer, after the grace period) under the protocol proven at
+// `reclaim`. With `T: Send + Sync`, sharing the cell across threads
+// shares `&T` (needs `Sync`) and drops boxes on another thread (needs
+// `Send`).
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SnapshotCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("epoch", &self.epoch.load(Ordering::SeqCst))
+            .field(
+                "retired",
+                &self.retired.lock().expect("retired list poisoned").len(),
+            )
+            .finish()
+    }
+}
+
+impl<T: Send + Sync> SnapshotCell<T> {
+    /// A cell initially holding `value` at epoch 0.
+    pub fn new(value: T) -> Arc<Self> {
+        Arc::new(SnapshotCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            epoch: AtomicU64::new(0),
+            readers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register a reader. Each shard holds exactly one; the slot is
+    /// garbage-collected after the reader is dropped.
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader<T> {
+        let slot = Arc::new(ReaderSlot {
+            pinned: AtomicU64::new(IDLE),
+        });
+        self.readers
+            .lock()
+            .expect("reader list poisoned")
+            .push(Arc::clone(&slot));
+        SnapshotReader {
+            cell: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// Number of publishes so far.
+    pub fn publish_count(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Retired values still waiting for their grace period (test and
+    /// debugging aid).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().expect("retired list poisoned").len()
+    }
+
+    /// Publish `value` as the new current snapshot. The old snapshot
+    /// is retired, not freed: readers pinned on it keep serving it,
+    /// and it is reclaimed on a later publish once no reader can still
+    /// hold it. Publishers are expected to be a single trainer thread,
+    /// but concurrent publishes are safe (the swap linearises them).
+    pub fn publish(&self, value: T) {
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        // The tag is the epoch *before* the bump: any reader that
+        // could have loaded `old` re-checked the epoch at a value
+        // <= tag while its pin was already visible (see `pin`).
+        let tag = self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.retired
+            .lock()
+            .expect("retired list poisoned")
+            .push(Retired { tag, ptr: old });
+        self.reclaim();
+    }
+
+    /// Free retired values whose grace period has passed.
+    ///
+    /// Invariant: a reader pinned at epoch `e` can only be holding a
+    /// pointer that was current at some epoch `>= e`; such a pointer,
+    /// if retired at all, is retired with `tag >= e`. Proof sketch of
+    /// why the writer always observes the pin: the reader stores
+    /// `pinned = e` (`SeqCst`) *before* re-checking `epoch == e`
+    /// (`SeqCst`), and only then loads the pointer. The writer swaps
+    /// the pointer, *then* bumps the epoch (`SeqCst`), *then* reads
+    /// the pin slots here. If the reader's re-check saw `e`, it
+    /// happened before the writer's bump in the total `SeqCst` order,
+    /// so the reader's earlier `pinned = e` store is visible to the
+    /// writer's later pin load. Therefore freeing only retirements
+    /// with `tag < min(pinned)` never frees a pointer a reader can
+    /// still dereference.
+    fn reclaim(&self) {
+        let mut readers = self.readers.lock().expect("reader list poisoned");
+        // Drop slots whose reader is gone (only the list holds them).
+        readers.retain(|slot| Arc::strong_count(slot) > 1);
+        let min_pinned = readers
+            .iter()
+            .map(|slot| slot.pinned.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(IDLE);
+        drop(readers);
+        let mut retired = self.retired.lock().expect("retired list poisoned");
+        retired.retain(|r| {
+            if r.tag < min_pinned {
+                // SAFETY: `r.ptr` came from `Box::into_raw` in
+                // `publish` (or `new`), was swapped out exactly once,
+                // and by the invariant above no reader can still hold
+                // it; it is removed from the list here, so it is
+                // dropped exactly once.
+                drop(unsafe { Box::from_raw(r.ptr) });
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // No readers can exist: every `SnapshotReader` holds an `Arc`
+        // to the cell, so `drop` implies zero readers remain.
+        let current = *self.current.get_mut();
+        // SAFETY: sole owner at this point; `current` and every
+        // retired pointer are live `Box<T>` allocations, each dropped
+        // exactly once.
+        unsafe {
+            drop(Box::from_raw(current));
+            for r in self.retired.get_mut().expect("retired list poisoned") {
+                drop(Box::from_raw(r.ptr));
+            }
+        }
+    }
+}
+
+/// One reader's handle to a [`SnapshotCell`]. Not cloneable and pins
+/// through `&mut self`, so at most one [`SnapshotGuard`] per reader
+/// exists at a time — the property the pin slot relies on.
+#[derive(Debug)]
+pub struct SnapshotReader<T> {
+    cell: Arc<SnapshotCell<T>>,
+    slot: Arc<ReaderSlot>,
+}
+
+impl<T: Send + Sync> SnapshotReader<T> {
+    /// Enter a read-side critical section and return a guard
+    /// dereferencing the current snapshot. Lock-free: two `SeqCst`
+    /// epoch loads and one store on this reader's private slot; the
+    /// retry loop only spins if a publish lands between them (publishes
+    /// are per-retrain, i.e. rare).
+    pub fn pin(&mut self) -> SnapshotGuard<'_, T> {
+        loop {
+            let e = self.cell.epoch.load(Ordering::SeqCst);
+            self.slot.pinned.store(e, Ordering::SeqCst);
+            if self.cell.epoch.load(Ordering::SeqCst) == e {
+                let ptr = self.cell.current.load(Ordering::SeqCst);
+                return SnapshotGuard {
+                    ptr,
+                    slot: &self.slot,
+                };
+            }
+            // A publish raced the pin; un-pin and retry so the writer
+            // is never blocked on a stale pin value.
+            self.slot.pinned.store(IDLE, Ordering::SeqCst);
+        }
+    }
+
+    /// The cell this reader is registered with.
+    pub fn cell(&self) -> &Arc<SnapshotCell<T>> {
+        &self.cell
+    }
+}
+
+impl<T> Drop for SnapshotReader<T> {
+    fn drop(&mut self) {
+        // Defensive: a guard cannot outlive the reader (it borrows
+        // it), so the slot is idle here; make it permanently so.
+        self.slot.pinned.store(IDLE, Ordering::SeqCst);
+    }
+}
+
+/// RAII read-side critical section: dereferences the pinned snapshot;
+/// dropping it un-pins the reader, allowing the snapshot's eventual
+/// reclamation.
+#[derive(Debug)]
+pub struct SnapshotGuard<'a, T> {
+    ptr: *const T,
+    slot: &'a Arc<ReaderSlot>,
+}
+
+impl<T> std::ops::Deref for SnapshotGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: `ptr` was the current snapshot while this reader's
+        // pin was visible (see `SnapshotReader::pin`); the pin blocks
+        // reclamation (`SnapshotCell::reclaim` invariant) until this
+        // guard drops, and published snapshots are never mutated.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for SnapshotGuard<'_, T> {
+    fn drop(&mut self) {
+        self.slot.pinned.store(IDLE, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn pin_sees_latest_publish() {
+        let cell = SnapshotCell::new(1u64);
+        let mut reader = cell.reader();
+        assert_eq!(*reader.pin(), 1);
+        cell.publish(2);
+        assert_eq!(*reader.pin(), 2);
+        assert_eq!(cell.publish_count(), 1);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation_until_unpin() {
+        let cell = SnapshotCell::new(10u64);
+        let mut reader = cell.reader();
+        let guard = reader.pin();
+        cell.publish(20);
+        // The old value is retired but must not be freed while the
+        // guard is live — and the guard must still read it coherently.
+        assert_eq!(cell.retired_len(), 1);
+        assert_eq!(*guard, 10);
+        drop(guard);
+        cell.publish(30);
+        assert_eq!(cell.retired_len(), 0, "old epochs reclaimed after unpin");
+        assert_eq!(*reader.pin(), 30);
+    }
+
+    #[test]
+    fn dropped_readers_are_garbage_collected() {
+        let cell = SnapshotCell::new(0u64);
+        let reader = cell.reader();
+        drop(reader);
+        cell.publish(1);
+        cell.publish(2);
+        // With no readers left, nothing can block reclamation past
+        // the most recent retirement.
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_pairs() {
+        // Each published value is a (x, x) pair; readers assert the
+        // halves always agree while a writer publishes continuously.
+        let cell = SnapshotCell::new((0u64, 0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut reader = cell.reader();
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = reader.pin();
+                        let (a, b) = *g;
+                        assert_eq!(a, b, "torn pair observed");
+                        assert!(a >= last, "epoch went backwards");
+                        last = a;
+                    }
+                });
+            }
+            for i in 1..=2000u64 {
+                cell.publish((i, i));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(cell.publish_count(), 2000);
+    }
+
+    #[test]
+    fn model_snapshot_stamps_are_consistent() {
+        let snap = ModelSnapshot::initial();
+        assert!(snap.stamps_consistent());
+        assert!(!snap.model_available());
+        assert_eq!(snap.decide(&TrafficMatrix::empty()), (Label::Pos, None));
+    }
+}

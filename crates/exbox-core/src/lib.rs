@@ -33,6 +33,10 @@
 //! * [`recovery`] — deterministic fault injection ([`FaultPlan`], the
 //!   `EXBOX_FAULTS` knob) and the bounded retrain backoff behind the
 //!   middlebox's degraded-mode policy.
+//! * [`gateway`] — the concurrent serving layer: flow-hash sharding
+//!   (`EXBOX_SHARDS`), lock-free epoch-stamped model snapshots, and a
+//!   background trainer that keeps retraining and checkpointing off
+//!   the packet path.
 //!
 //! ## Quick start
 //!
@@ -61,6 +65,7 @@ pub mod admittance;
 pub mod apps;
 pub mod baselines;
 pub mod excr;
+pub mod gateway;
 pub mod iqx;
 pub mod matrix;
 pub mod middlebox;
@@ -75,6 +80,10 @@ pub use baselines::{
     AdmissionController, Decision, ExBoxController, FlowRequest, MaxClient, RateBased,
 };
 pub use excr::{boundary_points, max_admissible, region_slice, RegionCell};
+pub use gateway::{
+    ConcurrentGateway, GatewayConfig, GatewayShard, ModelSnapshot, SharedMatrix, SnapshotCell,
+    SnapshotReader,
+};
 pub use iqx::IqxModel;
 pub use matrix::{FlowKind, SnrLevel, TrafficMatrix};
 pub use middlebox::{
@@ -94,6 +103,9 @@ pub mod prelude {
     pub use crate::apps::{AppAdmission, AppKey};
     pub use crate::baselines::{
         AdmissionController, Decision, ExBoxController, FlowRequest, MaxClient, RateBased,
+    };
+    pub use crate::gateway::{
+        ConcurrentGateway, GatewayConfig, GatewayShard, ModelSnapshot, SharedMatrix,
     };
     pub use crate::iqx::IqxModel;
     pub use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};

@@ -97,6 +97,20 @@ impl TrafficMatrix {
         self.counts[kind.flat_index()]
     }
 
+    /// Rebuild a matrix from raw per-cell counts in canonical
+    /// [`FlowKind::flat_index`] order. This is how the concurrent
+    /// gateway's shared atomic occupancy cell materialises a
+    /// [`TrafficMatrix`] for a decision without walking flow tables.
+    pub fn from_counts(counts: [u32; Self::DIMS]) -> Self {
+        TrafficMatrix { counts }
+    }
+
+    /// The raw per-cell counts in canonical [`FlowKind::flat_index`]
+    /// order (the inverse of [`TrafficMatrix::from_counts`]).
+    pub fn counts(&self) -> [u32; Self::DIMS] {
+        self.counts
+    }
+
     /// Total flows of a class across SNR levels.
     pub fn class_total(&self, class: AppClass) -> u32 {
         SnrLevel::ALL

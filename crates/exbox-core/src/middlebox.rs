@@ -23,6 +23,28 @@
 //! ([`MaxClient`]) instead of blindly admitting or rejecting, counted
 //! by `recovery.fallback_decisions`. Fault injection for all of this
 //! lives in [`crate::recovery`] (`EXBOX_FAULTS`).
+//!
+//! ## Relation to the concurrent gateway
+//!
+//! [`Middlebox`] is the single-threaded assembly: one flow table, one
+//! in-line Admittance Classifier, `&mut self` everywhere. The
+//! multi-core serving layer in [`crate::gateway`] is the same pipeline
+//! re-partitioned — a `Middlebox` behaves exactly like a
+//! [`crate::gateway::ConcurrentGateway`] with **one shard whose
+//! trainer runs inline**:
+//!
+//! | `Middlebox`                         | `ConcurrentGateway`                          |
+//! |-------------------------------------|----------------------------------------------|
+//! | `matrix: TrafficMatrix` field       | shared atomic occupancy cell (`SharedMatrix`) |
+//! | `admittance.decide(&resulting)`     | `ModelSnapshot::decide` via the lock-free snapshot cell |
+//! | `admittance.observe(..)` during poll| observation batch over the bounded MPSC channel to the background trainer |
+//! | `checkpoint()` on the caller thread | checkpoint request executed by the trainer, off the packet path |
+//! | flow table / rejected set / decision cache | one instance of each **per shard** (flow-hash partitioned) |
+//!
+//! The single-threaded API is *not* deprecated: benches, the DES
+//! simulator and the figure pipeline keep using it, and its verdicts
+//! match a 1-shard gateway decision-for-decision (asserted in
+//! `tests/gateway_concurrent.rs`).
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -213,14 +235,14 @@ const PAR_POLL_MIN_FLOWS: usize = 64;
 /// are skipped at eviction time and swept wholesale once the queue
 /// grows past twice the live set.
 #[derive(Debug)]
-struct RejectedSet {
+pub(crate) struct RejectedSet {
     cap: usize,
     queue: VecDeque<FlowKey>,
     set: HashSet<FlowKey>,
 }
 
 impl RejectedSet {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         RejectedSet {
             cap: cap.max(1),
             queue: VecDeque::new(),
@@ -228,17 +250,17 @@ impl RejectedSet {
         }
     }
 
-    fn contains(&self, key: &FlowKey) -> bool {
+    pub(crate) fn contains(&self, key: &FlowKey) -> bool {
         self.set.contains(key)
     }
 
-    fn remove(&mut self, key: &FlowKey) {
+    pub(crate) fn remove(&mut self, key: &FlowKey) {
         self.set.remove(key);
     }
 
     /// Insert a rejection record; returns how many old records were
     /// evicted to stay within capacity (0 or 1).
-    fn insert(&mut self, key: FlowKey) -> u64 {
+    pub(crate) fn insert(&mut self, key: FlowKey) -> u64 {
         if !self.set.insert(key) {
             return 0;
         }

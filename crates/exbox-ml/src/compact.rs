@@ -30,6 +30,12 @@ use crate::Classifier;
 
 /// A trained SVM flattened for low-latency serving. Build one with
 /// [`CompactSvm::from_model`] (or [`SvmModel::compact`]).
+///
+/// A `CompactSvm` is plain owned data (no interior mutability, no
+/// shared state), so it is `Send + Sync` and its shared-reference
+/// [`CompactSvm::decision_value`] can be evaluated from many serving
+/// threads at once — the property the concurrent gateway's published
+/// model snapshots rely on. This is asserted at compile time below.
 #[derive(Debug, Clone)]
 pub struct CompactSvm {
     kernel: Kernel,
@@ -209,6 +215,13 @@ impl SvmModel {
         CompactSvm::from_model(self)
     }
 }
+
+// Compile-time guarantee for the concurrent serving layer: the compact
+// model can be shared by reference across shard threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompactSvm>();
+};
 
 #[cfg(test)]
 mod tests {

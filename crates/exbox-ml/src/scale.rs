@@ -9,11 +9,22 @@
 use crate::data::Dataset;
 
 /// Zero-mean / unit-variance standardisation.
+///
+/// Fitted scalers are plain owned data and therefore `Send + Sync`
+/// (asserted at compile time below): the concurrent gateway publishes
+/// one scaler per model snapshot and every shard transforms features
+/// through `&self` concurrently.
 #[derive(Debug, Clone)]
 pub struct StandardScaler {
     mean: Vec<f64>,
     std: Vec<f64>,
 }
+
+// Compile-time guarantee for the concurrent serving layer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StandardScaler>();
+};
 
 impl StandardScaler {
     /// Fit the scaler on a dataset.

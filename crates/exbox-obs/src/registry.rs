@@ -129,6 +129,80 @@ fn json_num(v: f64) -> String {
 }
 
 impl MetricsSnapshot {
+    /// Merge several snapshots into one aggregate view — how the
+    /// concurrent gateway exports its per-shard sub-registries (each
+    /// shard increments its own instruments contention-free; the sums
+    /// only materialise here, at export time).
+    ///
+    /// Semantics per metric kind:
+    /// * **counters** — summed by name (exact: each shard's verdict
+    ///   tally adds up to the fleet total);
+    /// * **histograms** — merged bucket-wise (counts element-wise,
+    ///   `count`/`sum` added, `min`/`max` combined), which is exact
+    ///   because every shard binds the same code and therefore the
+    ///   same bucket bounds;
+    /// * **gauges** — the maximum across parts (a gauge is a
+    ///   point-in-time level, not a flow; max is the deterministic
+    ///   choice that never under-reports).
+    ///
+    /// # Panics
+    /// Panics when two parts carry the same histogram name with
+    /// different bucket bounds — merging those would corrupt
+    /// quantiles, and it can only happen through a programming error.
+    pub fn merged<'a, I>(parts: I) -> MetricsSnapshot
+    where
+        I: IntoIterator<Item = &'a MetricsSnapshot>,
+    {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for part in parts {
+            for (name, v) in &part.counters {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, v) in &part.gauges {
+                gauges
+                    .entry(name.clone())
+                    .and_modify(|cur| *cur = cur.max(*v))
+                    .or_insert(*v);
+            }
+            for (name, h) in &part.histograms {
+                match histograms.entry(name.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(h.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let acc = e.get_mut();
+                        assert_eq!(
+                            acc.bounds, h.bounds,
+                            "histogram `{name}` merged across mismatched bucket bounds"
+                        );
+                        for (a, b) in acc.counts.iter_mut().zip(&h.counts) {
+                            *a += b;
+                        }
+                        acc.count += h.count;
+                        acc.sum += h.sum;
+                        if h.count > 0 {
+                            if acc.count == h.count {
+                                // Accumulator was empty until now.
+                                acc.min = h.min;
+                                acc.max = h.max;
+                            } else {
+                                acc.min = acc.min.min(h.min);
+                                acc.max = acc.max.max(h.max);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        MetricsSnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+
     /// Look up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
@@ -319,6 +393,50 @@ mod tests {
         for name in ["one", "two", "three"] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
+    }
+
+    #[test]
+    fn merged_sums_counters_and_histograms() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("mb.admits").add(3);
+        b.counter("mb.admits").add(4);
+        b.counter("mb.rejects").add(2);
+        a.gauge("acc").set(0.5);
+        b.gauge("acc").set(0.9);
+        a.histogram("lat", &[10.0, 100.0]).record(5.0);
+        a.histogram("lat", &[10.0, 100.0]).record(50.0);
+        b.histogram("lat", &[10.0, 100.0]).record(500.0);
+        let m = MetricsSnapshot::merged([&a.snapshot(), &b.snapshot()]);
+        assert_eq!(m.counter("mb.admits"), Some(7));
+        assert_eq!(m.counter("mb.rejects"), Some(2));
+        assert_eq!(m.gauge("acc"), Some(0.9));
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.sum, 555.0);
+        assert_eq!((h.min, h.max), (5.0, 500.0));
+    }
+
+    #[test]
+    fn merged_empty_histogram_does_not_poison_min_max() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.histogram("lat", &[10.0]); // registered, never recorded
+        b.histogram("lat", &[10.0]).record(4.0);
+        let m = MetricsSnapshot::merged([&a.snapshot(), &b.snapshot()]);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!((h.count, h.min, h.max), (1, 4.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket bounds")]
+    fn merged_rejects_mismatched_bounds() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.histogram("lat", &[10.0]);
+        b.histogram("lat", &[20.0]);
+        let _ = MetricsSnapshot::merged([&a.snapshot(), &b.snapshot()]);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //! when e.g. a parallel cross-validation fold trains an SVM whose
 //! Gram build is itself parallel).
 //!
+//! Alongside the scoped fork/join pool there is a **persistent
+//! work-queue mode**, [`WorkerPool`]: long-lived workers with
+//! per-worker FIFO queues, used by the concurrent gateway to give
+//! every shard a dedicated serving thread (jobs for one shard never
+//! migrate, so shard state needs no locking beyond the queue).
+//!
 //! ## Example
 //!
 //! ```
@@ -210,6 +216,116 @@ impl Default for ThreadPool {
     }
 }
 
+/// A boxed unit of work for a [`WorkerPool`] worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum WorkerMsg {
+    Run(Job),
+    Shutdown,
+}
+
+/// The persistent work-queue mode: long-lived worker threads, each
+/// with its own FIFO queue, addressed by index.
+///
+/// Where [`ThreadPool`] forks scoped workers per call and joins them
+/// before returning (right for fork/join maps like the Gram build),
+/// `WorkerPool` keeps its threads alive across submissions — the shape
+/// the concurrent gateway's shard serving loop needs: shard `i`'s
+/// packets always go to queue `i % workers`, so one shard's state is
+/// only ever touched from one worker thread and jobs for the same
+/// shard run in submission order. [`WorkerPool::barrier`] waits until
+/// every queue has drained past the jobs submitted so far.
+///
+/// Dropping the pool shuts the workers down and joins them. A job
+/// that panics poisons nothing here, but the panic is re-raised on
+/// the pool thread's join during drop (fail fast, never silently lose
+/// work).
+///
+/// Like the rest of this crate: `std` channels and threads only, no
+/// `unsafe`.
+#[derive(Debug)]
+pub struct WorkerPool {
+    queues: Vec<std::sync::mpsc::Sender<WorkerMsg>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` long-lived worker threads (at least one), each
+    /// owning one FIFO job queue.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg>();
+            let handle = std::thread::Builder::new()
+                .name(format!("exbox-worker-{i}"))
+                .spawn(move || {
+                    IN_POOL.with(|flag| flag.set(true));
+                    while let Ok(WorkerMsg::Run(job)) = rx.recv() {
+                        tasks_counter().inc();
+                        job();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            queues.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { queues, handles }
+    }
+
+    /// Number of worker threads (and queues).
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueue `job` on worker `worker % workers`. Jobs submitted to
+    /// the same worker run on the same thread, in submission order.
+    pub fn submit(&self, worker: usize, job: impl FnOnce() + Send + 'static) {
+        let idx = worker % self.queues.len();
+        self.queues[idx]
+            .send(WorkerMsg::Run(Box::new(job)))
+            .expect("worker thread gone");
+    }
+
+    /// Block until every worker has finished all jobs submitted before
+    /// this call (a drain barrier, not a shutdown).
+    pub fn barrier(&self) {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        for q in &self.queues {
+            let tx = tx.clone();
+            q.send(WorkerMsg::Run(Box::new(move || {
+                let _ = tx.send(());
+            })))
+            .expect("worker thread gone");
+        }
+        drop(tx);
+        for _ in 0..self.queues.len() {
+            rx.recv().expect("worker died before barrier");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for q in &self.queues {
+            // A worker that already died (panicked job) has dropped
+            // its receiver; the join below re-raises its panic.
+            let _ = q.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +417,84 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_threads_panics() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_in_submission_order_per_worker() {
+        let pool = WorkerPool::new(2);
+        let log: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for seq in 0..50usize {
+            for worker in 0..2usize {
+                let log = Arc::clone(&log);
+                pool.submit(worker, move || {
+                    log.lock().unwrap().push((worker, seq));
+                });
+            }
+        }
+        pool.barrier();
+        let log = log.lock().unwrap();
+        for worker in 0..2usize {
+            let seqs: Vec<usize> = log
+                .iter()
+                .filter(|(w, _)| *w == worker)
+                .map(|&(_, s)| s)
+                .collect();
+            assert_eq!(
+                seqs,
+                (0..50).collect::<Vec<_>>(),
+                "worker {worker} reordered"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_pins_a_worker_index_to_one_thread() {
+        let pool = WorkerPool::new(3);
+        let ids: Arc<Mutex<Vec<std::thread::ThreadId>>> = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..20 {
+            let ids = Arc::clone(&ids);
+            pool.submit(1, move || {
+                ids.lock().unwrap().push(std::thread::current().id());
+            });
+        }
+        pool.barrier();
+        let ids = ids.lock().unwrap();
+        assert_eq!(ids.len(), 20);
+        assert!(ids.iter().all(|&id| id == ids[0]), "jobs migrated threads");
+    }
+
+    #[test]
+    fn worker_pool_barrier_waits_for_all_queues() {
+        let pool = WorkerPool::new(4);
+        let done = Arc::new(AtomicU64::new(0));
+        for worker in 0..4usize {
+            let done = Arc::clone(&done);
+            pool.submit(worker, move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.barrier();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn worker_pool_nested_parallel_map_runs_inline() {
+        // A fork/join map issued from a worker must not spawn more
+        // threads (IN_POOL is set on workers).
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(0, move || {
+            let out = ThreadPool::new(8).parallel_map(4, |i| i * 2);
+            tx.send(out).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_workers_panics() {
+        let _ = WorkerPool::new(0);
     }
 
     #[test]

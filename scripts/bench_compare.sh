@@ -15,7 +15,11 @@
 #    below the baseline's `rbf_2000_cold` p50 (warm starts pay off);
 #  * admission_latency: `AdmissionSteady/cached` p50 must be at least
 #    2× below `AdmissionSteady/uncached` p50 *within the current run*
-#    (the decision cache pays off).
+#    (the decision cache pays off);
+#  * gateway_throughput: on a 4+-core runner, the 4-shard storm must
+#    complete at least 2.5× faster (p50) than the 1-shard storm
+#    *within the current run* (sharding pays off); skipped below 4
+#    cores, where the scenarios only measure sharding overhead.
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -98,6 +102,26 @@ if [ "$bench" = admission_latency ]; then
             echo "fast-path bar: cached p50 ${cached}ns * 2 <= uncached p50 ${uncached}ns — ok"
         else
             echo "fast-path bar FAILED: cached p50 ${cached}ns * 2 > uncached p50 ${uncached}ns"
+            fail=1
+        fi
+    fi
+fi
+
+# Gateway scaling acceptance bar: within the same run, 4 shards must
+# serve the identical storm at least 2.5× faster than 1 shard at the
+# median. Only meaningful with >= 4 cores to actually run the shards
+# on; single/dual-core runners skip it.
+if [ "$bench" = gateway_throughput ]; then
+    cores=$(nproc 2>/dev/null || echo 1)
+    one=$(jq -r '.scenarios["GatewayThroughput/1shard"].p50_ns // empty' "$current")
+    four=$(jq -r '.scenarios["GatewayThroughput/4shard"].p50_ns // empty' "$current")
+    if [ "$cores" -lt 4 ]; then
+        echo "gateway scaling bar skipped: only ${cores} core(s) (need >= 4)"
+    elif [ -n "$one" ] && [ -n "$four" ]; then
+        if [ "$(jq -n --argjson f "$four" --argjson o "$one" '$f * 2.5 <= $o')" = true ]; then
+            echo "gateway scaling bar: 4shard p50 ${four}ns * 2.5 <= 1shard p50 ${one}ns — ok"
+        else
+            echo "gateway scaling bar FAILED: 4shard p50 ${four}ns * 2.5 > 1shard p50 ${one}ns"
             fail=1
         fi
     fi

@@ -268,6 +268,172 @@ fn full_fault_sweep_never_panics() {
     assert!(total_injected > 0, "the sweep must actually inject faults");
 }
 
+/// Concurrent gateway: retrain-failure injection fires on the
+/// **background trainer**, not the serving path — the shards keep
+/// serving the last good snapshot (no new epoch is published, no
+/// degraded fallback engages) while every retrain attempt fails.
+#[test]
+fn concurrent_retrain_faults_hit_trainer_not_serving_path() {
+    let reg = MetricsRegistry::new();
+    let classifier = trained_classifier(&reg);
+    let plan = FaultPlan::with_registry(&[(FaultKind::RetrainFail, 1.0)], 7, &reg);
+    let cfg = exbox::core::gateway::GatewayConfig {
+        shards: 2,
+        ..Default::default()
+    };
+    let mut gw = exbox::core::gateway::ConcurrentGateway::with_fault_plan(
+        cfg,
+        estimator(),
+        classifier,
+        plan,
+    );
+
+    // Feed enough labelled batches to trigger several retrain attempts
+    // (batch_size 8); every one of them fails on the trainer thread.
+    for n in 0..64u32 {
+        let total = n % 8;
+        let mut mat = TrafficMatrix::empty();
+        for _ in 0..total {
+            mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+        }
+        let y = if total <= 2 {
+            exbox::ml::Label::Pos
+        } else {
+            exbox::ml::Label::Neg
+        };
+        assert!(gw.inject_observation(mat, y));
+    }
+    assert!(gw.flush_trainer());
+
+    let failures = reg
+        .snapshot()
+        .counter("recovery.retrain_failures")
+        .unwrap_or(0);
+    assert!(failures > 0, "retrain faults must fire on the trainer");
+    assert_eq!(
+        gw.publish_count(),
+        0,
+        "a failed retrain must not publish a new snapshot"
+    );
+    assert!(
+        !gw.is_degraded(),
+        "the pre-fault model must keep serving (not the fallback)"
+    );
+    // The learnt <= 2 streaming region still decides admissions.
+    let verdicts: Vec<Action> = (1..=4u32)
+        .map(|id| {
+            let key = FlowKey::synthetic(id, id, 1, Protocol::Tcp);
+            streaming_pkts(key, 12)
+                .iter()
+                .map(|p| gw.process_packet(p, SnrLevel::High))
+                .last()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        verdicts,
+        vec![Action::Forward, Action::Forward, Action::Drop, Action::Drop]
+    );
+    let merged = gw.merged_metrics();
+    assert_eq!(
+        merged.counter("recovery.fallback_decisions").unwrap_or(0),
+        0,
+        "no shard may have fallen back to the occupancy baseline"
+    );
+}
+
+/// Concurrent gateway: a failed restore degrades every shard to the
+/// occupancy fallback, and the gateway **heals through the trainer** —
+/// once re-learnt state is published, the shards flip back to
+/// region-based admission without any serving-path intervention.
+#[test]
+fn concurrent_recovery_heals_through_background_trainer() {
+    let reg = MetricsRegistry::new();
+    let cfg = exbox::core::gateway::GatewayConfig {
+        shards: 2,
+        middlebox: MiddleboxConfig {
+            fallback_max_flows: 2,
+            ..MiddleboxConfig::default()
+        },
+        ..Default::default()
+    };
+    let missing = temp_path("never-written.ckpt");
+    std::fs::remove_file(&missing).ok();
+    let (mut gw, err) = exbox::core::gateway::ConcurrentGateway::recover_from_path(
+        cfg,
+        acfg(),
+        estimator(),
+        &missing,
+        &reg,
+    );
+    assert!(err.is_some(), "missing checkpoint must surface an error");
+    assert!(gw.is_recovering());
+    assert!(gw.is_degraded());
+
+    // Degraded serving: the occupancy fallback caps at 2 flows on
+    // every shard (shared matrix, so the cap is global).
+    let verdicts: Vec<Action> = (10..=13u32)
+        .map(|id| {
+            let key = FlowKey::synthetic(id, id, 1, Protocol::Tcp);
+            streaming_pkts(key, 12)
+                .iter()
+                .map(|p| gw.process_packet(p, SnrLevel::High))
+                .last()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        verdicts,
+        vec![Action::Forward, Action::Forward, Action::Drop, Action::Drop],
+        "fallback must cap global occupancy at 2"
+    );
+    let merged = gw.merged_metrics();
+    assert!(merged.counter("recovery.fallback_decisions").unwrap_or(0) >= 4);
+
+    // Heal: feed labelled observations until the trainer publishes a
+    // model. Generous cap so ambient EXBOX_FAULTS retrain failures
+    // only delay the heal, never flake the test.
+    'heal: for _round in 0..200u32 {
+        for n in 0..8u32 {
+            let total = n % 8;
+            let mut mat = TrafficMatrix::empty();
+            for _ in 0..total {
+                mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+            }
+            let y = if total <= 2 {
+                exbox::ml::Label::Pos
+            } else {
+                exbox::ml::Label::Neg
+            };
+            assert!(gw.inject_observation(mat, y));
+        }
+        assert!(gw.flush_trainer());
+        if !gw.is_recovering() {
+            break 'heal;
+        }
+    }
+    assert!(!gw.is_recovering(), "trainer must heal the gateway");
+    assert!(!gw.is_degraded());
+    assert!(gw.publish_count() >= 1);
+    // Fresh arrivals are decided by the re-learnt region again: the
+    // fallback counter must not move any further.
+    let fallbacks_at_heal = gw
+        .merged_metrics()
+        .counter("recovery.fallback_decisions")
+        .unwrap_or(0);
+    let key = FlowKey::synthetic(99, 99, 1, Protocol::Tcp);
+    for p in streaming_pkts(key, 12) {
+        gw.process_packet(&p, SnrLevel::High);
+    }
+    assert_eq!(
+        gw.merged_metrics()
+            .counter("recovery.fallback_decisions")
+            .unwrap_or(0),
+        fallbacks_at_heal,
+        "post-heal decisions must come from the model, not the fallback"
+    );
+}
+
 /// Smoke: a default gateway (whatever `EXBOX_FAULTS` says) serves a
 /// mixed workload with consistent bookkeeping and no panics.
 #[test]
