@@ -243,6 +243,32 @@ fn main() {
                 black_box(compact.decision_value(black_box(q)));
             },
         ));
+
+        // Kernel-engine shoot-out on the same fixture: the flattened
+        // CompactSvm with the engine forced to the scalar loop vs the
+        // 4-wide lane loop (what `--features simd` selects by
+        // default). Forcing the engine makes the comparison valid on
+        // any build; `scripts/bench_compare.sh` gates the lane engine
+        // at >= 2x scalar p50 in release.
+        for (label, engine) in [
+            ("scalar", KernelEngine::Scalar),
+            ("simd", KernelEngine::Lanes),
+        ] {
+            let forced = CompactSvm::from_model_with_engine(&model, engine);
+            let mut i = 0usize;
+            records.push(measure(
+                format!("AdmissionSteady/{label}"),
+                forced.num_support_vectors(),
+                1_000,
+                100_000 / scale,
+                &bounds,
+                || {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(forced.decision_value(black_box(q)));
+                },
+            ));
+        }
     }
 
     emit_records("admission_latency", &records, args);

@@ -152,5 +152,64 @@ fn main() {
         ));
     }
 
+    // Batched ingest vs per-packet driving on one shard (sequential
+    // driver, same storm, identical verdicts): the batch path pins the
+    // model snapshot once per chunk, run-length-caches consecutive
+    // same-flow verdicts and flushes counters per batch. The storm is
+    // an overload burst — each flow arrives as 32 back-to-back packets
+    // and the region saturates early, so most of the stream is the
+    // post-verdict fast path the run-length cache targets. The
+    // record's `n` is total packets, so `n / (p50_ns / 1e9)` is the
+    // packets/sec headline `scripts/bench_compare.sh` reports.
+    {
+        const BURST: usize = 32;
+        let cfg = GatewayConfig {
+            shards: 1,
+            ..GatewayConfig::default()
+        };
+        let burst_flows = flows / (BURST / PKTS_PER_FLOW) as u32;
+        let mut stream: Vec<(Packet, SnrLevel)> = Vec::with_capacity(burst_flows as usize * BURST);
+        for id in 1..=burst_flows {
+            let key = FlowKey::synthetic(id, id, 1, Protocol::Tcp);
+            for i in 0..BURST {
+                let p = Packet::new(
+                    Instant::from_millis(2 * i as u64),
+                    1400,
+                    key,
+                    Direction::Downlink,
+                    i as u64,
+                );
+                stream.push((p, SnrLevel::High));
+            }
+        }
+        let batch = cfg.batch.max(1);
+        for (label, batched) in [("per-packet", false), ("batched", true)] {
+            records.push(measure(
+                format!("GatewayBatch/{label}"),
+                stream.len(),
+                2,
+                reps,
+                &bounds,
+                || {
+                    let mut gw = ConcurrentGateway::serving_only(
+                        cfg.clone(),
+                        est.clone(),
+                        ModelSnapshot::from_classifier(1, &classifier),
+                    );
+                    if batched {
+                        for chunk in stream.chunks(batch) {
+                            black_box(gw.process_packets(chunk));
+                        }
+                    } else {
+                        for (p, snr) in &stream {
+                            black_box(gw.process_packet(p, *snr));
+                        }
+                    }
+                    black_box(gw.matrix());
+                },
+            ));
+        }
+    }
+
     emit_records("gateway_throughput", &records, args);
 }

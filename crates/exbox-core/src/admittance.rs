@@ -374,6 +374,19 @@ pub(crate) enum ModelState {
     Pegasos(Vec<f64>, f64),
 }
 
+impl ModelState {
+    /// Feature dimensionality the restored model expects. The serving
+    /// path evaluates models from stack buffers sized by
+    /// [`TrafficMatrix::DIMS`], so restore rejects any other value —
+    /// see the cross-check in [`crate::persist::load_checkpoint`].
+    pub(crate) fn dims(&self) -> usize {
+        match self {
+            ModelState::Svm(m) => exbox_ml::Classifier::dims(m),
+            ModelState::Logistic(w, _) | ModelState::Pegasos(w, _) => w.len(),
+        }
+    }
+}
+
 impl AdmittanceClassifier {
     /// New classifier in the bootstrap phase, reporting metrics to the
     /// process-wide [`exbox_obs::global`] registry.
@@ -814,6 +827,51 @@ impl AdmittanceClassifier {
     /// evaluation, memoised in the matrix-keyed cache. The margin is
     /// `None` until a model exists (bootstrap before first training) —
     /// such decisions are never cached.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use exbox_core::prelude::*;
+    /// use exbox_ml::Label;
+    ///
+    /// let mut ac = AdmittanceClassifier::new(AdmittanceConfig::default());
+    /// // Bootstrap: every matrix is admissible by definition, and
+    /// // there is no model yet, hence no margin.
+    /// let (label, margin) = ac.decide(&TrafficMatrix::empty());
+    /// assert_eq!(label, Label::Pos);
+    /// assert!(margin.is_none());
+    /// ```
+    ///
+    /// Once online, repeated decisions on a recurring matrix are
+    /// served from the matrix-keyed cache with an identical margin:
+    ///
+    /// ```
+    /// use exbox_core::prelude::*;
+    /// use exbox_ml::Label;
+    /// use exbox_net::AppClass;
+    ///
+    /// let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+    ///     batch_size: 8,
+    ///     ..AdmittanceConfig::default()
+    /// });
+    /// for n in 0..80u32 {
+    ///     let total = n % 8;
+    ///     let mut m = TrafficMatrix::empty();
+    ///     for _ in 0..total {
+    ///         m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+    ///     }
+    ///     let y = if total <= 2 { Label::Pos } else { Label::Neg };
+    ///     ac.observe(m, y);
+    /// }
+    /// assert_eq!(ac.phase(), Phase::Online);
+    ///
+    /// let mut m = TrafficMatrix::empty();
+    /// m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+    /// let first = ac.decide(&m);
+    /// let again = ac.decide(&m); // cache hit — bit-identical
+    /// assert_eq!(first.0, Label::Pos);
+    /// assert_eq!(first.1.unwrap().to_bits(), again.1.unwrap().to_bits());
+    /// ```
     pub fn decide(&mut self, resulting: &TrafficMatrix) -> (Label, Option<f64>) {
         if self.model.is_none() {
             return self.decide_uncached(resulting);

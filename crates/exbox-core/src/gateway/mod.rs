@@ -72,6 +72,11 @@ use trainer::{TrainerHandle, TrainerMsg};
 /// Environment knob selecting the shard count (positive integer).
 pub const SHARDS_ENV: &str = "EXBOX_SHARDS";
 
+/// Environment knob selecting the ingress batch size (positive
+/// integer): how many packets each shard's ingress ring holds before
+/// a flush, and the chunk size of the batched drivers.
+pub const BATCH_ENV: &str = "EXBOX_BATCH";
+
 /// Gateway assembly knobs.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
@@ -87,6 +92,10 @@ pub struct GatewayConfig {
     /// Capacity of each shard's epoch-keyed decision cache; 0 disables
     /// caching.
     pub decision_cache_size: usize,
+    /// Ingress batch size (≥ 1): capacity of each shard's ingress ring
+    /// and the chunk size used by the batched packet path
+    /// ([`GatewayShard::process_packets`]).
+    pub batch: usize,
 }
 
 impl Default for GatewayConfig {
@@ -96,19 +105,28 @@ impl Default for GatewayConfig {
             middlebox: MiddleboxConfig::default(),
             obs_queue: 256,
             decision_cache_size: 4096,
+            batch: 64,
         }
     }
 }
 
 impl GatewayConfig {
-    /// Defaults, with the shard count overridden by `EXBOX_SHARDS`
-    /// when set to a positive integer (anything else is ignored).
+    /// Defaults, with the shard count overridden by `EXBOX_SHARDS` and
+    /// the ingress batch size by `EXBOX_BATCH`, each when set to a
+    /// positive integer (anything else is ignored).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Ok(raw) = std::env::var(SHARDS_ENV) {
             if let Ok(n) = raw.trim().parse::<usize>() {
                 if n >= 1 {
                     cfg.shards = n;
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var(BATCH_ENV) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    cfg.batch = n;
                 }
             }
         }
@@ -271,6 +289,7 @@ impl ConcurrentGateway {
                 Arc::clone(&recovering),
                 plan,
                 cfg.decision_cache_size,
+                cfg.batch,
                 &reg,
             ));
             shard_registries.push(reg);
@@ -323,6 +342,33 @@ impl ConcurrentGateway {
     pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
         let idx = self.shard_for(&pkt.flow);
         self.shard_mut(idx).process_packet(pkt, snr)
+    }
+
+    /// Sequential batched driver: route a packet stream to its owner
+    /// shards in maximal consecutive same-shard runs, preserving
+    /// global arrival order. Verdict-identical to calling
+    /// [`process_packet`](Self::process_packet) per element — runs
+    /// never reorder packets, so the shared matrix and every shard's
+    /// flow state evolve exactly as under per-packet driving, while
+    /// each run amortises the snapshot pin and counter updates via
+    /// [`GatewayShard::process_packets`].
+    pub fn process_packets(&mut self, pkts: &[(Packet, SnrLevel)]) -> Vec<Action> {
+        assert!(
+            !self.shards.is_empty(),
+            "gateway shards were taken; drive them directly"
+        );
+        let mut out = Vec::with_capacity(pkts.len());
+        let mut i = 0;
+        while i < pkts.len() {
+            let idx = self.shard_for(&pkts[i].0.flow);
+            let mut j = i + 1;
+            while j < pkts.len() && self.shard_for(&pkts[j].0.flow) == idx {
+                j += 1;
+            }
+            out.extend(self.shards[idx].process_packets(&pkts[i..j]));
+            i = j;
+        }
+        out
     }
 
     /// Sequential driver: poll every shard (shard order), concatenating
@@ -389,6 +435,15 @@ impl ConcurrentGateway {
     /// watch publishes from other threads).
     pub fn snapshot_reader(&self) -> SnapshotReader<ModelSnapshot> {
         self.cell.reader()
+    }
+
+    /// The snapshot cell itself, for tests that publish replacement
+    /// models onto a [`serving_only`](Self::serving_only) gateway —
+    /// e.g. the batched-ingest property suite, which forces snapshot
+    /// publication between (and during) batches and asserts verdicts
+    /// stay identical to per-packet driving.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell<ModelSnapshot>> {
+        Arc::clone(&self.cell)
     }
 
     /// True while admissions are served by the occupancy fallback —

@@ -14,7 +14,7 @@ use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 
 use exbox_ml::Label;
-use exbox_net::{EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
+use exbox_net::{AppClass, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
 use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
 
 use crate::admittance::Phase;
@@ -198,6 +198,11 @@ pub struct GatewayShard {
     decisions: EventRing<DecisionEvent>,
     faults: FaultPlan,
     last_poll: Instant,
+    /// Deferred packets awaiting a batched flush (see
+    /// [`GatewayShard::enqueue`]).
+    ingress: Vec<(Packet, SnrLevel)>,
+    /// Batch size for ingress flushes (the `EXBOX_BATCH` knob).
+    batch: usize,
 }
 
 impl GatewayShard {
@@ -212,11 +217,13 @@ impl GatewayShard {
         recovering: Arc<AtomicBool>,
         faults: FaultPlan,
         decision_cache_size: usize,
+        batch: usize,
         registry: &MetricsRegistry,
     ) -> Self {
         let window = cfg.classify_window;
         let log_capacity = cfg.decision_log_capacity.max(1);
         let rejected = RejectedSet::new(cfg.rejected_capacity);
+        let batch = batch.max(1);
         GatewayShard {
             id,
             cfg,
@@ -234,6 +241,8 @@ impl GatewayShard {
             decisions: EventRing::new(log_capacity),
             faults,
             last_poll: Instant::ZERO,
+            ingress: Vec::with_capacity(batch),
+            batch,
         }
     }
 
@@ -286,15 +295,55 @@ impl GatewayShard {
             None => return Action::Forward,
             Some(class) => class,
         };
-        let kind = FlowKind::new(class, snr);
-        let matrix = self.shared.snapshot();
-        let resulting = matrix.with_arrival(kind);
         let recovering = self.recovering.load(Ordering::SeqCst);
-        let guard = self.reader.pin();
-        let degraded = !guard.model_available() && (recovering || guard.phase() == Phase::Online);
-        let cache = &mut self.cache;
-        let metrics = &self.metrics;
         let fallback_cap = self.cfg.fallback_max_flows.max(1);
+        let guard = self.reader.pin();
+        Self::decide_apply(
+            &guard,
+            &mut self.cache,
+            &self.metrics,
+            &mut self.decisions,
+            &self.shared,
+            &mut self.flows,
+            &mut self.rejected,
+            &mut self.early,
+            fallback_cap,
+            recovering,
+            pkt,
+            snr,
+            class,
+        )
+    }
+
+    /// Classify-and-apply shared by the per-packet and batched paths.
+    ///
+    /// Takes disjoint field borrows instead of `&mut self` because the
+    /// batch path holds a snapshot guard (which borrows the reader
+    /// slot) across iterations. The decision sequence is
+    /// identical to the historical inline body of
+    /// [`GatewayShard::process_packet`], so both paths produce the
+    /// same verdicts, metrics, and decision-log events.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_apply(
+        snapshot: &ModelSnapshot,
+        cache: &mut ShardDecisionCache,
+        metrics: &ShardMetrics,
+        decisions: &mut EventRing<DecisionEvent>,
+        shared: &SharedMatrix,
+        flows: &mut HashMap<FlowKey, ShardFlow>,
+        rejected: &mut RejectedSet,
+        early: &mut EarlyClassifier,
+        fallback_cap: u32,
+        recovering: bool,
+        pkt: &Packet,
+        snr: SnrLevel,
+        class: AppClass,
+    ) -> Action {
+        let kind = FlowKind::new(class, snr);
+        let matrix = shared.snapshot();
+        let resulting = matrix.with_arrival(kind);
+        let degraded =
+            !snapshot.model_available() && (recovering || snapshot.phase() == Phase::Online);
         let ((label, margin), decide_ns) = if degraded {
             // Inline MaxClient semantics (`sync_load` + `decide`):
             // admit while the current occupancy is below the cap.
@@ -307,13 +356,13 @@ impl GatewayShard {
                 (label, None)
             })
         } else {
-            let epoch = guard.epoch();
+            let epoch = snapshot.epoch();
             exbox_obs::time_ns(|| {
                 if let Some((label, margin)) = cache.get(epoch, &resulting) {
                     metrics.cache_hits.inc();
                     return (label, Some(margin));
                 }
-                let (label, margin) = guard.decide(&resulting);
+                let (label, margin) = snapshot.decide(&resulting);
                 if let Some(m) = margin {
                     metrics.cache_misses.inc();
                     cache.insert(epoch, resulting, label, m);
@@ -321,14 +370,12 @@ impl GatewayShard {
                 (label, margin)
             })
         };
-        let phase = guard.phase();
-        drop(guard);
-        self.metrics.decision_latency_ns.record(decide_ns);
+        metrics.decision_latency_ns.record(decide_ns);
         let reason = if degraded {
-            self.metrics.fallback_decisions.inc();
+            metrics.fallback_decisions.inc();
             DecisionReason::DegradedFallback
         } else {
-            match (phase, label) {
+            match (snapshot.phase(), label) {
                 (Phase::Bootstrap, _) => DecisionReason::Bootstrap,
                 (Phase::Online, Label::Pos) => DecisionReason::InsideRegion,
                 (Phase::Online, Label::Neg) => DecisionReason::OutsideRegion,
@@ -345,28 +392,203 @@ impl GatewayShard {
         };
         match label {
             Label::Pos => {
-                self.shared.add(kind);
-                self.flows.insert(
+                shared.add(kind);
+                flows.insert(
                     pkt.flow,
                     ShardFlow {
                         kind,
                         meter: QosMeter::new(),
                     },
                 );
-                self.metrics.admits.inc();
-                self.decisions.push(event);
+                metrics.admits.inc();
+                decisions.push(event);
                 Action::Forward
             }
             Label::Neg => {
-                let evicted = self.rejected.insert(pkt.flow);
-                self.metrics.rejected_evictions.add(evicted);
-                self.early.forget(&pkt.flow);
-                self.metrics.rejects.inc();
+                let evicted = rejected.insert(pkt.flow);
+                metrics.rejected_evictions.add(evicted);
+                early.forget(&pkt.flow);
+                metrics.rejects.inc();
                 event.verdict = DecisionKind::Reject;
-                self.decisions.push(event);
+                decisions.push(event);
                 Action::Drop
             }
         }
+    }
+
+    /// Process a slice of packets in one pass, pinning the model
+    /// snapshot once instead of per packet.
+    ///
+    /// Verdict-equivalent to calling [`GatewayShard::process_packet`]
+    /// for each element in order:
+    ///
+    /// - The snapshot guard is re-pinned whenever the cell's
+    ///   [`SnapshotCell::publish_count`](super::SnapshotCell::publish_count)
+    ///   moves, so a publication landing mid-batch takes effect at
+    ///   exactly the packet where per-packet pinning would have
+    ///   observed it.
+    /// - A run-length disposition cache skips the rejected-set and
+    ///   flow-table probes for consecutive packets of the same flow.
+    ///   Admission and rejection are terminal within a batch
+    ///   (revocation happens only in `poll`, departure only in
+    ///   `flow_departed`), so the cached verdict cannot go stale.
+    ///   Cached drops skip `table.observe` — matching the per-packet
+    ///   path, where rejected flows drop before the table sees them.
+    /// - `shard.packets` and `shard.drops_rejected` are flushed once
+    ///   per batch instead of per packet.
+    pub fn process_packets(&mut self, pkts: &[(Packet, SnrLevel)]) -> Vec<Action> {
+        let mut out = Vec::with_capacity(pkts.len());
+        let cell = Arc::clone(self.reader.cell());
+        let fallback_cap = self.cfg.fallback_max_flows.max(1);
+        let mut cached_drops = 0u64;
+        let mut last: Option<(FlowKey, Action)> = None;
+        // Set when a publication landed between a packet's
+        // classification and its decision: the pre-path side effects
+        // for `pkts[idx]` already ran, only the decision is owed (under
+        // a fresh pin, exactly as per-packet pinning would take it).
+        let mut pending: Option<AppClass> = None;
+        let mut idx = 0;
+        while idx < pkts.len() {
+            // Pin-verify: tag the guard with a publish count known to
+            // match it, so staleness is detectable without re-pinning.
+            let (at, guard) = loop {
+                let at = cell.publish_count();
+                let guard = self.reader.pin();
+                if cell.publish_count() == at {
+                    break (at, guard);
+                }
+                drop(guard);
+            };
+            if let Some(class) = pending.take() {
+                let (pkt, snr) = &pkts[idx];
+                idx += 1;
+                let recovering = self.recovering.load(Ordering::SeqCst);
+                let act = Self::decide_apply(
+                    &guard,
+                    &mut self.cache,
+                    &self.metrics,
+                    &mut self.decisions,
+                    &self.shared,
+                    &mut self.flows,
+                    &mut self.rejected,
+                    &mut self.early,
+                    fallback_cap,
+                    recovering,
+                    pkt,
+                    *snr,
+                    class,
+                );
+                last = Some((pkt.flow, act));
+                out.push(act);
+            }
+            // Serve packets under this pin until a publication lands.
+            // Only decisions consult the snapshot, so staleness is
+            // checked at decision points — the pre-path stays free of
+            // atomic loads.
+            while idx < pkts.len() {
+                let (pkt, snr) = &pkts[idx];
+                match last {
+                    Some((key, Action::Drop)) if key == pkt.flow => {
+                        idx += 1;
+                        cached_drops += 1;
+                        out.push(Action::Drop);
+                        continue;
+                    }
+                    Some((key, Action::Forward)) if key == pkt.flow => {
+                        idx += 1;
+                        self.table.observe(pkt);
+                        out.push(Action::Forward);
+                        continue;
+                    }
+                    _ => {}
+                }
+                if self.rejected.contains(&pkt.flow) {
+                    idx += 1;
+                    self.metrics.drops_rejected.inc();
+                    last = Some((pkt.flow, Action::Drop));
+                    out.push(Action::Drop);
+                    continue;
+                }
+                self.table.observe(pkt);
+                if self.flows.contains_key(&pkt.flow) {
+                    idx += 1;
+                    last = Some((pkt.flow, Action::Forward));
+                    out.push(Action::Forward);
+                    continue;
+                }
+                let class = match self.early.observe(pkt) {
+                    None => {
+                        // Still classifying: not terminal, later
+                        // packets of this flow must re-probe.
+                        idx += 1;
+                        last = None;
+                        out.push(Action::Forward);
+                        continue;
+                    }
+                    Some(class) => class,
+                };
+                if cell.publish_count() != at {
+                    // A publication landed since the pin: re-pin and
+                    // decide this packet (whose pre-path already ran)
+                    // under the fresh snapshot, as per-packet pinning
+                    // would.
+                    pending = Some(class);
+                    break;
+                }
+                idx += 1;
+                let recovering = self.recovering.load(Ordering::SeqCst);
+                let act = Self::decide_apply(
+                    &guard,
+                    &mut self.cache,
+                    &self.metrics,
+                    &mut self.decisions,
+                    &self.shared,
+                    &mut self.flows,
+                    &mut self.rejected,
+                    &mut self.early,
+                    fallback_cap,
+                    recovering,
+                    pkt,
+                    *snr,
+                    class,
+                );
+                last = Some((pkt.flow, act));
+                out.push(act);
+            }
+        }
+        self.metrics.packets.add(pkts.len() as u64);
+        self.metrics.drops_rejected.add(cached_drops);
+        out
+    }
+
+    /// Queue a packet on the shard's ingress ring for a later
+    /// [`GatewayShard::flush_ingress`]. Returns `false` when the ring
+    /// is full (the caller should flush and retry).
+    pub fn enqueue(&mut self, pkt: Packet, snr: SnrLevel) -> bool {
+        if self.ingress.len() >= self.batch {
+            return false;
+        }
+        self.ingress.push((pkt, snr));
+        true
+    }
+
+    /// Number of packets waiting on the ingress ring.
+    pub fn pending_ingress(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Drain the ingress ring through [`GatewayShard::process_packets`]
+    /// and return the verdicts in arrival order.
+    pub fn flush_ingress(&mut self) -> Vec<Action> {
+        if self.ingress.is_empty() {
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut self.ingress);
+        let out = self.process_packets(&pending);
+        // Keep the ring's allocation across flushes.
+        self.ingress = pending;
+        self.ingress.clear();
+        out
     }
 
     /// Record a delivery report for a flow admitted by this shard.

@@ -23,7 +23,7 @@
 //!   model until its next pin.
 //!
 //! This is the only `unsafe` in the workspace; the invariant it rests
-//! on is spelled out at [`SnapshotCell::reclaim`].
+//! on is spelled out at the private `SnapshotCell::reclaim` method.
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -35,6 +35,45 @@ use crate::matrix::TrafficMatrix;
 
 /// One immutable generation of learnt state, as published by the
 /// background trainer and served concurrently by every shard.
+///
+/// # Examples
+///
+/// Export a trained classifier's serving state once and decide from
+/// the immutable snapshot — shared references only, no lock, no
+/// `&mut` (this is what every shard does per admission):
+///
+/// ```
+/// use exbox_core::gateway::ModelSnapshot;
+/// use exbox_core::prelude::*;
+/// use exbox_ml::Label;
+/// use exbox_net::AppClass;
+///
+/// // Learn a tiny region online: at most two streaming flows fit.
+/// let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+///     batch_size: 8,
+///     ..AdmittanceConfig::default()
+/// });
+/// for n in 0..80u32 {
+///     let total = n % 8;
+///     let mut m = TrafficMatrix::empty();
+///     for _ in 0..total {
+///         m.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+///     }
+///     let y = if total <= 2 { Label::Pos } else { Label::Neg };
+///     ac.observe(m, y);
+/// }
+/// assert_eq!(ac.phase(), Phase::Online);
+///
+/// let snap = ModelSnapshot::from_classifier(1, &ac);
+/// assert!(snap.model_available() && snap.stamps_consistent());
+/// let mut crowded = TrafficMatrix::empty();
+/// for _ in 0..6 {
+///     crowded.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+/// }
+/// let (label, margin) = snap.decide(&crowded);
+/// assert_eq!(label, Label::Neg);
+/// assert!(margin.unwrap() < 0.0);
+/// ```
 ///
 /// The scaler and model are stamped with the epoch they were exported
 /// under (`scaler_epoch` / `model_epoch`); because a snapshot is built

@@ -535,8 +535,129 @@ impl Middlebox {
 
     /// Process one packet crossing the gateway. `snr` is the client's
     /// current SNR level as reported by the AP/eNodeB (§3.3).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use exbox_core::admittance::{AdmittanceClassifier, AdmittanceConfig};
+    /// use exbox_core::matrix::SnrLevel;
+    /// use exbox_core::middlebox::{Action, Middlebox, MiddleboxConfig};
+    /// use exbox_core::qoe::{paper_directions, train_estimator, QoeEstimator, QosScale};
+    /// use exbox_net::packet::{Direction, FlowKey, Packet, Protocol};
+    /// use exbox_net::time::Instant;
+    ///
+    /// let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+    ///     (0..20).map(|i| { let q = i as f64 / 19.0; (q, a + b * (-g * q).exp()) }).collect()
+    /// };
+    /// let estimator = train_estimator(
+    ///     &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+    ///     QoeEstimator::paper_thresholds(),
+    ///     paper_directions(),
+    ///     QosScale::new(1e3, 1e8),
+    /// );
+    /// let mut mb = Middlebox::new(
+    ///     MiddleboxConfig::default(),
+    ///     estimator,
+    ///     AdmittanceClassifier::new(AdmittanceConfig::default()),
+    /// );
+    /// let flow = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+    /// let pkt = Packet::new(Instant::from_nanos(0), 1200, flow, Direction::Downlink, 0);
+    /// // Pre-admission packets are forwarded while the early classifier
+    /// // gathers evidence (§4.2).
+    /// assert_eq!(mb.process_packet(&pkt, SnrLevel::High), Action::Forward);
+    /// ```
     pub fn process_packet(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
         self.metrics.packets.inc();
+        self.process_packet_inner(pkt, snr)
+    }
+
+    /// Process a batch of packets, amortising the per-packet overheads:
+    /// the packet counter is flushed once per batch, and consecutive
+    /// packets of one flow in a *terminal* state (already admitted or
+    /// already rejected) skip the hash lookups entirely via a
+    /// run-length disposition cache. Terminal states cannot flip
+    /// mid-batch — revocation happens only in [`Middlebox::poll`] and
+    /// departure only in [`Middlebox::flow_departed`], neither of which
+    /// can run inside a batch — so the returned verdicts are identical
+    /// to calling [`Middlebox::process_packet`] per packet, for every
+    /// split of the stream (property-tested in `tests/batch_props.rs`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use exbox_core::admittance::{AdmittanceClassifier, AdmittanceConfig};
+    /// use exbox_core::matrix::SnrLevel;
+    /// use exbox_core::middlebox::{Action, Middlebox, MiddleboxConfig};
+    /// use exbox_core::qoe::{paper_directions, train_estimator, QoeEstimator, QosScale};
+    /// use exbox_net::packet::{Direction, FlowKey, Packet, Protocol};
+    /// use exbox_net::time::Instant;
+    ///
+    /// let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+    ///     (0..20).map(|i| { let q = i as f64 / 19.0; (q, a + b * (-g * q).exp()) }).collect()
+    /// };
+    /// let estimator = train_estimator(
+    ///     &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+    ///     QoeEstimator::paper_thresholds(),
+    ///     paper_directions(),
+    ///     QosScale::new(1e3, 1e8),
+    /// );
+    /// let mut mb = Middlebox::new(
+    ///     MiddleboxConfig::default(),
+    ///     estimator,
+    ///     AdmittanceClassifier::new(AdmittanceConfig::default()),
+    /// );
+    /// let flow = FlowKey::synthetic(1, 1, 1, Protocol::Tcp);
+    /// let batch: Vec<(Packet, SnrLevel)> = (0..4)
+    ///     .map(|i| {
+    ///         let p = Packet::new(Instant::from_nanos(i), 1200, flow, Direction::Downlink, i);
+    ///         (p, SnrLevel::High)
+    ///     })
+    ///     .collect();
+    /// let verdicts = mb.process_batch(&batch);
+    /// assert_eq!(verdicts.len(), 4);
+    /// assert!(verdicts.iter().all(|v| *v == Action::Forward));
+    /// ```
+    pub fn process_batch(&mut self, pkts: &[(Packet, SnrLevel)]) -> Vec<Action> {
+        let mut out = Vec::with_capacity(pkts.len());
+        // Last flow seen and its terminal disposition, if any. `None`
+        // also covers still-unclassified flows, which must keep taking
+        // the full path (each packet feeds the early classifier).
+        let mut last: Option<(FlowKey, Action)> = None;
+        let mut cached_drops = 0u64;
+        for (pkt, snr) in pkts {
+            match last {
+                Some((key, Action::Drop)) if key == pkt.flow => {
+                    // Same op order as the slow path: rejected flows
+                    // drop before the flow table observes them.
+                    cached_drops += 1;
+                    out.push(Action::Drop);
+                    continue;
+                }
+                Some((key, Action::Forward)) if key == pkt.flow => {
+                    self.table.observe(pkt);
+                    out.push(Action::Forward);
+                    continue;
+                }
+                _ => {}
+            }
+            let act = self.process_packet_inner(pkt, *snr);
+            last = if self.rejected.contains(&pkt.flow) {
+                Some((pkt.flow, Action::Drop))
+            } else if self.flows.contains_key(&pkt.flow) {
+                Some((pkt.flow, Action::Forward))
+            } else {
+                None
+            };
+            out.push(act);
+        }
+        self.metrics.packets.add(pkts.len() as u64);
+        self.metrics.drops_rejected.add(cached_drops);
+        out
+    }
+
+    /// [`Middlebox::process_packet`] minus the packet counter, which
+    /// the batch path flushes once per batch.
+    fn process_packet_inner(&mut self, pkt: &Packet, snr: SnrLevel) -> Action {
         if self.rejected.contains(&pkt.flow) {
             self.metrics.drops_rejected.inc();
             return Action::Drop;

@@ -498,6 +498,33 @@ pub fn load_checkpoint<R: Read>(
     if model.is_some() != scaler.is_some() {
         return Err(bad("model and scaler must be checkpointed together"));
     }
+    // The decide path evaluates the restored model from stack buffers
+    // sized by `TrafficMatrix::DIMS` (`features_into` /
+    // `transform_into`), and `CompactSvm::decision_value` asserts its
+    // input length. Any dimensionality drift must therefore surface
+    // here as a load error, never as a packet-path panic. The per-line
+    // parsers above already pin each row to the constant; this is the
+    // single authoritative check should the format ever grow
+    // variable-width rows.
+    if let Some(m) = &model {
+        if m.dims() != TrafficMatrix::DIMS {
+            return Err(bad(format!(
+                "model dimensionality {} does not match TrafficMatrix::DIMS ({})",
+                m.dims(),
+                TrafficMatrix::DIMS
+            )));
+        }
+    }
+    if let Some((mean, std)) = &scaler {
+        if mean.len() != TrafficMatrix::DIMS || std.len() != TrafficMatrix::DIMS {
+            return Err(bad(format!(
+                "scaler dimensionality {}/{} does not match TrafficMatrix::DIMS ({})",
+                mean.len(),
+                std.len(),
+                TrafficMatrix::DIMS
+            )));
+        }
+    }
     let warm = match (warm_bias, warm_alphas.is_empty()) {
         (Some(bias), _) => {
             // The dual state is aligned to store indices as of the
@@ -846,6 +873,62 @@ mod tests {
             &reg
         )
         .is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_dimensionality_drift_at_load() {
+        // The packet path scores restored models from stack buffers
+        // sized by `TrafficMatrix::DIMS`; a checkpoint whose model or
+        // scaler disagrees must die here with `InvalidData`, never
+        // reach a decide-time assert (and never silently zip-truncate
+        // features). One case per model family plus the scaler.
+        let reg = MetricsRegistry::new();
+        let with_checksum = |body: &str| {
+            let sum = fnv1a64(body.as_bytes());
+            format!("{body}checksum {sum:016x}\n")
+        };
+        let cases: [(&str, &str); 4] = [
+            (
+                // Well-formed embedded SVM document declaring 5 dims.
+                "exbox-ckpt v1\nphase online\ncounters 1 0 0\n\
+                 scaler-mean 0 0 0 0 0 0\nscaler-std 1 1 1 1 1 1\n\
+                 model-svm-begin\nexbox-svm v1\nkernel linear\ndims 5\n\
+                 bias 0\nsv 1 1 0 0 0 0\nmodel-svm-end\n\
+                 qoe-begin\nqoe-end\n",
+                "dimensionality",
+            ),
+            (
+                "exbox-ckpt v1\nphase online\ncounters 1 0 0\n\
+                 scaler-mean 0 0 0 0 0 0\nscaler-std 1 1 1 1 1 1\n\
+                 model-logistic 0.5 1 2 3 4 5\n\
+                 qoe-begin\nqoe-end\n",
+                "logistic weights has 5 values, expected 6",
+            ),
+            (
+                "exbox-ckpt v1\nphase online\ncounters 1 0 0\n\
+                 scaler-mean 0 0 0 0 0 0\nscaler-std 1 1 1 1 1 1\n\
+                 model-pegasos 0.5 1 2 3 4 5 6 7\n\
+                 qoe-begin\nqoe-end\n",
+                "pegasos weights has 7 values, expected 6",
+            ),
+            (
+                "exbox-ckpt v1\nphase online\ncounters 1 0 0\n\
+                 scaler-mean 0 0 0 0 0\nscaler-std 1 1 1 1 1 1\n\
+                 model-logistic 0.5 1 2 3 4 5 6\n\
+                 qoe-begin\nqoe-end\n",
+                "scaler mean has 5 values, expected 6",
+            ),
+        ];
+        for (body, needle) in cases {
+            let file = with_checksum(body);
+            let err = load_checkpoint(file.as_bytes(), AdmittanceConfig::default(), &reg)
+                .expect_err(body);
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{body}");
+            assert!(
+                err.to_string().contains(needle),
+                "error {err:?} should name the dims mismatch ({needle})"
+            );
+        }
     }
 
     #[test]

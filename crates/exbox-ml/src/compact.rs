@@ -23,7 +23,16 @@
 //! `tests/compact_props.rs`). The collapsed linear form re-associates
 //! the sum `Σ cᵢ (xᵢ·x)` into `(Σ cᵢ xᵢ)·x` and therefore agrees to
 //! floating-point round-off rather than bit-for-bit.
+//!
+//! Conversion also picks a [`KernelEngine`] — scalar reference loops
+//! or the lane-blocked SIMD form in [`crate::engine`] — and, for the
+//! `Lanes` engine, precomputes a feature-major copy of the
+//! support-vector buffer. Both engines are bit-identical (that is the
+//! [`crate::engine`] determinism contract), so the choice is purely a
+//! latency knob: `simd` builds default to `Lanes`, and
+//! `EXBOX_KERNEL_ENGINE=scalar|lanes` overrides at runtime.
 
+use crate::engine::{self, KernelEngine};
 use crate::kernel::{dot, Kernel};
 use crate::svm::SvmModel;
 use crate::Classifier;
@@ -36,6 +45,45 @@ use crate::Classifier;
 /// [`CompactSvm::decision_value`] can be evaluated from many serving
 /// threads at once — the property the concurrent gateway's published
 /// model snapshots rely on. This is asserted at compile time below.
+///
+/// # Memory layout
+///
+/// * `sv` — support vectors **row-major**: row `i` is
+///   `sv[i*dims .. (i+1)*dims]`. This buffer is authoritative: the
+///   checkpoint path serialises from it via
+///   [`CompactSvm::support_iter`].
+/// * `coef`, `norms` — per-row signed coefficients `αᵢyᵢ` and cached
+///   `‖svᵢ‖²` (RBF only), aligned with `sv`'s rows.
+/// * `lanes` — only under the `Lanes` engine: the same rows regrouped
+///   **feature-major in blocks of 4** (`lanes[b*dims*4 + k*4 + j]` is
+///   feature `k` of block `b`'s row `j`, zero-padded tail), so the
+///   kernel expansion advances four rows per pass over the query. A
+///   derived copy, never serialised.
+///
+/// # Example
+///
+/// ```
+/// use exbox_ml::prelude::*;
+///
+/// let mut ds = Dataset::new(2);
+/// for a in 0..8 {
+///     for b in 0..8 {
+///         let y = if a + b <= 6 { Label::Pos } else { Label::Neg };
+///         ds.push(vec![a as f64, b as f64], y);
+///     }
+/// }
+/// let model = SvmTrainer::new(Kernel::rbf(0.5)).c(10.0).train(&ds);
+/// let compact = model.compact();
+/// // Same bits as the training-side model, whatever engine was picked
+/// // (fast-math builds renounce this and must skip the comparison).
+/// let x = [2.0, 3.0];
+/// if exbox_ml::determinism_guaranteed() {
+///     assert_eq!(
+///         model.decision_value(&x).to_bits(),
+///         compact.decision_value(&x).to_bits(),
+///     );
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct CompactSvm {
     kernel: Kernel,
@@ -49,6 +97,10 @@ pub struct CompactSvm {
     norms: Vec<f64>,
     /// Explicit weight vector for the collapsed linear kernel.
     weights: Option<Vec<f64>>,
+    /// Feature-major lane blocks of `sv` (Lanes engine only).
+    lanes: Vec<f64>,
+    /// Inner-loop implementation picked at conversion time.
+    engine: KernelEngine,
     /// Coefficients dropped at conversion time.
     pruned: usize,
 }
@@ -56,9 +108,19 @@ pub struct CompactSvm {
 impl CompactSvm {
     /// Lossless conversion: prunes only exactly-zero coefficients and
     /// collapses the linear kernel. Kernel-expansion decisions
-    /// (RBF / polynomial) are bit-exact with the source model.
+    /// (RBF / polynomial) are bit-exact with the source model. The
+    /// kernel engine is chosen by [`KernelEngine::select`] (the `simd`
+    /// feature default, overridable via `EXBOX_KERNEL_ENGINE`).
     pub fn from_model(model: &SvmModel) -> Self {
-        Self::convert(model, 0.0)
+        Self::convert(model, 0.0, KernelEngine::select())
+    }
+
+    /// [`CompactSvm::from_model`] with an explicit engine, bypassing
+    /// feature/environment selection — benchmarks use this to measure
+    /// scalar and lane-blocked evaluation of the *same* model side by
+    /// side.
+    pub fn from_model_with_engine(model: &SvmModel, engine: KernelEngine) -> Self {
+        Self::convert(model, 0.0, engine)
     }
 
     /// Lossy conversion: additionally prunes every coefficient with
@@ -74,10 +136,10 @@ impl CompactSvm {
             tol >= 0.0 && tol.is_finite(),
             "prune tolerance must be >= 0"
         );
-        Self::convert(model, tol)
+        Self::convert(model, tol, KernelEngine::select())
     }
 
-    fn convert(model: &SvmModel, tol: f64) -> Self {
+    fn convert(model: &SvmModel, tol: f64, engine: KernelEngine) -> Self {
         let dims = model.dims();
         let kernel = model.kernel();
         let mut sv = Vec::new();
@@ -104,6 +166,12 @@ impl CompactSvm {
             }
             w
         });
+        // The lane buffer only serves the kernel-expansion paths; a
+        // collapsed linear model decides from `weights` alone.
+        let lanes = match engine {
+            KernelEngine::Lanes if weights.is_none() => engine::interleave_rows(&sv, dims),
+            _ => Vec::new(),
+        };
         CompactSvm {
             kernel,
             dims,
@@ -112,6 +180,8 @@ impl CompactSvm {
             coef,
             norms,
             weights,
+            lanes,
+            engine,
             pruned,
         }
     }
@@ -136,6 +206,11 @@ impl CompactSvm {
     /// The kernel this model evaluates.
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// The inner-loop engine picked at conversion time.
+    pub fn engine(&self) -> KernelEngine {
+        self.engine
     }
 
     /// The collapsed weight vector (linear kernel only).
@@ -164,10 +239,46 @@ impl CompactSvm {
 }
 
 impl Classifier for CompactSvm {
+    /// Signed margin of `x`. Dispatches on the engine picked at
+    /// conversion; both engines produce the same bits (the
+    /// [`crate::engine`] determinism contract), so callers never need
+    /// to know which one is running.
     fn decision_value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dims, "input dimensionality mismatch");
         if let Some(w) = &self.weights {
-            return dot(w, x) + self.bias;
+            return match self.engine {
+                KernelEngine::Scalar => dot(w, x),
+                KernelEngine::Lanes => engine::dot_ordered(w, x),
+            } + self.bias;
+        }
+        if self.engine == KernelEngine::Lanes {
+            return match self.kernel {
+                Kernel::Rbf { gamma } => engine::rbf_lanes(
+                    &self.lanes,
+                    self.dims,
+                    &self.coef,
+                    &self.norms,
+                    gamma,
+                    x,
+                    self.bias,
+                ),
+                Kernel::Poly {
+                    gamma,
+                    coef0,
+                    degree,
+                } => engine::poly_lanes(
+                    &self.lanes,
+                    self.dims,
+                    &self.coef,
+                    gamma,
+                    coef0,
+                    degree,
+                    x,
+                    self.bias,
+                ),
+                // Linear always collapses to `weights` above.
+                Kernel::Linear => unreachable!("linear kernel is always collapsed"),
+            };
         }
         let mut f = self.bias;
         match self.kernel {
@@ -256,6 +367,10 @@ mod tests {
 
     #[test]
     fn rbf_compact_is_bit_exact() {
+        if !crate::engine::determinism_guaranteed() {
+            eprintln!("skipped: fast-math build forfeits bit-equality");
+            return;
+        }
         let model = SvmTrainer::new(Kernel::rbf(0.3))
             .c(10.0)
             .train(&grid_dataset());
@@ -309,6 +424,10 @@ mod tests {
 
     #[test]
     fn zero_coefficients_are_pruned_losslessly() {
+        if !crate::engine::determinism_guaranteed() {
+            eprintln!("skipped: fast-math build forfeits bit-equality");
+            return;
+        }
         let support = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
         let coef = vec![0.5, 0.0, -0.25];
         let model = SvmModel::from_parts(Kernel::rbf(0.4), support, coef, 0.1, 2);
@@ -325,6 +444,10 @@ mod tests {
 
     #[test]
     fn lossy_pruning_bounds_the_margin_shift() {
+        if !crate::engine::determinism_guaranteed() {
+            eprintln!("skipped: fast-math build forfeits exact-margin bound");
+            return;
+        }
         let support = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
         let coef = vec![1.0, 1e-9, -2.0];
         let model = SvmModel::from_parts(Kernel::rbf(0.5), support, coef, 0.0, 2);
@@ -353,5 +476,65 @@ mod tests {
     fn wrong_dims_panics() {
         let model = SvmModel::from_parts(Kernel::Linear, Vec::new(), Vec::new(), 0.0, 2);
         let _ = model.compact().decision_value(&[1.0]);
+    }
+
+    #[test]
+    fn lanes_engine_is_bit_identical_to_scalar() {
+        // The determinism contract (crate::engine): the lane-blocked
+        // engine must reproduce the scalar reference bit for bit over
+        // every kernel, including support counts that leave a ragged
+        // tail block. fast-math deliberately breaks this for RBF and
+        // the test refuses to certify such a build.
+        for kernel in [
+            Kernel::rbf(0.3),
+            Kernel::poly(0.5, 1.0, 2),
+            Kernel::poly(1.0 / 2.0, 1.0, 3),
+            Kernel::Linear,
+        ] {
+            if matches!(kernel, Kernel::Rbf { .. }) && !crate::engine::determinism_guaranteed() {
+                eprintln!("skipped RBF case: fast-math build forfeits bit-equality");
+                continue;
+            }
+            let model = SvmTrainer::new(kernel).c(10.0).train(&grid_dataset());
+            let scalar = CompactSvm::from_model_with_engine(&model, KernelEngine::Scalar);
+            let lanes = CompactSvm::from_model_with_engine(&model, KernelEngine::Lanes);
+            assert_eq!(scalar.engine(), KernelEngine::Scalar);
+            assert_eq!(lanes.engine(), KernelEngine::Lanes);
+            for q in queries() {
+                assert_eq!(
+                    scalar.decision_value(&q).to_bits(),
+                    lanes.decision_value(&q).to_bits(),
+                    "engines diverged for {kernel:?} at {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_engine_handles_ragged_and_degenerate_models() {
+        // 1..=9 support vectors: exercises partial, exact and ragged
+        // lane blocks (LANES = 4), plus the empty model.
+        for n in 0..10usize {
+            let support: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![i as f64 * 0.7 - 1.0, (i * i) as f64 * 0.3])
+                .collect();
+            let coef: Vec<f64> = (0..n).map(|i| (i as f64 - 2.5) * 0.4).collect();
+            for kernel in [Kernel::rbf(0.4), Kernel::poly(0.5, 1.0, 2)] {
+                if matches!(kernel, Kernel::Rbf { .. }) && !crate::engine::determinism_guaranteed()
+                {
+                    continue;
+                }
+                let model = SvmModel::from_parts(kernel, support.clone(), coef.clone(), 0.25, 2);
+                let scalar = CompactSvm::from_model_with_engine(&model, KernelEngine::Scalar);
+                let lanes = CompactSvm::from_model_with_engine(&model, KernelEngine::Lanes);
+                for q in queries() {
+                    assert_eq!(
+                        scalar.decision_value(&q).to_bits(),
+                        lanes.decision_value(&q).to_bits(),
+                        "engines diverged for {kernel:?}, n={n}, at {q:?}"
+                    );
+                }
+            }
+        }
     }
 }

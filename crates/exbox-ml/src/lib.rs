@@ -10,6 +10,10 @@
 //!   polynomial and RBF kernels ([`kernel`]).
 //! * [`compact`] — a flattened, pruned serving form of a trained SVM
 //!   ([`CompactSvm`]) for the per-arrival admission fast path.
+//! * [`engine`] — the kernel evaluation engines behind [`CompactSvm`]:
+//!   a scalar reference and a lane-blocked SIMD form (`simd` feature)
+//!   that is bit-identical to it — see that module's determinism
+//!   contract.
 //! * [`linear`] — a fast primal solver (Pegasos-style SGD) for linear
 //!   SVMs, used when training sets grow large.
 //! * [`logreg`] — logistic regression, provided because the paper notes
@@ -50,6 +54,7 @@
 pub mod compact;
 pub mod cv;
 pub mod data;
+pub mod engine;
 pub mod kernel;
 pub mod linear;
 pub mod logreg;
@@ -61,6 +66,7 @@ pub mod svm;
 pub use compact::CompactSvm;
 pub use cv::{cross_validate, cross_validate_pooled, CvReport};
 pub use data::{Dataset, Label};
+pub use engine::{determinism_guaranteed, KernelEngine};
 pub use kernel::{gram_matrix, Kernel};
 pub use linear::{LinearSvm, LinearSvmTrainer};
 pub use logreg::{LogisticRegression, LogisticRegressionTrainer};
@@ -117,6 +123,7 @@ pub mod prelude {
     pub use crate::compact::CompactSvm;
     pub use crate::cv::{cross_validate, cross_validate_pooled, CvReport};
     pub use crate::data::{Dataset, Label};
+    pub use crate::engine::{determinism_guaranteed, KernelEngine};
     pub use crate::kernel::Kernel;
     pub use crate::linear::{LinearSvm, LinearSvmTrainer};
     pub use crate::logreg::{LogisticRegression, LogisticRegressionTrainer};

@@ -80,8 +80,10 @@ impl StandardScaler {
 
     /// Transform one feature vector into a caller-provided buffer —
     /// the zero-allocation form the admission fast path uses with a
-    /// stack scratch array. Bit-identical to
-    /// [`StandardScaler::transform`].
+    /// stack scratch array. Runs the lane-chunked loop from
+    /// [`crate::engine`]; standardisation is element-wise, so the
+    /// result is bit-identical to [`StandardScaler::transform`]
+    /// whatever the chunking.
     ///
     /// # Panics
     /// Panics when `x` does not match the fitted dimensionality or
@@ -89,12 +91,7 @@ impl StandardScaler {
     pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
         assert_eq!(out.len(), x.len(), "output buffer length mismatch");
-        for (o, (&v, (&m, &s))) in out
-            .iter_mut()
-            .zip(x.iter().zip(self.mean.iter().zip(&self.std)))
-        {
-            *o = (v - m) / s;
-        }
+        crate::engine::scale_lanes(x, &self.mean, &self.std, out);
     }
 
     /// Transform a whole dataset (labels preserved).

@@ -16,10 +16,18 @@
 #  * admission_latency: `AdmissionSteady/cached` p50 must be at least
 #    2× below `AdmissionSteady/uncached` p50 *within the current run*
 #    (the decision cache pays off);
+#  * admission_latency: `AdmissionSteady/simd` p50 must be at least 2×
+#    below `AdmissionSteady/scalar` p50 *within the current run* (the
+#    lane kernel engine pays off — release builds only, the engines
+#    are forced so this holds on any feature set);
 #  * gateway_throughput: on a 4+-core runner, the 4-shard storm must
 #    complete at least 2.5× faster (p50) than the 1-shard storm
 #    *within the current run* (sharding pays off); skipped below 4
 #    cores, where the scenarios only measure sharding overhead.
+#
+# gateway_throughput runs additionally report the batched-ingest
+# packets/sec headline derived from `GatewayBatch/batched`
+# (informational, no bar — the batch win depends on burst length).
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -105,6 +113,21 @@ if [ "$bench" = admission_latency ]; then
             fail=1
         fi
     fi
+    # SIMD kernel-engine acceptance bar: within the same run, the lane
+    # engine must evaluate the same compact model at least 2× cheaper
+    # at the median than the forced scalar loop. Meaningless in debug
+    # builds (`cargo bench` compiles release, the CI smoke job passes
+    # `--quick` but is still release).
+    simd=$(jq -r '.scenarios["AdmissionSteady/simd"].p50_ns // empty' "$current")
+    scalar=$(jq -r '.scenarios["AdmissionSteady/scalar"].p50_ns // empty' "$current")
+    if [ -n "$simd" ] && [ -n "$scalar" ]; then
+        if [ "$(jq -n --argjson s "$simd" --argjson r "$scalar" '$s * 2 <= $r')" = true ]; then
+            echo "simd bar: lanes p50 ${simd}ns * 2 <= scalar p50 ${scalar}ns — ok"
+        else
+            echo "simd bar FAILED: lanes p50 ${simd}ns * 2 > scalar p50 ${scalar}ns"
+            fail=1
+        fi
+    fi
 fi
 
 # Gateway scaling acceptance bar: within the same run, 4 shards must
@@ -125,6 +148,17 @@ if [ "$bench" = gateway_throughput ]; then
             fail=1
         fi
     fi
+    # Batched-ingest headline: packets/sec at the median for the
+    # batched and per-packet drivers of the same burst storm.
+    for s in batched per-packet; do
+        row=$(jq -r --arg s "GatewayBatch/$s" \
+            '.scenarios[$s] | if . then "\(.n) \(.p50_ns)" else empty end' "$current")
+        if [ -n "$row" ]; then
+            pps=$(jq -n --argjson n "${row%% *}" --argjson p "${row##* }" \
+                'if $p > 0 then ($n / $p * 1e9 | round) else 0 end')
+            echo "batched-ingest headline: GatewayBatch/$s serves ${pps} packets/sec (p50)"
+        fi
+    done
 fi
 
 exit $fail

@@ -406,6 +406,65 @@ fn p99_latency_bounded_during_inflight_retrain() {
     );
 }
 
+/// Batched driving on a taken shard while another thread keeps
+/// republishing the (identical) model: every republication trips the
+/// batch path's staleness check, forcing the mid-batch re-pin — and
+/// because the model content never changes, verdicts must stay exactly
+/// equal to the quiescent per-packet reference. Run under TSan in CI.
+#[test]
+fn batched_shard_verdicts_stable_under_republication() {
+    let cfg = GatewayConfig {
+        shards: 1,
+        ..GatewayConfig::default()
+    };
+    let stream: Vec<(Packet, SnrLevel)> = (1..=40u32)
+        .flat_map(|id| {
+            streaming_pkts(flow_key(id), 12)
+                .into_iter()
+                .map(|p| (p, SnrLevel::High))
+        })
+        .collect();
+
+    let mut reference =
+        ConcurrentGateway::serving_only(cfg.clone(), estimator(), trained_snapshot());
+    let expect: Vec<Action> = stream
+        .iter()
+        .map(|(p, snr)| reference.process_packet(p, *snr))
+        .collect();
+
+    let mut gw = ConcurrentGateway::serving_only(cfg, estimator(), trained_snapshot());
+    let cell = gw.snapshot_cell();
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Deterministic training: this classifier is bit-identical
+            // to the one behind `trained_snapshot()`.
+            let reg = MetricsRegistry::new();
+            let classifier = trained_classifier(&reg);
+            let mut epoch = 2u64;
+            while !stop.load(Ordering::SeqCst) {
+                cell.publish(ModelSnapshot::from_classifier(epoch, &classifier));
+                epoch += 1;
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let mut shards = gw.take_shards();
+    let shard = &mut shards[0];
+    let mut got = Vec::with_capacity(stream.len());
+    // Prime-sized batches so batch boundaries drift across flow
+    // bursts rather than aligning with them.
+    for chunk in stream.chunks(7) {
+        got.extend(shard.process_packets(chunk));
+    }
+    stop.store(true, Ordering::SeqCst);
+    publisher.join().unwrap();
+
+    assert_eq!(got, expect, "republication changed a batched verdict");
+}
+
 /// The trainer-side checkpoint path: written off the packet path,
 /// counted on the trainer registry, and restorable into a gateway
 /// that reaches the same verdicts.
