@@ -1,0 +1,184 @@
+//! Million-flow state engine: slab flow-table churn, incremental
+//! polling, and the streamed flash-crowd soak.
+//!
+//! * `FlowSoak/rss_kb` — a 10⁵-user [`ScaledWorkload`] flash-crowd
+//!   stream driven end-to-end through a `Middlebox` (admission,
+//!   delivery reports, polls, departures). No timing: the record's
+//!   `n` is the process peak RSS in kB afterwards, which
+//!   `scripts/bench_compare.sh` checks against a ceiling — streaming
+//!   must stay O(users + concurrent flows), never O(total events).
+//!   Runs **first** so the churn arenas below don't inflate the
+//!   high-water mark.
+//! * `FlowScale/{10k,100k,1M}` — raw `FlowMap` churn at three
+//!   populations: insert all, probe half, remove half, re-insert.
+//!   One rep is a whole pass, so `p50_ns / n` approximates the
+//!   per-operation cost as the table crosses its growth thresholds.
+//! * `PollSteady/{scan,wheel}` — the tentpole: a steady 100k-flow
+//!   cell where each 2 s poll window dirties only 1,024 flows. The
+//!   scan path walks the whole arena; the timer-wheel path visits
+//!   only the due flows. `scripts/bench_compare.sh` holds the wheel
+//!   to ≥ 5× faster at the median (it is typically far more).
+//!
+//! Hand-rolled harness (offline sandbox, no Criterion). `--json` for
+//! `scripts/bench_compare.sh`, `--quick` for the CI smoke job.
+
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use exbox_bench::{
+    bench_args, emit_records, measure, peak_rss_kb, run_soak, BenchRecord, SoakConfig,
+};
+use exbox_core::prelude::*;
+use exbox_core::FlowMap;
+use exbox_net::{AppClass, Direction, Duration, FlowKey, Instant, Packet, Protocol};
+use exbox_obs::buckets;
+
+fn estimator() -> QoeEstimator {
+    let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+        (0..20)
+            .map(|i| {
+                let q = i as f64 / 19.0;
+                (q, a + b * (-g * q).exp())
+            })
+            .collect()
+    };
+    train_estimator(
+        &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+        QoeEstimator::paper_thresholds(),
+        paper_directions(),
+        exbox_core::qoe::QosScale::new(1e3, 1e8),
+    )
+}
+
+/// Unique key for the `i`-th flow (`FlowKey::synthetic` folds its ids
+/// to 16 bits / 20,000 ports, so the index is split across both).
+fn key(i: u64) -> FlowKey {
+    FlowKey::synthetic((i % 65_536) as u32, (i / 65_536) as u32, 1, Protocol::Tcp)
+}
+
+fn main() {
+    let args = bench_args();
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // Streamed soak first — VmHWM is a process-lifetime high-water
+    // mark, so it must be read before the million-entry arenas below.
+    {
+        let cfg = SoakConfig {
+            users: if args.quick { 20_000 } else { 100_000 },
+            ..SoakConfig::default()
+        };
+        let report = run_soak(cfg, estimator());
+        let rss_kb = peak_rss_kb().unwrap_or(0);
+        eprintln!(
+            "FlowSoak: {} users, {} events, {} arrivals, peak {} flows, \
+             {} polls, {} left open, peak RSS {} kB",
+            cfg.users,
+            report.events,
+            report.arrivals,
+            report.peak_flows,
+            report.polls,
+            report.final_flows,
+            rss_kb,
+        );
+        // Pseudo-record: `n` carries the peak RSS; the zero timings
+        // keep the compare script's latency regression guard off it.
+        records.push(BenchRecord {
+            name: "FlowSoak/rss_kb".into(),
+            n: rss_kb as usize,
+            reps: 1,
+            mean_ns: 0.0,
+            p50_ns: 0.0,
+            p95_ns: 0.0,
+            max_ns: 0.0,
+        });
+    }
+
+    // One rep is a whole pass over the population (~ms), not one op.
+    let bounds = buckets::exponential(10_000.0, 2.0, 32);
+
+    // Raw slab churn across the growth thresholds.
+    {
+        let sizes: &[(usize, &str)] = if args.quick {
+            &[(10_000, "10k"), (100_000, "100k")]
+        } else {
+            &[(10_000, "10k"), (100_000, "100k"), (1_000_000, "1M")]
+        };
+        let reps = if args.quick { 3 } else { 10 };
+        for &(n, label) in sizes {
+            records.push(measure(
+                format!("FlowScale/{label}"),
+                n,
+                1,
+                reps,
+                &bounds,
+                || {
+                    let mut map: FlowMap<u64> = FlowMap::new();
+                    for i in 0..n as u64 {
+                        map.insert(key(i), i);
+                    }
+                    let mut hits = 0u64;
+                    for i in (0..n as u64).step_by(2) {
+                        hits += u64::from(map.contains_key(&key(i)));
+                    }
+                    for i in (0..n as u64).step_by(2) {
+                        map.remove(&key(i));
+                    }
+                    for i in (0..n as u64).step_by(2) {
+                        map.insert(key(i), i);
+                    }
+                    black_box((hits, map.len()));
+                },
+            ));
+        }
+    }
+
+    // Steady-state polling: a big admitted set where only a small
+    // dirty fraction saw traffic since the last window. The pinned
+    // bootstrap classifier keeps region re-evaluation out of the
+    // measurement — this isolates the flow-walk itself.
+    {
+        let flows_n: usize = if args.quick { 10_000 } else { 100_000 };
+        let dirty_n: usize = if args.quick { 256 } else { 1_024 };
+        let reps = if args.quick { 3 } else { 15 };
+        for (label, wheel) in [("scan", false), ("wheel", true)] {
+            let mut mb = Middlebox::new(
+                MiddleboxConfig {
+                    poll_wheel: wheel,
+                    ..MiddleboxConfig::default()
+                },
+                estimator(),
+                AdmittanceClassifier::new(AdmittanceConfig {
+                    bootstrap_min_samples: usize::MAX,
+                    ..AdmittanceConfig::default()
+                }),
+            );
+            // Endpoint hint: every flow admits on its first packet.
+            mb.learn_server_hint(Ipv4Addr::new(192, 168, 1, 1), AppClass::Streaming);
+            for i in 0..flows_n as u64 {
+                let k = key(i);
+                let pkt = Packet::new(Instant::from_nanos(i), 1200, k, Direction::Downlink, 0);
+                assert_eq!(mb.process_packet(&pkt, SnrLevel::High), Action::Forward);
+            }
+            assert_eq!(mb.admitted_flows(), flows_n);
+            let stride = (flows_n / dirty_n).max(1) as u64;
+            let dirty: Vec<FlowKey> = (0..dirty_n as u64).map(|j| key(j * stride)).collect();
+            let mut now = Instant::from_secs(10);
+            records.push(measure(
+                format!("PollSteady/{label}"),
+                flows_n,
+                2,
+                reps,
+                &bounds,
+                || {
+                    for k in &dirty {
+                        mb.record_delivery(k, now, now + Duration::from_millis(5), 1400);
+                    }
+                    now += Duration::from_secs(2);
+                    black_box(mb.poll(now).len());
+                },
+            ));
+        }
+    }
+
+    emit_records("flow_scale", &records, args);
+}

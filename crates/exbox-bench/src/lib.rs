@@ -12,6 +12,9 @@
 //! cargo run --release -p exbox-bench --bin fig07_wifi_testbed
 //! ```
 
+pub mod soak;
+pub use soak::{peak_rss_kb, run_soak, SoakConfig, SoakReport};
+
 use exbox_core::prelude::*;
 use exbox_net::Duration;
 use exbox_sim::fluid::{FluidLte, FluidWifi};

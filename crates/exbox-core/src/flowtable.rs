@@ -1,0 +1,926 @@
+//! Slab-backed flow state for the million-flow gateway.
+//!
+//! The paper sizes ExBox for one cell (≈34 LiveLab users); the
+//! roadmap's north star is 10⁵–10⁶ flows per gateway. At that scale
+//! the per-flow layer — not the model evaluation — dominates, and the
+//! stock `std::collections::HashMap<FlowKey, _>` has three problems:
+//!
+//! 1. SipHash is an order of magnitude slower than needed for a
+//!    fixed-layout 13-byte key that attackers cannot choose (flow
+//!    keys come from the operator's own packet path);
+//! 2. iteration order is unspecified, so every poll had to collect
+//!    and **sort** all keys (O(N log N) plus a fresh allocation) to
+//!    stay deterministic;
+//! 3. values move on rehash, so nothing outside the map can hold a
+//!    stable reference to a flow (needed by the timer wheel).
+//!
+//! [`FlowMap`] replaces it: a dense slab arena (`Vec` + free list)
+//! holding the flow states, addressed by stable [`FlowSlot`] handles,
+//! indexed by an open-addressed table over [`hash_flow_key`] (an
+//! FxHash-style multiply-xor hash — zero dependencies), and threaded
+//! by an intrusive doubly-linked list so iteration is **insertion
+//! order**: deterministic, allocation-free, and independent of
+//! hash-table geometry. Determinism contract (DESIGN.md §6): the
+//! iteration order seen by `run_poll` is part of the contract, and
+//! insertion order is a pure function of the operation sequence.
+//!
+//! [`RejectedRing`] is the bounded rejected-flow set rebuilt on the
+//! same hasher: a generation-stamped FIFO ring (stale entries are
+//! skipped by stamp mismatch, never searched for) with occupancy and
+//! capacity-pressure reporting.
+//!
+//! [`TimerWheel`] is a hierarchical timer wheel over poll ticks:
+//! flows carry a next-evaluation deadline, so an incremental poll
+//! visits only the flows due this window — O(due), not O(all) — which
+//! is what turns the 100k-flow steady-state poll from milliseconds
+//! into microseconds (`PollSteady/{scan,wheel}` in
+//! `benches/flow_scale.rs`).
+
+use std::collections::VecDeque;
+
+use exbox_net::FlowKey;
+
+/// Absent link / bucket marker for the intrusive lists and the index.
+const NIL: u32 = u32::MAX;
+
+/// FxHash-style hash of a [`FlowKey`]: the 13 significant bytes are
+/// packed into two words and folded with the rotate-xor-multiply step
+/// rustc's own hash tables use, plus a final avalanche so the low
+/// bits (which pick the bucket) depend on every field. Not keyed —
+/// flow keys on a gateway are operator-side data, not attacker-chosen
+/// strings — and an order of magnitude cheaper than SipHash on this
+/// fixed layout.
+#[inline]
+pub fn hash_flow_key(key: &FlowKey) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let a = (u32::from(key.client_ip) as u64) << 32 | u32::from(key.server_ip) as u64;
+    let b = (key.client_port as u64) << 24
+        | (key.server_port as u64) << 8
+        | key.protocol.ip_proto() as u64;
+    let mut h = 0u64;
+    h = (h.rotate_left(5) ^ a).wrapping_mul(K);
+    h = (h.rotate_left(5) ^ b).wrapping_mul(K);
+    // Final avalanche (splitmix64 tail): FxHash concentrates entropy
+    // in the high bits, the open-addressed index masks the low ones.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Stable handle to an occupied [`FlowMap`] slot: an arena index plus
+/// a generation stamp. The index is reused after removal but the
+/// generation is bumped, so a stale handle (e.g. a timer-wheel entry
+/// for a departed flow) dereferences to `None` instead of aliasing
+/// the slot's new tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowSlot {
+    index: u32,
+    gen: u32,
+}
+
+impl FlowSlot {
+    /// The arena index (dense, `< capacity`); mainly for diagnostics.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+/// Open-addressed `FlowKey → V` table: linear probing, backward-shift
+/// deletion (no tombstones), power-of-two capacity, ≤ 7/8 load.
+/// Shared by the [`FlowMap`] index (`V = u32` slot index) and the
+/// [`RejectedRing`] index (`V = u64` stamp). Never iterated, so its
+/// bucket order is invisible to the determinism contract.
+#[derive(Debug, Clone)]
+struct FxTable<V: Copy> {
+    buckets: Vec<Option<(FlowKey, V)>>,
+    len: usize,
+}
+
+impl<V: Copy> FxTable<V> {
+    fn new() -> Self {
+        FxTable {
+            buckets: vec![None; 16],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.buckets.len() - 1
+    }
+
+    #[inline]
+    fn get(&self, key: &FlowKey) -> Option<V> {
+        let mask = self.mask();
+        let mut i = (hash_flow_key(key) as usize) & mask;
+        loop {
+            match &self.buckets[i] {
+                None => return None,
+                Some((k, v)) if k == key => return Some(*v),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Insert or replace; returns the previous value if the key was
+    /// already present.
+    fn insert(&mut self, key: FlowKey, value: V) -> Option<V> {
+        if (self.len + 1) * 8 >= self.buckets.len() * 7 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = (hash_flow_key(&key) as usize) & mask;
+        loop {
+            match &mut self.buckets[i] {
+                slot @ None => {
+                    *slot = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, v)) if *k == key => return Some(std::mem::replace(v, value)),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &FlowKey) -> Option<V> {
+        let mask = self.mask();
+        let mut i = (hash_flow_key(key) as usize) & mask;
+        loop {
+            match &self.buckets[i] {
+                None => return None,
+                Some((k, _)) if k == key => break,
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+        let (_, value) = self.buckets[i].take().expect("probe stopped on Some");
+        self.len -= 1;
+        // Backward-shift deletion: pull displaced entries over the
+        // hole so probe chains stay contiguous without tombstones.
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let Some((k, _)) = &self.buckets[j] else {
+                break;
+            };
+            let home = (hash_flow_key(k) as usize) & mask;
+            // Move the entry back iff its home does not lie in the
+            // cyclic interval (hole, j] — i.e. the probe from `home`
+            // passes through `hole`.
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.buckets[hole] = self.buckets[j].take();
+                hole = j;
+            }
+        }
+        Some(value)
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.buckets.len() * 2;
+        let old = std::mem::replace(&mut self.buckets, vec![None; doubled]);
+        let mask = self.mask();
+        for entry in old.into_iter().flatten() {
+            let mut i = (hash_flow_key(&entry.0) as usize) & mask;
+            while self.buckets[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.buckets[i] = Some(entry);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    /// Generation stamp; bumped on removal so stale [`FlowSlot`]s
+    /// miss.
+    gen: u32,
+    /// Previous occupied slot in insertion order (`NIL` at head).
+    prev: u32,
+    /// Next occupied slot in insertion order; doubles as the
+    /// free-list link while vacant.
+    next: u32,
+    /// `Some` while occupied.
+    data: Option<(FlowKey, V)>,
+}
+
+/// Slab-backed flow store: dense arena + free list for the states, an
+/// `FxTable` for key lookup, and an intrusive doubly-linked list
+/// for deterministic insertion-order iteration. Drop-in replacement
+/// for `HashMap<FlowKey, V>` on the packet path (property-tested
+/// against exactly that reference model in `tests/flowtable_props.rs`).
+///
+/// Insertion-order rules (the part the determinism contract cares
+/// about): a fresh key appends at the tail; overwriting an existing
+/// key keeps its position; removing and re-inserting a key moves it
+/// to the tail. Iteration never allocates and never observes
+/// hash-table geometry.
+#[derive(Debug)]
+pub struct FlowMap<V> {
+    slots: Vec<Slot<V>>,
+    index: FxTable<u32>,
+    free_head: u32,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<V> Default for FlowMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> FlowMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        FlowMap {
+            slots: Vec::new(),
+            index: FxTable::new(),
+            free_head: NIL,
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Live flows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no flow is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `key` is stored.
+    pub fn contains_key(&self, key: &FlowKey) -> bool {
+        self.index.get(key).is_some()
+    }
+
+    /// Shared access by key.
+    pub fn get(&self, key: &FlowKey) -> Option<&V> {
+        let idx = self.index.get(key)?;
+        self.slots[idx as usize].data.as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable access by key.
+    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut V> {
+        let idx = self.index.get(key)?;
+        self.slots[idx as usize].data.as_mut().map(|(_, v)| v)
+    }
+
+    /// The stable handle for `key`, if stored.
+    pub fn slot_of(&self, key: &FlowKey) -> Option<FlowSlot> {
+        let idx = self.index.get(key)?;
+        Some(FlowSlot {
+            index: idx,
+            gen: self.slots[idx as usize].gen,
+        })
+    }
+
+    /// Dereference a handle; `None` if the flow departed (generation
+    /// mismatch) — stale handles are safe, never aliased.
+    pub fn get_slot(&self, slot: FlowSlot) -> Option<(&FlowKey, &V)> {
+        let s = self.slots.get(slot.index as usize)?;
+        if s.gen != slot.gen {
+            return None;
+        }
+        s.data.as_ref().map(|(k, v)| (k, v))
+    }
+
+    /// Mutable [`FlowMap::get_slot`].
+    pub fn get_slot_mut(&mut self, slot: FlowSlot) -> Option<(&FlowKey, &mut V)> {
+        let s = self.slots.get_mut(slot.index as usize)?;
+        if s.gen != slot.gen {
+            return None;
+        }
+        s.data.as_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Insert or overwrite, returning the stable handle. A fresh key
+    /// appends at the iteration tail; an existing key keeps both its
+    /// position and its handle.
+    pub fn insert(&mut self, key: FlowKey, value: V) -> FlowSlot {
+        if let Some(idx) = self.index.get(&key) {
+            let s = &mut self.slots[idx as usize];
+            s.data = Some((key, value));
+            return FlowSlot {
+                index: idx,
+                gen: s.gen,
+            };
+        }
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.slots[idx as usize].next;
+            idx
+        } else {
+            assert!(self.slots.len() < NIL as usize, "FlowMap slot overflow");
+            self.slots.push(Slot {
+                gen: 0,
+                prev: NIL,
+                next: NIL,
+                data: None,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        let gen = self.slots[idx as usize].gen;
+        self.slots[idx as usize].data = Some((key, value));
+        self.slots[idx as usize].prev = self.tail;
+        self.slots[idx as usize].next = NIL;
+        if self.tail != NIL {
+            self.slots[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.index.insert(key, idx);
+        self.len += 1;
+        FlowSlot { index: idx, gen }
+    }
+
+    /// Remove by key, returning the value. Bumps the slot generation,
+    /// invalidating every outstanding handle to it.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<V> {
+        let idx = self.index.remove(key)?;
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let s = &mut self.slots[idx as usize];
+        let (_, value) = s.data.take().expect("indexed slot must be occupied");
+        s.gen = s.gen.wrapping_add(1);
+        s.prev = NIL;
+        s.next = self.free_head;
+        self.free_head = idx;
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Insertion-order iteration (allocation-free).
+    pub fn iter(&self) -> FlowIter<'_, V> {
+        FlowIter {
+            map: self,
+            cursor: self.head,
+        }
+    }
+
+    /// First flow in insertion order (the oldest admission).
+    pub fn front(&self) -> Option<(&FlowKey, &V)> {
+        if self.head == NIL {
+            return None;
+        }
+        self.slots[self.head as usize]
+            .data
+            .as_ref()
+            .map(|(k, v)| (k, v))
+    }
+
+    /// Mutable insertion-order pass over all values.
+    pub fn for_each_value_mut(&mut self, mut f: impl FnMut(&mut V)) {
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let s = &mut self.slots[cursor as usize];
+            let (_, v) = s.data.as_mut().expect("linked slot must be occupied");
+            f(v);
+            cursor = s.next;
+        }
+    }
+
+    /// Append every live handle, in insertion order, to `out` —
+    /// the poll path's scratch-buffer fill (no allocation once the
+    /// buffer has grown to the high-water mark).
+    pub fn collect_slots(&self, out: &mut Vec<FlowSlot>) {
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let s = &self.slots[cursor as usize];
+            out.push(FlowSlot {
+                index: cursor,
+                gen: s.gen,
+            });
+            cursor = s.next;
+        }
+    }
+}
+
+/// Insertion-order iterator over a [`FlowMap`].
+#[derive(Debug)]
+pub struct FlowIter<'a, V> {
+    map: &'a FlowMap<V>,
+    cursor: u32,
+}
+
+impl<'a, V> Iterator for FlowIter<'a, V> {
+    type Item = (&'a FlowKey, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let s = &self.map.slots[self.cursor as usize];
+        self.cursor = s.next;
+        s.data.as_ref().map(|(k, v)| (k, v))
+    }
+}
+
+/// How one [`RejectedRing::insert`] went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingInsert {
+    /// Old records evicted to stay within capacity (0 or 1).
+    pub evicted: u64,
+    /// True exactly once, when a full accounting window closed with
+    /// the eviction rate caught up to the insertion rate — the set is
+    /// thrashing at capacity and the operator should size it up.
+    pub pressure: bool,
+}
+
+/// Accounting window (inserts) for the eviction-pressure warning.
+const PRESSURE_WINDOW: u64 = 256;
+
+/// Bounded rejected-flow set as a generation-stamped FIFO ring over
+/// [`hash_flow_key`]. Each insert gets a fresh stamp recorded both in
+/// the ring and the index; [`RejectedRing::remove`] only deletes from
+/// the index, leaving a stale ring entry that eviction recognises by
+/// stamp mismatch and skips for free — no linear search, ever. The
+/// ring is swept wholesale once it outgrows twice the live set, so
+/// memory stays O(capacity).
+#[derive(Debug)]
+pub struct RejectedRing {
+    cap: usize,
+    ring: VecDeque<(FlowKey, u64)>,
+    index: FxTable<u64>,
+    next_stamp: u64,
+    inserts: u64,
+    evictions: u64,
+    window_started_at: (u64, u64),
+    pressure_reported: bool,
+}
+
+impl RejectedRing {
+    /// A ring remembering at most `cap` rejected flows (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        RejectedRing {
+            cap: cap.max(1),
+            ring: VecDeque::new(),
+            index: FxTable::new(),
+            next_stamp: 0,
+            inserts: 0,
+            evictions: 0,
+            window_started_at: (0, 0),
+            pressure_reported: false,
+        }
+    }
+
+    /// True when `key` is currently remembered as rejected.
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.index.get(key).is_some()
+    }
+
+    /// Forget a rejection record (the flow departed). O(1): the ring
+    /// entry goes stale instead of being searched out.
+    pub fn remove(&mut self, key: &FlowKey) {
+        self.index.remove(key);
+    }
+
+    /// Live records (the `middlebox.rejected_occupancy` gauge).
+    pub fn len(&self) -> usize {
+        self.index.len
+    }
+
+    /// True when nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.index.len == 0
+    }
+
+    /// Lifetime inserts of fresh records.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Lifetime capacity evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Insert a rejection record; reports evictions and (once) the
+    /// capacity-pressure condition.
+    pub fn insert(&mut self, key: FlowKey) -> RingInsert {
+        if self.contains(&key) {
+            return RingInsert {
+                evicted: 0,
+                pressure: false,
+            };
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.index.insert(key, stamp);
+        self.ring.push_back((key, stamp));
+        self.inserts += 1;
+        let mut evicted = 0;
+        while self.index.len > self.cap {
+            match self.ring.pop_front() {
+                Some((old, old_stamp)) => {
+                    // Stale entries (removed or re-inserted since)
+                    // don't count: the live record lives further back.
+                    if self.index.get(&old) == Some(old_stamp) {
+                        self.index.remove(&old);
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.evictions += evicted;
+        if self.ring.len() > 2 * self.index.len.max(self.cap) {
+            let index = &self.index;
+            self.ring.retain(|(k, s)| index.get(k) == Some(*s));
+        }
+        RingInsert {
+            evicted,
+            pressure: self.check_pressure(),
+        }
+    }
+
+    /// Close accounting windows of [`PRESSURE_WINDOW`] inserts; fire
+    /// once when a window's evictions caught up with its inserts.
+    fn check_pressure(&mut self) -> bool {
+        let (win_ins, win_ev) = self.window_started_at;
+        if self.inserts - win_ins < PRESSURE_WINDOW {
+            return false;
+        }
+        let evicted_in_window = self.evictions - win_ev;
+        self.window_started_at = (self.inserts, self.evictions);
+        if !self.pressure_reported && evicted_in_window >= PRESSURE_WINDOW {
+            self.pressure_reported = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// Buckets per wheel level (64 ⇒ 6 bits of tick per level).
+const WHEEL_BITS: u32 = 6;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Levels: 64⁴ ≈ 16.7 M ticks of horizon; with one tick per executed
+/// poll (2 s default) that is a year of deadlines. Later deadlines
+/// park in the top level and re-cascade.
+const WHEEL_LEVELS: usize = 4;
+
+/// Hierarchical timer wheel over poll ticks. One tick = one executed
+/// poll; level `l` buckets cover `64^l` ticks each, and entries
+/// cascade down as time advances, so [`TimerWheel::advance`] is O(new
+/// due entries) amortised. Entries are [`FlowSlot`]s — a departed
+/// flow's entry goes stale (generation mismatch) and the poll skips
+/// it, so nothing ever cancels a timer.
+#[derive(Debug)]
+pub struct TimerWheel {
+    levels: Vec<Vec<Vec<(FlowSlot, u64)>>>,
+    now: u64,
+    pending: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimerWheel {
+    /// A wheel at tick 0 with nothing scheduled.
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..WHEEL_LEVELS)
+                .map(|_| (0..WHEEL_SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            now: 0,
+            pending: 0,
+        }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Scheduled entries (including stale ones not yet drained).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedule `flow` to come due at `deadline` (clamped to the next
+    /// tick if already past). Duplicate scheduling is the *caller's*
+    /// job to avoid — the flow-state layer keeps a next-deadline field
+    /// per flow for exactly that.
+    pub fn schedule(&mut self, flow: FlowSlot, deadline: u64) {
+        let deadline = deadline.max(self.now + 1);
+        let (level, slot) = self.place(deadline);
+        self.levels[level][slot].push((flow, deadline));
+        self.pending += 1;
+    }
+
+    /// Bucket coordinates for a deadline, relative to `self.now`.
+    fn place(&self, deadline: u64) -> (usize, usize) {
+        let delta = deadline - self.now;
+        for level in 0..WHEEL_LEVELS {
+            let span = 1u64 << (WHEEL_BITS * (level as u32 + 1));
+            if delta < span || level == WHEEL_LEVELS - 1 {
+                let slot = (deadline >> (WHEEL_BITS * level as u32)) as usize & (WHEEL_SLOTS - 1);
+                return (level, slot);
+            }
+        }
+        unreachable!("last level accepts any delta");
+    }
+
+    /// Advance to tick `to`, appending every due entry (deadline ≤
+    /// `to`) to `due` in deadline order (FIFO within a tick).
+    pub fn advance(&mut self, to: u64, due: &mut Vec<FlowSlot>) {
+        while self.now < to {
+            if self.pending == 0 {
+                // Nothing scheduled anywhere: jump, don't spin.
+                self.now = to;
+                return;
+            }
+            self.now += 1;
+            let t = self.now;
+            // Level-0 bucket: everything here is due exactly now.
+            let slot0 = t as usize & (WHEEL_SLOTS - 1);
+            for (flow, _) in self.levels[0][slot0].drain(..) {
+                self.pending -= 1;
+                due.push(flow);
+            }
+            // Cascade higher levels whenever their cycle boundary is
+            // crossed: re-place still-future entries, emit due ones.
+            for level in 1..WHEEL_LEVELS {
+                let shift = WHEEL_BITS * level as u32;
+                if t & ((1u64 << shift) - 1) != 0 {
+                    break;
+                }
+                let slot = (t >> shift) as usize & (WHEEL_SLOTS - 1);
+                let entries = std::mem::take(&mut self.levels[level][slot]);
+                for (flow, deadline) in entries {
+                    self.pending -= 1;
+                    if deadline <= t {
+                        due.push(flow);
+                    } else {
+                        let (l, s) = self.place(deadline);
+                        self.levels[l][s].push((flow, deadline));
+                        self.pending += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exbox_net::Protocol;
+
+    fn key(n: u32) -> FlowKey {
+        FlowKey::synthetic(n, n, 1, Protocol::Tcp)
+    }
+
+    #[test]
+    fn hash_differs_across_fields() {
+        let base = key(1);
+        let mut other = base;
+        other.server_port = base.server_port.wrapping_add(1);
+        assert_ne!(hash_flow_key(&base), hash_flow_key(&other));
+        let mut udp = base;
+        udp.protocol = Protocol::Udp;
+        assert_ne!(hash_flow_key(&base), hash_flow_key(&udp));
+    }
+
+    #[test]
+    fn flowmap_insert_get_remove_roundtrip() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        assert!(m.is_empty());
+        for n in 0..1000 {
+            m.insert(key(n), n);
+        }
+        assert_eq!(m.len(), 1000);
+        for n in 0..1000 {
+            assert_eq!(m.get(&key(n)), Some(&n));
+        }
+        for n in (0..1000).step_by(2) {
+            assert_eq!(m.remove(&key(n)), Some(n));
+        }
+        assert_eq!(m.len(), 500);
+        for n in 0..1000 {
+            assert_eq!(m.contains_key(&key(n)), n % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn flowmap_iterates_in_insertion_order_across_churn() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        for n in 0..10 {
+            m.insert(key(n), n);
+        }
+        m.remove(&key(3));
+        m.remove(&key(0));
+        m.insert(key(42), 42); // reuses a freed slot, still appends
+        m.insert(key(3), 33); // re-insert moves to the tail
+        let order: Vec<u32> = m.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec![1, 2, 4, 5, 6, 7, 8, 9, 42, 33]);
+        assert_eq!(m.front().map(|(_, v)| *v), Some(1));
+    }
+
+    #[test]
+    fn flowmap_overwrite_keeps_position_and_slot() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        let s1 = m.insert(key(1), 10);
+        m.insert(key(2), 20);
+        let s1b = m.insert(key(1), 11);
+        assert_eq!(s1, s1b, "overwrite must keep the handle");
+        let order: Vec<u32> = m.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec![11, 20]);
+    }
+
+    #[test]
+    fn stale_slots_miss_after_reuse() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        let s = m.insert(key(1), 10);
+        assert!(m.get_slot(s).is_some());
+        m.remove(&key(1));
+        assert_eq!(m.get_slot(s), None, "stale handle must miss");
+        let s2 = m.insert(key(2), 20); // reuses index 0, new gen
+        assert_eq!(s2.index(), s.index());
+        assert_eq!(m.get_slot(s), None, "old gen must still miss");
+        assert_eq!(m.get_slot(s2).map(|(_, v)| *v), Some(20));
+    }
+
+    #[test]
+    fn collect_slots_matches_iter() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        for n in 0..100 {
+            m.insert(key(n), n);
+        }
+        for n in (0..100).step_by(3) {
+            m.remove(&key(n));
+        }
+        let mut slots = Vec::new();
+        m.collect_slots(&mut slots);
+        let via_slots: Vec<u32> = slots
+            .iter()
+            .map(|&s| *m.get_slot(s).expect("fresh handles are live").1)
+            .collect();
+        let via_iter: Vec<u32> = m.iter().map(|(_, v)| *v).collect();
+        assert_eq!(via_slots, via_iter);
+    }
+
+    #[test]
+    fn rejected_ring_bounded_fifo_with_stale_skip() {
+        let mut r = RejectedRing::new(2);
+        assert_eq!(r.insert(key(1)).evicted, 0);
+        assert_eq!(r.insert(key(2)).evicted, 0);
+        // Departure: index drops the record, ring entry goes stale.
+        r.remove(&key(1));
+        assert!(!r.contains(&key(1)));
+        assert_eq!(r.len(), 1);
+        // Two more inserts: capacity 2, the stale entry for key 1 is
+        // skipped at eviction time, key 2 (oldest live) is evicted.
+        assert_eq!(r.insert(key(3)).evicted, 0);
+        let ins = r.insert(key(4));
+        assert_eq!(ins.evicted, 1);
+        assert!(!r.contains(&key(2)));
+        assert!(r.contains(&key(3)) && r.contains(&key(4)));
+        assert_eq!(r.evictions(), 1);
+    }
+
+    #[test]
+    fn rejected_ring_reinsert_after_eviction() {
+        let mut r = RejectedRing::new(1);
+        r.insert(key(1));
+        r.insert(key(2)); // evicts 1
+        assert!(!r.contains(&key(1)));
+        r.insert(key(1)); // evicts 2
+        assert!(r.contains(&key(1)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rejected_ring_reports_pressure_once() {
+        let mut r = RejectedRing::new(4);
+        let mut fired = 0;
+        // Thrash far past the window: every insert beyond capacity
+        // evicts, so the first full window must fire, later ones not.
+        for n in 0..3 * PRESSURE_WINDOW as u32 + 8 {
+            if r.insert(key(n)).pressure {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "pressure must warn exactly once");
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn wheel_due_at_exact_ticks() {
+        let mut w = TimerWheel::new();
+        let mut m: FlowMap<u32> = FlowMap::new();
+        let s1 = m.insert(key(1), 1);
+        let s2 = m.insert(key(2), 2);
+        let s3 = m.insert(key(3), 3);
+        w.schedule(s1, 1);
+        w.schedule(s2, 3);
+        w.schedule(s3, 200); // level-1 territory
+        let mut due = Vec::new();
+        w.advance(1, &mut due);
+        assert_eq!(due, vec![s1]);
+        due.clear();
+        w.advance(2, &mut due);
+        assert!(due.is_empty());
+        w.advance(3, &mut due);
+        assert_eq!(due, vec![s2]);
+        due.clear();
+        w.advance(199, &mut due);
+        assert!(due.is_empty());
+        w.advance(200, &mut due);
+        assert_eq!(due, vec![s3]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn wheel_clamps_past_deadlines_forward() {
+        let mut w = TimerWheel::new();
+        let mut m: FlowMap<u32> = FlowMap::new();
+        let s = m.insert(key(1), 1);
+        let mut due = Vec::new();
+        w.advance(10, &mut due);
+        w.schedule(s, 4); // already past: clamps to tick 11
+        w.advance(11, &mut due);
+        assert_eq!(due, vec![s]);
+    }
+
+    #[test]
+    fn wheel_far_deadlines_cascade() {
+        let mut w = TimerWheel::new();
+        let mut m: FlowMap<u32> = FlowMap::new();
+        let mut due = Vec::new();
+        // One deadline per level span, plus one past the horizon.
+        let deadlines = [63u64, 64, 4_095, 4_096, 262_143, 20_000_000];
+        let slots: Vec<FlowSlot> = deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.insert(key(i as u32), i as u32))
+            .collect();
+        for (s, d) in slots.iter().zip(deadlines) {
+            w.schedule(*s, d);
+        }
+        let mut fired: Vec<(u64, FlowSlot)> = Vec::new();
+        let mut t = 0;
+        while w.pending() > 0 {
+            t += 1_000;
+            due.clear();
+            w.advance(t, &mut due);
+            for s in &due {
+                fired.push((t, *s));
+            }
+        }
+        assert_eq!(fired.len(), deadlines.len());
+        for ((at, s), d) in fired.iter().zip(deadlines) {
+            assert_eq!(*s, slots[deadlines.iter().position(|&x| x == d).unwrap()]);
+            assert!(
+                *at >= d && at - d < 1_000,
+                "deadline {d} fired at {at}, outside its advance window"
+            );
+        }
+    }
+
+    #[test]
+    fn fxtable_backward_shift_keeps_probes_reachable() {
+        // Dense churn at small capacity forces wraparound probes and
+        // backward-shift deletions across the table boundary.
+        let mut t: FxTable<u32> = FxTable::new();
+        for round in 0u32..50 {
+            for n in 0..12 {
+                t.insert(key(round * 12 + n), n);
+            }
+            for n in 0..12 {
+                if n % 3 != 0 {
+                    assert_eq!(t.remove(&key(round * 12 + n)), Some(n));
+                    assert_eq!(t.get(&key(round * 12 + n)), None);
+                }
+            }
+            for n in 0..12 {
+                if n % 3 == 0 {
+                    assert_eq!(t.get(&key(round * 12 + n)), Some(n));
+                }
+            }
+        }
+    }
+}

@@ -15,12 +15,13 @@ use std::sync::Arc;
 
 use exbox_ml::Label;
 use exbox_net::{AppClass, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
-use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
+use exbox_obs::{buckets, Counter, EventRing, Gauge, Histogram, MetricsRegistry};
 
 use crate::admittance::Phase;
+use crate::flowtable::{FlowMap, FlowSlot, RejectedRing, TimerWheel};
 use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
 use crate::middlebox::{
-    Action, DecisionEvent, DecisionKind, DecisionReason, MiddleboxConfig, PollVerdict, RejectedSet,
+    Action, DecisionEvent, DecisionKind, DecisionReason, MiddleboxConfig, PollVerdict,
 };
 use crate::qoe::QoeEstimator;
 use crate::recovery::{FaultKind, FaultPlan};
@@ -91,6 +92,9 @@ struct ShardMetrics {
     departures: Arc<Counter>,
     polls: Arc<Counter>,
     rejected_evictions: Arc<Counter>,
+    /// `middlebox.rejected_occupancy` — live records in this shard's
+    /// bounded rejected set.
+    rejected_occupancy: Arc<Gauge>,
     fallback_decisions: Arc<Counter>,
     poll_errors: Arc<Counter>,
     /// `gateway.obs_dropped` — observations dropped because the
@@ -116,6 +120,7 @@ impl ShardMetrics {
             departures: reg.counter("middlebox.departures"),
             polls: reg.counter("middlebox.polls"),
             rejected_evictions: reg.counter("middlebox.rejected_evictions"),
+            rejected_occupancy: reg.gauge("middlebox.rejected_occupancy"),
             fallback_decisions: reg.counter("recovery.fallback_decisions"),
             poll_errors: reg.counter("recovery.poll_errors"),
             obs_dropped: reg.counter("gateway.obs_dropped"),
@@ -174,6 +179,9 @@ impl ShardDecisionCache {
 struct ShardFlow {
     kind: FlowKind,
     meter: QosMeter,
+    /// Timer-wheel deadline in poll ticks (`u64::MAX` while
+    /// unscheduled); see [`crate::middlebox`] for the protocol.
+    next_eval: u64,
 }
 
 /// One flow-hash partition of the serving pipeline. Owned by exactly
@@ -186,8 +194,14 @@ pub struct GatewayShard {
     cfg: MiddleboxConfig,
     table: FlowTable,
     early: EarlyClassifier,
-    flows: HashMap<FlowKey, ShardFlow>,
-    rejected: RejectedSet,
+    flows: FlowMap<ShardFlow>,
+    rejected: RejectedRing,
+    /// Next-evaluation deadlines for this shard's flows, in poll ticks.
+    wheel: TimerWheel,
+    /// Polls executed by this shard == its wheel's current tick.
+    poll_seq: u64,
+    /// Reusable per-poll slot buffer — no per-poll allocation.
+    poll_scratch: Vec<FlowSlot>,
     cache: ShardDecisionCache,
     estimator: QoeEstimator,
     shared: Arc<SharedMatrix>,
@@ -222,15 +236,18 @@ impl GatewayShard {
     ) -> Self {
         let window = cfg.classify_window;
         let log_capacity = cfg.decision_log_capacity.max(1);
-        let rejected = RejectedSet::new(cfg.rejected_capacity);
+        let rejected = RejectedRing::new(cfg.rejected_capacity);
         let batch = batch.max(1);
         GatewayShard {
             id,
             cfg,
             table: FlowTable::new(),
             early: EarlyClassifier::with_default_profiles(window),
-            flows: HashMap::new(),
+            flows: FlowMap::new(),
             rejected,
+            wheel: TimerWheel::new(),
+            poll_seq: 0,
+            poll_scratch: Vec::new(),
             cache: ShardDecisionCache::new(decision_cache_size),
             estimator,
             shared,
@@ -330,8 +347,8 @@ impl GatewayShard {
         metrics: &ShardMetrics,
         decisions: &mut EventRing<DecisionEvent>,
         shared: &SharedMatrix,
-        flows: &mut HashMap<FlowKey, ShardFlow>,
-        rejected: &mut RejectedSet,
+        flows: &mut FlowMap<ShardFlow>,
+        rejected: &mut RejectedRing,
         early: &mut EarlyClassifier,
         fallback_cap: u32,
         recovering: bool,
@@ -398,6 +415,7 @@ impl GatewayShard {
                     ShardFlow {
                         kind,
                         meter: QosMeter::new(),
+                        next_eval: u64::MAX,
                     },
                 );
                 metrics.admits.inc();
@@ -405,14 +423,41 @@ impl GatewayShard {
                 Action::Forward
             }
             Label::Neg => {
-                let evicted = rejected.insert(pkt.flow);
-                metrics.rejected_evictions.add(evicted);
+                Self::note_rejection(rejected, metrics, pkt.flow);
                 early.forget(&pkt.flow);
                 metrics.rejects.inc();
                 event.verdict = DecisionKind::Reject;
                 decisions.push(event);
                 Action::Drop
             }
+        }
+    }
+
+    /// Bounded-ring rejection bookkeeping (eviction counter, occupancy
+    /// gauge, warn-once pressure log); the shard twin of
+    /// [`crate::middlebox::Middlebox`]'s helper.
+    fn note_rejection(rejected: &mut RejectedRing, metrics: &ShardMetrics, key: FlowKey) {
+        let ins = rejected.insert(key);
+        metrics.rejected_evictions.add(ins.evicted);
+        metrics.rejected_occupancy.set(rejected.len() as f64);
+        if ins.pressure {
+            eprintln!(
+                "exbox: shard rejected-set eviction rate caught up with \
+                 insertions ({} live / {} evicted) — raise rejected_capacity \
+                 or expect re-classification churn",
+                rejected.len(),
+                rejected.evictions(),
+            );
+        }
+    }
+
+    /// Put `slot` on the wheel for the next poll tick unless already
+    /// scheduled (first QoS report of the flow's window).
+    fn schedule_eval(wheel: &mut TimerWheel, fs: &mut ShardFlow, slot: FlowSlot) {
+        if fs.next_eval == u64::MAX {
+            let deadline = wheel.now() + 1;
+            fs.next_eval = deadline;
+            wheel.schedule(slot, deadline);
         }
     }
 
@@ -593,25 +638,42 @@ impl GatewayShard {
 
     /// Record a delivery report for a flow admitted by this shard.
     pub fn record_delivery(&mut self, key: &FlowKey, sent: Instant, received: Instant, size: u32) {
-        if let Some(fs) = self.flows.get_mut(key) {
-            fs.meter.deliver(sent, received, size);
+        if let Some(slot) = self.flows.slot_of(key) {
+            if let Some((_, fs)) = self.flows.get_slot_mut(slot) {
+                fs.meter.deliver(sent, received, size);
+                if self.cfg.poll_wheel {
+                    Self::schedule_eval(&mut self.wheel, fs, slot);
+                }
+            }
         }
     }
 
     /// Record a drop report for a flow admitted by this shard.
+    /// Drop-only flows are scheduled too so their meters reset at the
+    /// window edge, matching the scan path.
     pub fn record_drop(&mut self, key: &FlowKey) {
-        if let Some(fs) = self.flows.get_mut(key) {
-            fs.meter.drop_packet();
+        if let Some(slot) = self.flows.slot_of(key) {
+            if let Some((_, fs)) = self.flows.get_slot_mut(slot) {
+                fs.meter.drop_packet();
+                if self.cfg.poll_wheel {
+                    Self::schedule_eval(&mut self.wheel, fs, slot);
+                }
+            }
         }
     }
 
-    /// A flow of this shard's partition ended: release its slot.
+    /// A flow of this shard's partition ended: release its slot. A
+    /// pending wheel entry goes stale (generation mismatch) and is
+    /// skipped at its tick.
     pub fn flow_departed(&mut self, key: &FlowKey) {
         if let Some(fs) = self.flows.remove(key) {
             self.shared.remove(fs.kind);
             self.metrics.departures.inc();
         }
         self.rejected.remove(key);
+        self.metrics
+            .rejected_occupancy
+            .set(self.rejected.len() as f64);
         self.early.forget(key);
         self.table.remove(key);
     }
@@ -642,19 +704,31 @@ impl GatewayShard {
     }
 
     fn run_poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        // One executed poll == one wheel tick, advanced even through
+        // empty polls so deadlines stay aligned with poll_seq.
+        self.poll_seq += 1;
+        let mut scratch = std::mem::take(&mut self.poll_scratch);
+        scratch.clear();
+        if self.cfg.poll_wheel {
+            self.wheel.advance(self.poll_seq, &mut scratch);
+            scratch.retain(|&slot| self.flows.get_slot(slot).is_some());
+        } else {
+            self.flows.collect_slots(&mut scratch);
+        }
         if self.flows.is_empty() {
+            self.poll_scratch = scratch;
             return Vec::new();
         }
-        let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
-        keys.sort();
 
-        // Per-flow acceptability; idle flows contribute no evidence.
-        // Shards *are* the parallelism here, so the estimation stays
-        // serial within one shard.
-        let per_flow: Vec<Option<bool>> = keys
+        // Per-flow acceptability folded into a (measured, unacceptable)
+        // count; idle flows contribute no evidence (the scan visits and
+        // skips them, the wheel never schedules them). Shards *are* the
+        // parallelism here, so the estimation stays serial within one
+        // shard.
+        let (measured, unacceptable) = scratch
             .iter()
-            .map(|key| {
-                let fs = &self.flows[key];
+            .filter_map(|&slot| {
+                let (_, fs) = self.flows.get_slot(slot)?;
                 let sample = fs.meter.sample();
                 if sample.throughput_bps <= 0.0 {
                     None
@@ -662,9 +736,9 @@ impl GatewayShard {
                     Some(self.estimator.acceptable(fs.kind.class, &sample))
                 }
             })
-            .collect();
-        let measured_any = per_flow.iter().any(|v| v.is_some());
-        let all_ok = per_flow.iter().flatten().all(|&ok| ok);
+            .fold((0u64, 0u64), |(m, u), ok| (m + 1, u + u64::from(!ok)));
+        let measured_any = measured > 0;
+        let all_ok = unacceptable == 0;
         let poll_errored = self.faults.should_inject(FaultKind::PollError);
         if poll_errored {
             self.metrics.poll_errors.inc();
@@ -685,49 +759,55 @@ impl GatewayShard {
         // Region re-evaluation, mirroring the middlebox loop: one
         // decision per matrix state; revoking a flow updates both the
         // shared matrix and the local working copy before re-deciding.
+        // Revocations shed this shard's oldest admission first; kept
+        // flows are tallied in bulk, never materialised.
         let mut verdicts: Vec<(FlowKey, PollVerdict)> = Vec::new();
         let guard = self.reader.pin();
         if guard.phase() == Phase::Online {
             let mut matrix = self.shared.snapshot();
             let (mut label, mut margin) = guard.decide(&matrix);
-            for &key in &keys {
-                match label {
-                    Label::Pos => {
-                        verdicts.push((key, PollVerdict::Keep));
-                        self.metrics.keeps.inc();
-                    }
-                    Label::Neg => {
-                        let kind = self.flows[&key].kind;
-                        self.shared.remove(kind);
-                        matrix.remove(kind);
-                        self.flows.remove(&key);
-                        let evicted = self.rejected.insert(key);
-                        self.metrics.rejected_evictions.add(evicted);
-                        verdicts.push((key, PollVerdict::Revoke));
-                        self.metrics.revokes.inc();
-                        self.decisions.push(DecisionEvent {
-                            at: now,
-                            flow: key,
-                            class: kind.class,
-                            snr: kind.snr,
-                            verdict: DecisionKind::Revoke,
-                            margin,
-                            reason: DecisionReason::RegionReevaluation,
-                        });
-                        let (next_label, next_margin) = guard.decide(&matrix);
-                        if next_label == Label::Pos {
-                            break;
-                        }
-                        label = next_label;
-                        margin = next_margin;
-                    }
-                }
+            if label == Label::Pos {
+                self.metrics.keeps.add(self.flows.len() as u64);
+            }
+            while label == Label::Neg {
+                let Some((key, kind)) = self.flows.front().map(|(k, fs)| (*k, fs.kind)) else {
+                    break;
+                };
+                self.shared.remove(kind);
+                matrix.remove(kind);
+                self.flows.remove(&key);
+                Self::note_rejection(&mut self.rejected, &self.metrics, key);
+                verdicts.push((key, PollVerdict::Revoke));
+                self.metrics.revokes.inc();
+                self.decisions.push(DecisionEvent {
+                    at: now,
+                    flow: key,
+                    class: kind.class,
+                    snr: kind.snr,
+                    verdict: DecisionKind::Revoke,
+                    margin,
+                    reason: DecisionReason::RegionReevaluation,
+                });
+                let (next_label, next_margin) = guard.decide(&matrix);
+                label = next_label;
+                margin = next_margin;
             }
         }
         drop(guard);
-        for fs in self.flows.values_mut() {
-            fs.meter.reset();
+        // Fresh measurement windows: the wheel path touches only the
+        // flows it evaluated; the scan path resets the whole arena.
+        if self.cfg.poll_wheel {
+            for &slot in &scratch {
+                if let Some((_, fs)) = self.flows.get_slot_mut(slot) {
+                    fs.meter.reset();
+                    fs.next_eval = u64::MAX;
+                }
+            }
+        } else {
+            self.flows.for_each_value_mut(|fs| fs.meter.reset());
         }
+        scratch.clear();
+        self.poll_scratch = scratch;
         verdicts
     }
 }

@@ -37,6 +37,11 @@
 //!   (`EXBOX_SHARDS`), lock-free epoch-stamped model snapshots, and a
 //!   background trainer that keeps retraining and checkpointing off
 //!   the packet path.
+//! * [`flowtable`] — the million-flow state layer: slab-backed
+//!   [`flowtable::FlowMap`] with stable slots and insertion-order
+//!   iteration, the generation-stamped [`flowtable::RejectedRing`],
+//!   and the hierarchical [`flowtable::TimerWheel`] behind incremental
+//!   polling (`EXBOX_POLL_WHEEL`).
 //!
 //! ## Quick start
 //!
@@ -65,6 +70,7 @@ pub mod admittance;
 pub mod apps;
 pub mod baselines;
 pub mod excr;
+pub mod flowtable;
 pub mod gateway;
 pub mod iqx;
 pub mod matrix;
@@ -80,6 +86,7 @@ pub use baselines::{
     AdmissionController, Decision, ExBoxController, FlowRequest, MaxClient, RateBased,
 };
 pub use excr::{boundary_points, max_admissible, region_slice, RegionCell};
+pub use flowtable::{FlowMap, FlowSlot, RejectedRing, TimerWheel};
 pub use gateway::{
     ConcurrentGateway, GatewayConfig, GatewayShard, ModelSnapshot, SharedMatrix, SnapshotCell,
     SnapshotReader,

@@ -46,7 +46,6 @@
 //! match a 1-shard gateway decision-for-decision (asserted in
 //! `tests/gateway_concurrent.rs`).
 
-use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -56,11 +55,12 @@ use exbox_ml::Label;
 use exbox_net::{
     AppClass, Duration, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter,
 };
-use exbox_obs::{buckets, Counter, EventRing, Histogram, MetricsRegistry};
+use exbox_obs::{buckets, Counter, EventRing, Gauge, Histogram, MetricsRegistry};
 use exbox_par::ThreadPool;
 
 use crate::admittance::{AdmittanceClassifier, AdmittanceConfig, Phase};
 use crate::baselines::{AdmissionController, FlowRequest, MaxClient};
+use crate::flowtable::{FlowMap, FlowSlot, RejectedRing, TimerWheel};
 use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};
 use crate::persist;
 use crate::qoe::QoeEstimator;
@@ -150,8 +150,10 @@ impl fmt::Display for DecisionEvent {
 
 /// Instrumentation handles for the middlebox hot paths. Counter pairs
 /// are exact: `admits`/`rejects` tally arrival decisions one-to-one
-/// with the returned [`Action`]s, `keeps`/`revokes` with poll
-/// [`PollVerdict`]s.
+/// with the returned [`Action`]s; `revokes` tallies the
+/// [`PollVerdict::Revoke`]s a poll returns, and `keeps` counts every
+/// flow a poll left admitted (kept flows are counted in bulk, not
+/// returned — see [`Middlebox::poll`]).
 #[derive(Debug)]
 struct MiddleboxMetrics {
     /// `middlebox.packets` — packets seen by [`Middlebox::process_packet`].
@@ -174,6 +176,9 @@ struct MiddleboxMetrics {
     /// `middlebox.rejected_evictions` — rejected-flow records evicted
     /// because the bounded rejected set hit its capacity.
     rejected_evictions: Arc<Counter>,
+    /// `middlebox.rejected_occupancy` — live records in the bounded
+    /// rejected set (capacity pressure made visible).
+    rejected_occupancy: Arc<Gauge>,
     /// `recovery.fallback_decisions` — arrival decisions served by the
     /// occupancy baseline because no model was available.
     fallback_decisions: Arc<Counter>,
@@ -202,6 +207,7 @@ impl MiddleboxMetrics {
             departures: reg.counter("middlebox.departures"),
             polls: reg.counter("middlebox.polls"),
             rejected_evictions: reg.counter("middlebox.rejected_evictions"),
+            rejected_occupancy: reg.gauge("middlebox.rejected_occupancy"),
             fallback_decisions: reg.counter("recovery.fallback_decisions"),
             poll_errors: reg.counter("recovery.poll_errors"),
             checkpoint_writes: reg.counter("recovery.checkpoint_writes"),
@@ -213,10 +219,25 @@ impl MiddleboxMetrics {
     }
 }
 
+/// Per-flow serving state held in the slab arena. `next_eval` is the
+/// flow's timer-wheel deadline in poll ticks (`u64::MAX` while
+/// unscheduled): set when the first QoS report of a window arrives,
+/// cleared when a poll evaluates the flow.
 #[derive(Debug)]
 struct FlowState {
     kind: FlowKind,
     meter: QosMeter,
+    next_eval: u64,
+}
+
+impl FlowState {
+    fn new(kind: FlowKind) -> Self {
+        FlowState {
+            kind,
+            meter: QosMeter::new(),
+            next_eval: u64::MAX,
+        }
+    }
 }
 
 /// Minimum flow count before a poll's per-flow QoE estimation is
@@ -224,68 +245,15 @@ struct FlowState {
 /// costs more than the work.
 const PAR_POLL_MIN_FLOWS: usize = 64;
 
-/// Bounded FIFO set of rejected flows. Rejected flows never call
-/// [`Middlebox::flow_departed`] (their packets are dropped before the
-/// flow table sees them), so an unbounded set grows forever under
-/// scan-like traffic — here the oldest rejection records are evicted
-/// once the capacity is hit. An evicted flow that is still sending
-/// simply re-enters early classification and gets re-rejected.
-///
-/// The FIFO queue may hold stale keys (removed via departure); they
-/// are skipped at eviction time and swept wholesale once the queue
-/// grows past twice the live set.
-#[derive(Debug)]
-pub(crate) struct RejectedSet {
-    cap: usize,
-    queue: VecDeque<FlowKey>,
-    set: HashSet<FlowKey>,
-}
-
-impl RejectedSet {
-    pub(crate) fn new(cap: usize) -> Self {
-        RejectedSet {
-            cap: cap.max(1),
-            queue: VecDeque::new(),
-            set: HashSet::new(),
-        }
-    }
-
-    pub(crate) fn contains(&self, key: &FlowKey) -> bool {
-        self.set.contains(key)
-    }
-
-    pub(crate) fn remove(&mut self, key: &FlowKey) {
-        self.set.remove(key);
-    }
-
-    /// Insert a rejection record; returns how many old records were
-    /// evicted to stay within capacity (0 or 1).
-    pub(crate) fn insert(&mut self, key: FlowKey) -> u64 {
-        if !self.set.insert(key) {
-            return 0;
-        }
-        self.queue.push_back(key);
-        let mut evicted = 0;
-        while self.set.len() > self.cap {
-            match self.queue.pop_front() {
-                Some(old) => {
-                    if self.set.remove(&old) {
-                        evicted += 1;
-                    }
-                }
-                None => break,
-            }
-        }
-        if self.queue.len() > 2 * self.set.len().max(self.cap) {
-            let set = &self.set;
-            self.queue.retain(|k| set.contains(k));
-        }
-        evicted
-    }
-
-    #[cfg(test)]
-    fn len(&self) -> usize {
-        self.set.len()
+/// `true` unless `EXBOX_POLL_WHEEL=0`: whether polls are incremental
+/// (timer-wheel driven) by default. Invalid values warn and fall back
+/// to the wheel, like every other env knob.
+fn poll_wheel_from_env() -> bool {
+    match std::env::var("EXBOX_POLL_WHEEL") {
+        Ok(v) => exbox_par::parse_env_knob::<u8>("EXBOX_POLL_WHEEL", &v, |n| *n <= 1)
+            .map(|n| n == 1)
+            .unwrap_or(true),
+        Err(_) => true,
     }
 }
 
@@ -306,6 +274,14 @@ pub struct MiddleboxConfig {
     /// Flow cap used by the degraded-mode [`MaxClient`] fallback when
     /// no classifier model is servable (minimum 1).
     pub fallback_max_flows: u32,
+    /// Incremental polling: flows carry a next-evaluation deadline in
+    /// a hierarchical timer wheel and a poll evaluates only the flows
+    /// whose meters saw traffic since their last window — O(due), not
+    /// O(all flows). Verdict-equivalent to the full scan
+    /// (property-tested in `tests/flowtable_props.rs`); disable with
+    /// `EXBOX_POLL_WHEEL=0` to force the scan path. Defaults from the
+    /// environment at construction.
+    pub poll_wheel: bool,
 }
 
 impl Default for MiddleboxConfig {
@@ -316,6 +292,7 @@ impl Default for MiddleboxConfig {
             decision_log_capacity: 1024,
             rejected_capacity: 4096,
             fallback_max_flows: 10,
+            poll_wheel: poll_wheel_from_env(),
         }
     }
 }
@@ -329,8 +306,15 @@ pub struct Middlebox {
     admittance: AdmittanceClassifier,
     estimator: QoeEstimator,
     matrix: TrafficMatrix,
-    flows: HashMap<FlowKey, FlowState>,
-    rejected: RejectedSet,
+    flows: FlowMap<FlowState>,
+    rejected: RejectedRing,
+    /// Next-evaluation deadlines for admitted flows, in poll ticks.
+    wheel: TimerWheel,
+    /// Polls executed so far == the wheel's current tick.
+    poll_seq: u64,
+    /// Reusable per-poll slot buffer (due flows on the wheel path, the
+    /// whole arena on the scan path) — no per-poll allocation.
+    poll_scratch: Vec<FlowSlot>,
     last_poll: Instant,
     metrics: MiddleboxMetrics,
     decisions: EventRing<DecisionEvent>,
@@ -366,7 +350,7 @@ impl Middlebox {
     ) -> Self {
         let window = cfg.classify_window;
         let log_capacity = cfg.decision_log_capacity.max(1);
-        let rejected = RejectedSet::new(cfg.rejected_capacity);
+        let rejected = RejectedRing::new(cfg.rejected_capacity);
         let fallback = MaxClient::new(cfg.fallback_max_flows.max(1));
         let faults = FaultPlan::from_env(registry);
         admittance.set_fault_plan(faults.clone());
@@ -377,8 +361,11 @@ impl Middlebox {
             admittance,
             estimator,
             matrix: TrafficMatrix::empty(),
-            flows: HashMap::new(),
+            flows: FlowMap::new(),
             rejected,
+            wheel: TimerWheel::new(),
+            poll_seq: 0,
+            poll_scratch: Vec::new(),
             last_poll: Instant::ZERO,
             metrics: MiddleboxMetrics::bind(registry),
             decisions: EventRing::new(log_capacity),
@@ -716,20 +703,13 @@ impl Middlebox {
                 match label {
                     Label::Pos => {
                         self.matrix = resulting;
-                        self.flows.insert(
-                            pkt.flow,
-                            FlowState {
-                                kind,
-                                meter: QosMeter::new(),
-                            },
-                        );
+                        self.flows.insert(pkt.flow, FlowState::new(kind));
                         self.metrics.admits.inc();
                         self.decisions.push(event);
                         Action::Forward
                     }
                     Label::Neg => {
-                        let evicted = self.rejected.insert(pkt.flow);
-                        self.metrics.rejected_evictions.add(evicted);
+                        Self::note_rejection(&mut self.rejected, &self.metrics, pkt.flow);
                         self.early.forget(&pkt.flow);
                         self.metrics.rejects.inc();
                         event.verdict = DecisionKind::Reject;
@@ -741,39 +721,90 @@ impl Middlebox {
         }
     }
 
+    /// Push a rejection record into the bounded ring, maintaining the
+    /// eviction counter, the occupancy gauge and the warn-once
+    /// capacity-pressure log. An associated fn so callers can hold
+    /// disjoint borrows of the rest of `self`.
+    fn note_rejection(rejected: &mut RejectedRing, metrics: &MiddleboxMetrics, key: FlowKey) {
+        let ins = rejected.insert(key);
+        metrics.rejected_evictions.add(ins.evicted);
+        metrics.rejected_occupancy.set(rejected.len() as f64);
+        if ins.pressure {
+            eprintln!(
+                "exbox: middlebox rejected-set eviction rate caught up with \
+                 insertions ({} live / {} evicted) — raise rejected_capacity \
+                 or expect re-classification churn",
+                rejected.len(),
+                rejected.evictions(),
+            );
+        }
+    }
+
+    /// Schedule `slot` for the next poll tick unless it is already on
+    /// the wheel. Called on the first QoS report of a flow's window so
+    /// an incremental poll visits exactly the flows with fresh meter
+    /// data. An associated fn for the same disjoint-borrow reason as
+    /// [`Middlebox::note_rejection`].
+    fn schedule_eval(wheel: &mut TimerWheel, fs: &mut FlowState, slot: FlowSlot) {
+        if fs.next_eval == u64::MAX {
+            let deadline = wheel.now() + 1;
+            fs.next_eval = deadline;
+            wheel.schedule(slot, deadline);
+        }
+    }
+
     /// Record a delivery report for an admitted flow (from the AP's
     /// transmission-status feed in a real deployment, or from the
     /// simulator here).
     pub fn record_delivery(&mut self, key: &FlowKey, sent: Instant, received: Instant, size: u32) {
-        if let Some(fs) = self.flows.get_mut(key) {
-            fs.meter.deliver(sent, received, size);
+        if let Some(slot) = self.flows.slot_of(key) {
+            if let Some((_, fs)) = self.flows.get_slot_mut(slot) {
+                fs.meter.deliver(sent, received, size);
+                if self.cfg.poll_wheel {
+                    Self::schedule_eval(&mut self.wheel, fs, slot);
+                }
+            }
         }
     }
 
-    /// Record a drop report for an admitted flow.
+    /// Record a drop report for an admitted flow. Drop-only flows are
+    /// scheduled too: they evaluate to "no estimate" exactly like the
+    /// scan path, but their meters must be reset at the window edge.
     pub fn record_drop(&mut self, key: &FlowKey) {
-        if let Some(fs) = self.flows.get_mut(key) {
-            fs.meter.drop_packet();
+        if let Some(slot) = self.flows.slot_of(key) {
+            if let Some((_, fs)) = self.flows.get_slot_mut(slot) {
+                fs.meter.drop_packet();
+                if self.cfg.poll_wheel {
+                    Self::schedule_eval(&mut self.wheel, fs, slot);
+                }
+            }
         }
     }
 
-    /// A flow ended (FIN/idle-eviction): release its slot.
+    /// A flow ended (FIN/idle-eviction): release its slot. Any pending
+    /// timer-wheel entry goes stale and is skipped at its tick (the
+    /// slot's generation no longer resolves).
     pub fn flow_departed(&mut self, key: &FlowKey) {
         if let Some(fs) = self.flows.remove(key) {
             self.matrix.remove(fs.kind);
             self.metrics.departures.inc();
         }
         self.rejected.remove(key);
+        self.metrics
+            .rejected_occupancy
+            .set(self.rejected.len() as f64);
         self.early.forget(key);
         self.table.remove(key);
     }
 
-    /// Periodic poll (paper §4.3): estimate every admitted flow's QoE
-    /// from its metered QoS, feed the aggregate observation to the
-    /// Admittance Classifier, and re-evaluate each flow against the
-    /// (possibly re-learnt) region. Returns the flows to revoke, in
-    /// deterministic (sorted) order. A no-op before `poll_interval`
-    /// has elapsed since the last poll.
+    /// Periodic poll (paper §4.3): estimate admitted flows' QoE from
+    /// their metered QoS, feed the aggregate observation to the
+    /// Admittance Classifier, and re-evaluate the admitted set against
+    /// the (possibly re-learnt) region. Returns **only the revoked
+    /// flows** (empty when everything was kept — kept flows are tallied
+    /// in the `middlebox.keeps` counter instead of materialised), in
+    /// deterministic admission order, oldest first. A no-op before
+    /// `poll_interval` has elapsed since the last poll.
     pub fn poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
         if now.saturating_since(self.last_poll) < self.cfg.poll_interval {
             return Vec::new();
@@ -791,39 +822,67 @@ impl Middlebox {
         if self.recovering && self.admittance.model_available() {
             self.recovering = false;
         }
+        // One executed poll == one wheel tick. The wheel advances even
+        // through empty polls so deadlines stay aligned with poll_seq.
+        self.poll_seq += 1;
+        let mut scratch = std::mem::take(&mut self.poll_scratch);
+        scratch.clear();
+        if self.cfg.poll_wheel {
+            // Incremental path: only flows whose meters saw traffic
+            // since their last window are due. Departed flows leave
+            // stale slots behind (generation mismatch) — drop them.
+            self.wheel.advance(self.poll_seq, &mut scratch);
+            scratch.retain(|&slot| self.flows.get_slot(slot).is_some());
+        } else {
+            // Fallback scan: the whole arena in insertion order,
+            // reusing the scratch buffer — no per-poll allocation, no
+            // key collection, no sort.
+            self.flows.collect_slots(&mut scratch);
+        }
         if self.flows.is_empty() {
+            self.poll_scratch = scratch;
             return Vec::new();
         }
 
-        let mut keys: Vec<FlowKey> = self.flows.keys().copied().collect();
-        keys.sort();
-
         // Estimate acceptability per flow; the matrix label is the
-        // conjunction (a matrix is achievable iff ALL flows are OK).
+        // conjunction (a matrix is achievable iff ALL flows are OK),
+        // maintained as a count of measured / unacceptable flows.
         // Flows are independent here, so large cells fan the
         // estimation over the thread pool — index-ordered reassembly
         // plus the order-insensitive conjunction keep the outcome
-        // identical for every thread count.
-        let per_flow: Vec<Option<bool>> = {
+        // identical for every thread count. Idle flows (no traffic
+        // this window) yield no evidence on either path: the scan
+        // visits and skips them, the wheel never schedules them.
+        let fold = |(measured, unacceptable): (u64, u64), v: &Option<bool>| match v {
+            Some(ok) => (measured + 1, unacceptable + u64::from(!ok)),
+            None => (measured, unacceptable),
+        };
+        let (measured, unacceptable) = {
             let flows = &self.flows;
             let estimator = &self.estimator;
-            let eval = |key: &FlowKey| {
-                let fs = &flows[key];
+            let eval = |slot: &FlowSlot| -> Option<bool> {
+                let (_, fs) = flows.get_slot(*slot)?;
                 let sample = fs.meter.sample();
                 if sample.throughput_bps <= 0.0 {
-                    None // idle flow: no evidence this window
+                    None // idle or drop-only flow: no evidence
                 } else {
                     Some(estimator.acceptable(fs.kind.class, &sample))
                 }
             };
-            if keys.len() >= PAR_POLL_MIN_FLOWS {
-                ThreadPool::global().parallel_map(keys.len(), |i| eval(&keys[i]))
+            if scratch.len() >= PAR_POLL_MIN_FLOWS {
+                ThreadPool::global()
+                    .parallel_map(scratch.len(), |i| eval(&scratch[i]))
+                    .iter()
+                    .fold((0, 0), fold)
             } else {
-                keys.iter().map(eval).collect()
+                scratch
+                    .iter()
+                    .map(eval)
+                    .fold((0, 0), |acc, v| fold(acc, &v))
             }
         };
-        let measured_any = per_flow.iter().any(|v| v.is_some());
-        let all_ok = per_flow.iter().flatten().all(|&ok| ok);
+        let measured_any = measured > 0;
+        let all_ok = unacceptable == 0;
         // A failed estimation pass (injected here; a wedged AP stats
         // feed in a real deployment) yields no trustworthy labels, so
         // the observation is skipped — re-evaluation against the
@@ -836,54 +895,61 @@ impl Middlebox {
             self.admittance.observe(self.matrix, label);
         }
 
-        // Re-evaluate admitted flows against the current region; an
-        // inadmissible flow is revoked (offload/discontinue is policy,
-        // the middlebox just reports). X_m for an ongoing flow is the
-        // current matrix (it already contains the flow), so the matrix
-        // only changes when a flow is revoked — one decision per
-        // matrix state replaces the old one-evaluation-per-flow loop.
+        // Re-evaluate the admitted set against the current region; an
+        // inadmissible matrix sheds flows (offload/discontinue is
+        // policy, the middlebox just reports). X_m for an ongoing flow
+        // is the current matrix (it already contains the flow), so the
+        // matrix only changes when a flow is revoked — one decision
+        // per matrix state. Revocations shed the oldest admission
+        // first (deterministic arena insertion order); kept flows are
+        // counted in bulk, never materialised.
         let mut verdicts: Vec<(FlowKey, PollVerdict)> = Vec::new();
         if self.admittance.phase() == Phase::Online {
             let (mut label, mut margin) = self.admittance.decide(&self.matrix);
-            for &key in &keys {
-                match label {
-                    Label::Pos => {
-                        verdicts.push((key, PollVerdict::Keep));
-                        self.metrics.keeps.inc();
-                    }
-                    Label::Neg => {
-                        let kind = self.flows[&key].kind;
-                        self.matrix.remove(kind);
-                        self.flows.remove(&key);
-                        let evicted = self.rejected.insert(key);
-                        self.metrics.rejected_evictions.add(evicted);
-                        verdicts.push((key, PollVerdict::Revoke));
-                        self.metrics.revokes.inc();
-                        self.decisions.push(DecisionEvent {
-                            at: now,
-                            flow: key,
-                            class: kind.class,
-                            snr: kind.snr,
-                            verdict: DecisionKind::Revoke,
-                            margin,
-                            reason: DecisionReason::RegionReevaluation,
-                        });
-                        // Removing one flow may already fix the
-                        // matrix; re-check before revoking more.
-                        let (next_label, next_margin) = self.admittance.decide(&self.matrix);
-                        if next_label == Label::Pos {
-                            break;
-                        }
-                        label = next_label;
-                        margin = next_margin;
-                    }
-                }
+            if label == Label::Pos {
+                self.metrics.keeps.add(self.flows.len() as u64);
+            }
+            while label == Label::Neg {
+                let Some((key, kind)) = self.flows.front().map(|(k, fs)| (*k, fs.kind)) else {
+                    break;
+                };
+                self.matrix.remove(kind);
+                self.flows.remove(&key);
+                Self::note_rejection(&mut self.rejected, &self.metrics, key);
+                verdicts.push((key, PollVerdict::Revoke));
+                self.metrics.revokes.inc();
+                self.decisions.push(DecisionEvent {
+                    at: now,
+                    flow: key,
+                    class: kind.class,
+                    snr: kind.snr,
+                    verdict: DecisionKind::Revoke,
+                    margin,
+                    reason: DecisionReason::RegionReevaluation,
+                });
+                // Removing one flow may already fix the matrix;
+                // re-check before revoking more.
+                let (next_label, next_margin) = self.admittance.decide(&self.matrix);
+                label = next_label;
+                margin = next_margin;
             }
         }
-        // Fresh measurement windows for the next poll.
-        for fs in self.flows.values_mut() {
-            fs.meter.reset();
+        // Fresh measurement windows for the next poll. The wheel path
+        // touches only the flows it evaluated (everything else has an
+        // empty meter by construction); revoked flows fail the
+        // generation check and are skipped.
+        if self.cfg.poll_wheel {
+            for &slot in &scratch {
+                if let Some((_, fs)) = self.flows.get_slot_mut(slot) {
+                    fs.meter.reset();
+                    fs.next_eval = u64::MAX;
+                }
+            }
+        } else {
+            self.flows.for_each_value_mut(|fs| fs.meter.reset());
         }
+        scratch.clear();
+        self.poll_scratch = scratch;
         verdicts
     }
 }

@@ -134,10 +134,12 @@ fn counters_match_returned_verdicts_exactly() {
             );
         }
     }
+    // Polls return only revocations; kept flows are tallied in bulk
+    // into `middlebox.keeps` without materialising Keep verdicts.
     let verdicts = mb.poll(Instant::from_secs(10));
     for (_, v) in &verdicts {
         match v {
-            PollVerdict::Keep => keeps += 1,
+            PollVerdict::Keep => unreachable!("polls return revocations only"),
             PollVerdict::Revoke => revokes += 1,
         }
     }
@@ -148,6 +150,22 @@ fn counters_match_returned_verdicts_exactly() {
     assert!(mb
         .poll(Instant::from_secs(10) + Duration::from_millis(1))
         .is_empty());
+
+    // Healthy QoS for the surviving flow: the next poll leaves it
+    // admitted and counts it as kept (one bulk increment per admitted
+    // flow when the matrix re-evaluates inside the region).
+    for i in 0..50u64 {
+        mb.record_delivery(
+            &keys[1],
+            Instant::from_millis(i * 10),
+            Instant::from_millis(i * 10 + 5),
+            1400,
+        );
+    }
+    let kept = mb.poll(Instant::from_secs(20));
+    assert!(kept.is_empty(), "a healthy matrix must revoke nothing");
+    keeps += mb.admitted_flows() as u64;
+    assert_eq!(mb.admitted_flows(), 1);
 
     // One of the two originally admitted flows was revoked; departing
     // both must count exactly one real departure.
@@ -167,15 +185,16 @@ fn counters_match_returned_verdicts_exactly() {
     );
     assert_eq!(snap.counter("middlebox.keeps"), Some(keeps));
     assert_eq!(snap.counter("middlebox.revokes"), Some(revokes));
-    assert_eq!(snap.counter("middlebox.polls"), Some(1));
+    assert_eq!(snap.counter("middlebox.polls"), Some(2));
     assert_eq!(snap.counter("middlebox.departures"), Some(1));
 
-    // One latency observation per arrival decision, one per poll.
+    // One latency observation per arrival decision, one per executed
+    // poll.
     let decide = snap.histogram("middlebox.decision_latency_ns").unwrap();
     assert_eq!(decide.count, admits + rejected_flows);
     assert_eq!(
         snap.histogram("middlebox.poll_latency_ns").unwrap().count,
-        1
+        2
     );
 
     // The classifier's own instruments live in the same registry.

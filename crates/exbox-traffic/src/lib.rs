@@ -23,18 +23,23 @@
 //!   repetition).
 //! * [`merge`] — `tcpreplay`-style merging of per-flow traces into a
 //!   single chronological gateway trace.
+//! * [`scale`] — streamed 10⁵–10⁶-user populations: the same LiveLab
+//!   process as a lazy k-way-merged iterator (O(users + concurrent
+//!   sessions) memory) with flash-crowd and mass-departure regimes.
 //!
 //! All generators are deterministic given their seed.
 
 pub mod conferencing;
 pub mod dist;
 pub mod merge;
+pub mod scale;
 pub mod streaming;
 pub mod web;
 pub mod workload;
 
 pub use conferencing::ConferencingModel;
 pub use merge::merge_traces;
+pub use scale::{EventStream, Regime, ScaledWorkload};
 pub use streaming::StreamingModel;
 pub use web::WebModel;
 pub use workload::{ClassMix, LiveLabGenerator, RandomPattern, WorkloadEvent};

@@ -170,7 +170,7 @@ impl Default for LiveLabGenerator {
 impl LiveLabGenerator {
     /// Mean session duration for one class. Web sessions are short
     /// bursts of browsing; conferencing calls run long.
-    fn mean_session_secs(class: AppClass) -> f64 {
+    pub(crate) fn mean_session_secs(class: AppClass) -> f64 {
         match class {
             AppClass::Web => 240.0,
             AppClass::Streaming => 420.0,
@@ -180,7 +180,7 @@ impl LiveLabGenerator {
 
     /// Relative diurnal activity level for an hour of day — low at
     /// night, peaks at midday and evening, like real usage logs.
-    fn diurnal_weight(hour: f64) -> f64 {
+    pub(crate) fn diurnal_weight(hour: f64) -> f64 {
         debug_assert!((0.0..24.0).contains(&hour));
         // Two soft bumps: 12:00 and 20:00.
         let bump = |centre: f64, width: f64| {
@@ -235,6 +235,16 @@ impl LiveLabGenerator {
             .into_iter()
             .map(|(t, _, e)| (Instant::from_nanos(t), e))
             .collect()
+    }
+
+    /// Stream the same chronological events lazily — identical
+    /// output to [`LiveLabGenerator::events`], O(users + concurrent
+    /// sessions) memory instead of O(total events). This is the
+    /// entry point for the 10⁵–10⁶-user populations in
+    /// [`crate::scale`]; wrap a [`crate::scale::ScaledWorkload`]
+    /// around the generator for flash-crowd / mass-departure regimes.
+    pub fn events_streamed(&self) -> crate::scale::EventStream {
+        crate::scale::ScaledWorkload::new(self.clone(), crate::scale::Regime::Steady).stream()
     }
 
     /// Generate the chronological traffic-matrix sequence: the mix

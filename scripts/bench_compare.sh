@@ -24,6 +24,11 @@
 #    complete at least 2.5× faster (p50) than the 1-shard storm
 #    *within the current run* (sharding pays off); skipped below 4
 #    cores, where the scenarios only measure sharding overhead.
+#  * flow_scale: `PollSteady/wheel` p50 must be at least 5× below
+#    `PollSteady/scan` p50 *within the current run* (incremental
+#    polling pays off at 100k flows), and the streamed soak's peak
+#    RSS (the `FlowSoak/rss_kb` pseudo-record's `n`) must stay under
+#    128 MB (memory O(users + concurrent flows), not O(events)).
 #
 # gateway_throughput runs additionally report the batched-ingest
 # packets/sec headline derived from `GatewayBatch/batched`
@@ -159,6 +164,35 @@ if [ "$bench" = gateway_throughput ]; then
             echo "batched-ingest headline: GatewayBatch/$s serves ${pps} packets/sec (p50)"
         fi
     done
+fi
+
+# Incremental-polling acceptance bar: within the same run, a wheel
+# poll of a 100k-flow cell with a ~1% dirty set must be at least 5×
+# cheaper at the median than the full-arena scan of the same cell.
+# The streamed soak's peak RSS (stashed in the pseudo-record's `n`)
+# must stay bounded — a regression here means the 10⁵-user workload
+# got materialised or per-flow state leaked.
+if [ "$bench" = flow_scale ]; then
+    scan=$(jq -r '.scenarios["PollSteady/scan"].p50_ns // empty' "$current")
+    wheel=$(jq -r '.scenarios["PollSteady/wheel"].p50_ns // empty' "$current")
+    if [ -n "$scan" ] && [ -n "$wheel" ]; then
+        if [ "$(jq -n --argjson w "$wheel" --argjson s "$scan" '$w * 5 <= $s')" = true ]; then
+            echo "incremental-poll bar: wheel p50 ${wheel}ns * 5 <= scan p50 ${scan}ns — ok"
+        else
+            echo "incremental-poll bar FAILED: wheel p50 ${wheel}ns * 5 > scan p50 ${scan}ns"
+            fail=1
+        fi
+    fi
+    rss_ceiling_kb=131072
+    rss=$(jq -r '.scenarios["FlowSoak/rss_kb"].n // empty' "$current")
+    if [ -n "$rss" ] && [ "$rss" -gt 0 ]; then
+        if [ "$rss" -le "$rss_ceiling_kb" ]; then
+            echo "soak RSS bar: peak ${rss} kB <= ${rss_ceiling_kb} kB ceiling — ok"
+        else
+            echo "soak RSS bar FAILED: peak ${rss} kB > ${rss_ceiling_kb} kB ceiling"
+            fail=1
+        fi
+    fi
 fi
 
 exit $fail

@@ -1,0 +1,319 @@
+//! Property tests for the slab flow-state layer (`exbox-core::flowtable`)
+//! and the incremental-polling determinism contract.
+//!
+//! * [`FlowMap`] must behave exactly like `HashMap<FlowKey, V>` plus an
+//!   insertion-order list, under arbitrary churn including slot reuse:
+//!   fresh keys append, overwrites keep position and handle, removal +
+//!   re-insert moves to the tail, stale handles always miss.
+//! * [`RejectedRing`] must behave exactly like a bounded FIFO of live
+//!   records: duplicate inserts are no-ops, departures delete, evictions
+//!   drop the oldest live record only.
+//! * A timer-wheel middlebox (`poll_wheel: true`) must return verdicts
+//!   identical to the full-scan middlebox (`poll_wheel: false`) over any
+//!   interleaving of arrivals, QoS reports, departures and polls — the
+//!   contract that makes `EXBOX_POLL_WHEEL` a pure performance knob.
+
+use std::collections::{HashMap, VecDeque};
+
+use exbox::core::{FlowMap, FlowSlot, RejectedRing};
+use exbox::ml::Label;
+use exbox::net::{AppClass, Direction, FlowKey, Packet, Protocol};
+use exbox::prelude::*;
+use exbox_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+fn key(n: u32) -> FlowKey {
+    FlowKey::synthetic(n, n, 1, Protocol::Tcp)
+}
+
+/// Ops over a small key space so sequences revisit keys (slot reuse,
+/// overwrite, re-insert) instead of only growing.
+fn map_ops_strategy() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    prop::collection::vec((0u8..4, 0u32..12, 0u32..1000), 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `FlowMap` == `HashMap` + insertion-order vector, under any op
+    /// sequence; handles stay stable while live and miss once stale.
+    #[test]
+    fn flowmap_matches_hashmap_model(ops in map_ops_strategy()) {
+        let mut map: FlowMap<u64> = FlowMap::new();
+        let mut model: HashMap<FlowKey, u64> = HashMap::new();
+        let mut order: Vec<FlowKey> = Vec::new();
+        let mut live: HashMap<FlowKey, FlowSlot> = HashMap::new();
+        let mut stale: Vec<FlowSlot> = Vec::new();
+
+        for &(kind, id, val) in &ops {
+            let k = key(id);
+            // Three insert arms to one remove arm keeps the map
+            // populated enough to exercise churn.
+            if kind < 3 {
+                let slot = map.insert(k, val as u64);
+                if model.insert(k, val as u64).is_none() {
+                    order.push(k); // fresh key appends at the tail
+                }
+                if let Some(prev) = live.insert(k, slot) {
+                    prop_assert_eq!(prev, slot, "overwrite must keep the handle");
+                }
+            } else {
+                prop_assert_eq!(map.remove(&k), model.remove(&k));
+                if let Some(slot) = live.remove(&k) {
+                    order.retain(|x| x != &k);
+                    stale.push(slot);
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+            prop_assert_eq!(map.is_empty(), model.is_empty());
+        }
+
+        // Point lookups agree over the whole key space.
+        for id in 0u32..12 {
+            let k = key(id);
+            prop_assert_eq!(map.get(&k), model.get(&k));
+            prop_assert_eq!(map.contains_key(&k), model.contains_key(&k));
+        }
+
+        // Iteration is exactly insertion order, on every access path.
+        let want: Vec<(FlowKey, u64)> = order.iter().map(|k| (*k, model[k])).collect();
+        let via_iter: Vec<(FlowKey, u64)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(&via_iter, &want);
+        prop_assert_eq!(map.front().map(|(k, v)| (*k, *v)), want.first().copied());
+        let mut slots = Vec::new();
+        map.collect_slots(&mut slots);
+        let via_slots: Vec<(FlowKey, u64)> = slots
+            .iter()
+            .map(|&s| {
+                let (k, v) = map.get_slot(s).expect("collected handles are live");
+                (*k, *v)
+            })
+            .collect();
+        prop_assert_eq!(&via_slots, &want);
+
+        // Live handles resolve to their key; stale handles never do,
+        // even when the arena slot was reused since.
+        for (k, slot) in &live {
+            let resolved = map.get_slot(*slot).map(|(kk, vv)| (*kk, *vv));
+            prop_assert_eq!(resolved, Some((*k, model[k])));
+            prop_assert_eq!(map.slot_of(k), Some(*slot));
+        }
+        for slot in &stale {
+            prop_assert!(map.get_slot(*slot).is_none(), "stale handle must miss");
+        }
+    }
+
+    /// `RejectedRing` == a bounded FIFO over live records.
+    #[test]
+    fn rejected_ring_matches_fifo_model(
+        cap in 1usize..6,
+        ops in prop::collection::vec((0u8..3, 0u32..10), 1..200),
+    ) {
+        let mut ring = RejectedRing::new(cap);
+        let mut model: VecDeque<FlowKey> = VecDeque::new();
+        let mut model_evictions = 0u64;
+        let mut model_inserts = 0u64;
+
+        for &(kind, id) in &ops {
+            let k = key(id);
+            if kind < 2 {
+                let ins = ring.insert(k);
+                let mut want_evicted = 0u64;
+                if !model.contains(&k) {
+                    model.push_back(k);
+                    model_inserts += 1;
+                    while model.len() > cap {
+                        model.pop_front();
+                        want_evicted += 1;
+                    }
+                }
+                model_evictions += want_evicted;
+                prop_assert_eq!(ins.evicted, want_evicted);
+            } else {
+                ring.remove(&k);
+                model.retain(|x| x != &k);
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert!(ring.len() <= cap, "ring must stay bounded");
+            for probe in 0u32..10 {
+                let pk = key(probe);
+                prop_assert_eq!(ring.contains(&pk), model.contains(&pk));
+            }
+        }
+        prop_assert_eq!(ring.inserts(), model_inserts);
+        prop_assert_eq!(ring.evictions(), model_evictions);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wheel-poll == scan-poll verdict equivalence on a full middlebox.
+
+fn estimator() -> QoeEstimator {
+    let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+        (0..20)
+            .map(|i| {
+                let q = i as f64 / 19.0;
+                (q, a + b * (-g * q).exp())
+            })
+            .collect()
+    };
+    train_estimator(
+        &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+        QoeEstimator::paper_thresholds(),
+        paper_directions(),
+        exbox::core::qoe::QosScale::new(1e3, 1e8),
+    )
+}
+
+/// A classifier trained online to admit at most 2 streaming flows,
+/// with a small retrain batch so poll observations matter quickly.
+/// Training is deterministic, so both middleboxes get identical models.
+fn trained_classifier(reg: &MetricsRegistry) -> AdmittanceClassifier {
+    let mut ac = AdmittanceClassifier::with_registry(
+        AdmittanceConfig {
+            batch_size: 8,
+            ..AdmittanceConfig::default()
+        },
+        reg,
+    );
+    for n in 0..80u32 {
+        let total = n % 8;
+        let mut mat = TrafficMatrix::empty();
+        for _ in 0..total {
+            mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+        }
+        let y = if total <= 2 { Label::Pos } else { Label::Neg };
+        ac.observe(mat, y);
+    }
+    assert_eq!(ac.phase(), Phase::Online, "fixture must go online");
+    ac
+}
+
+fn middlebox(poll_wheel: bool) -> (Middlebox, MetricsRegistry) {
+    let reg = MetricsRegistry::new();
+    let mut mb = Middlebox::with_registry(
+        MiddleboxConfig {
+            poll_wheel,
+            ..MiddleboxConfig::default()
+        },
+        estimator(),
+        trained_classifier(&reg),
+        &reg,
+    );
+    mb.set_fault_plan(FaultPlan::disabled());
+    (mb, reg)
+}
+
+/// One step of the scripted cell, applied identically to both sides.
+fn apply(mb: &mut Middlebox, t_ms: u64, kind: u8, id: u32) -> Option<Vec<(FlowKey, PollVerdict)>> {
+    let k = key(id);
+    match kind {
+        // Arrival: enough packets to classify (window 8) and decide.
+        0 => {
+            for i in 0..10u64 {
+                let p = Packet::new(
+                    Instant::from_millis(t_ms + 2 * i),
+                    1400,
+                    k,
+                    Direction::Downlink,
+                    i,
+                );
+                mb.process_packet(&p, SnrLevel::High);
+            }
+            None
+        }
+        // Healthy QoS window for the flow (if admitted).
+        1 => {
+            for i in 0..5u64 {
+                mb.record_delivery(
+                    &k,
+                    Instant::from_millis(t_ms + i * 10),
+                    Instant::from_millis(t_ms + i * 10 + 5),
+                    1400,
+                );
+            }
+            None
+        }
+        // Terrible QoS window: near-second delays on tiny packets.
+        2 => {
+            for i in 0..5u64 {
+                mb.record_delivery(
+                    &k,
+                    Instant::from_millis(t_ms + i * 1_000),
+                    Instant::from_millis(t_ms + i * 1_000 + 900),
+                    50,
+                );
+            }
+            None
+        }
+        // Drop-only window: evidence-free on both poll paths.
+        3 => {
+            for _ in 0..3 {
+                mb.record_drop(&k);
+            }
+            None
+        }
+        4 => {
+            mb.flow_departed(&k);
+            None
+        }
+        // Poll (may be an interval no-op; both sides share the clock).
+        _ => Some(mb.poll(Instant::from_millis(t_ms))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Over any schedule of arrivals, deliveries, drops, departures
+    /// and polls, the timer-wheel middlebox returns verdicts, state
+    /// and counters identical to the full-scan middlebox.
+    #[test]
+    fn wheel_polls_equal_scan_polls(
+        ops in prop::collection::vec((0u8..6, 0u32..6), 1..80),
+    ) {
+        let (mut wheel, wheel_reg) = middlebox(true);
+        let (mut scan, scan_reg) = middlebox(false);
+        let mut t_ms: u64 = 0;
+        for &(kind, id) in &ops {
+            // Half a poll interval per step: consecutive polls
+            // alternate between executing and no-op on both sides.
+            t_ms += 1_000;
+            let w = apply(&mut wheel, t_ms, kind, id);
+            let s = apply(&mut scan, t_ms, kind, id);
+            prop_assert_eq!(w, s, "poll verdicts diverged at t={}ms", t_ms);
+            prop_assert_eq!(wheel.admitted_flows(), scan.admitted_flows());
+            prop_assert_eq!(wheel.matrix(), scan.matrix());
+        }
+        // Final poll after a full interval: flush any pending window.
+        t_ms += 5_000;
+        prop_assert_eq!(
+            apply(&mut wheel, t_ms, 5, 0),
+            apply(&mut scan, t_ms, 5, 0)
+        );
+
+        // The learnt state and the exact counter trail must agree —
+        // same observations fed, same revocations taken.
+        prop_assert_eq!(
+            wheel.admittance().num_samples(),
+            scan.admittance().num_samples()
+        );
+        prop_assert_eq!(
+            wheel.admittance().retrain_count(),
+            scan.admittance().retrain_count()
+        );
+        let (w, s) = (wheel_reg.snapshot(), scan_reg.snapshot());
+        for name in [
+            "middlebox.packets",
+            "middlebox.admits",
+            "middlebox.rejects",
+            "middlebox.keeps",
+            "middlebox.revokes",
+            "middlebox.polls",
+            "middlebox.departures",
+            "admittance.observations",
+        ] {
+            prop_assert_eq!(w.counter(name), s.counter(name), "counter {}", name);
+        }
+    }
+}

@@ -465,6 +465,107 @@ fn batched_shard_verdicts_stable_under_republication() {
     assert_eq!(got, expect, "republication changed a batched verdict");
 }
 
+/// Flow-table churn on really-threaded shards: each thread drives its
+/// own shard through repeated admit → deliver → depart → re-admit
+/// cycles with a deliberately tiny rejected ring, exercising slab slot
+/// reuse, ring eviction/removal and timer-wheel polls concurrently
+/// against the shared traffic matrix. Run under TSan in CI. Per-shard
+/// flow counts must match the thread's ground truth and the shared
+/// matrix must equal the surviving admissions exactly.
+#[test]
+fn shard_flow_tables_survive_concurrent_churn() {
+    let shards_n = 4usize;
+    let cfg = GatewayConfig {
+        shards: shards_n,
+        middlebox: MiddleboxConfig {
+            // Small enough that rejected-flow churn forces evictions.
+            rejected_capacity: 8,
+            ..MiddleboxConfig::default()
+        },
+        ..GatewayConfig::default()
+    };
+    let mut gw = ConcurrentGateway::serving_only(cfg, estimator(), trained_snapshot());
+
+    // Pre-partition flow ids by owner shard so each thread only ever
+    // touches its own shard.
+    let mut per_shard_ids: Vec<Vec<u32>> = vec![Vec::new(); shards_n];
+    let mut id = 0u32;
+    while per_shard_ids.iter().any(|v| v.len() < 48) {
+        id += 1;
+        let owner = gw.shard_for(&flow_key(id));
+        if per_shard_ids[owner].len() < 48 {
+            per_shard_ids[owner].push(id);
+        }
+    }
+
+    let shards = gw.take_shards();
+    let handles: Vec<_> = shards
+        .into_iter()
+        .zip(per_shard_ids.iter().cloned())
+        .map(|(mut shard, ids)| {
+            std::thread::spawn(move || {
+                let mut rng = Lcg(0x51AB ^ (shard.id() as u64 + 1));
+                let mut open: Vec<u32> = Vec::new();
+                let mut t_ms = 0u64;
+                for _round in 0..3 {
+                    for &id in &ids {
+                        t_ms += 50;
+                        if open.contains(&id) {
+                            continue;
+                        }
+                        let key = flow_key(id);
+                        let last = streaming_pkts(key, 12)
+                            .iter()
+                            .map(|p| shard.process_packet(p, SnrLevel::High))
+                            .last()
+                            .unwrap();
+                        match last {
+                            Action::Forward => {
+                                shard.record_delivery(
+                                    &key,
+                                    Instant::from_millis(t_ms),
+                                    Instant::from_millis(t_ms + 5),
+                                    1400,
+                                );
+                                open.push(id);
+                            }
+                            Action::Drop => {
+                                // Sometimes a rejected flow departs too:
+                                // the ring-removal (stale-entry) path.
+                                if rng.next().is_multiple_of(3) {
+                                    shard.flow_departed(&key);
+                                }
+                            }
+                        }
+                        // Seeded churn: admitted departures free arena
+                        // slots for reuse by later re-admissions.
+                        if !open.is_empty() && rng.next().is_multiple_of(2) {
+                            let victim =
+                                open.swap_remove((rng.next() % open.len() as u64) as usize);
+                            shard.flow_departed(&flow_key(victim));
+                        }
+                        if id.is_multiple_of(8) {
+                            shard.poll(Instant::from_millis(t_ms));
+                        }
+                    }
+                }
+                assert_eq!(
+                    shard.admitted_flows(),
+                    open.len(),
+                    "shard {} flow table diverged from ground truth",
+                    shard.id()
+                );
+                open.len() as u32
+            })
+        })
+        .collect();
+    let open_total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    // Only surviving admissions occupy the shared matrix.
+    assert_eq!(gw.matrix().total(), open_total);
+    assert!(open_total >= 1, "churn must leave some admitted flows");
+}
+
 /// The trainer-side checkpoint path: written off the packet path,
 /// counted on the trainer registry, and restorable into a gateway
 /// that reaches the same verdicts.
