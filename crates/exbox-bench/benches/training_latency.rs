@@ -19,6 +19,17 @@
 //!   committed `BENCH_BASELINE.json` pins the cold cost; the
 //!   acceptance bar is retrain p50 at least 2× below it.
 //!
+//! The retrain fast path (DESIGN.md §8) adds:
+//!
+//! * `GramBuild/{scalar,simd}` — the kernel-matrix build under each
+//!   engine, forced explicitly so both run on every build config, with
+//!   an in-process bit-identity assertion.
+//! * `RetrainSteady/{cold,warm,incremental}` — the same store retrained
+//!   from zero, warm-started with a full Gram rebuild, and
+//!   warm-started through the persistent kernel cache after a Δ = 20
+//!   row append (`bench_compare.sh` holds incremental to ≥2× under
+//!   warm).
+//!
 //! Hand-rolled timing harness (the offline sandbox has no crates.io
 //! access, so no Criterion). Default output is CSV; `--json` emits
 //! the document `scripts/bench_compare.sh` consumes, `--quick`
@@ -28,6 +39,7 @@ use std::hint::black_box;
 
 use exbox_bench::{bench_args, emit_records, measure, BenchRecord};
 use exbox_ml::prelude::*;
+use exbox_ml::{gram_matrix_with_engine, PersistentKernelCache};
 use exbox_obs::buckets;
 
 /// A noisy two-region dataset in traffic-matrix-like feature space.
@@ -136,6 +148,98 @@ fn main() {
         &bounds,
         || {
             black_box(trainer.fit_warm(black_box(&scaled), Some(fit.warm_start())));
+        },
+    ));
+
+    // Gram-build engines, forced explicitly so both run on every build
+    // config (the lanes code is always compiled; the `simd` feature
+    // only changes the default selection). The outputs are
+    // bit-identical by the DESIGN.md §6 contract — asserted here, not
+    // just in tests, so the speedup bar can never be won by drift.
+    // Measured at 1,000 rows: a 2,000² Gram is 32 MB of writes and
+    // memory bandwidth swallows the lane win; 1,000² (8 MB) keeps the
+    // build compute-bound, which is also the regime the classifier's
+    // periodic retrains live in.
+    let pool = exbox_par::ThreadPool::global();
+    let gram_reps = if args.quick { 3 } else { 8 };
+    let gn = if args.quick { n } else { 1000 };
+    let gram_ds = dataset(gn);
+    let gram_scaled = StandardScaler::fit(&gram_ds).transform_dataset(&gram_ds);
+    records.push(measure(
+        "GramBuild/scalar",
+        gn,
+        1,
+        gram_reps,
+        &bounds,
+        || {
+            black_box(gram_matrix_with_engine(
+                Kernel::rbf_default(6),
+                black_box(&gram_scaled),
+                &pool,
+                KernelEngine::Scalar,
+            ));
+        },
+    ));
+    records.push(measure("GramBuild/simd", gn, 1, gram_reps, &bounds, || {
+        black_box(gram_matrix_with_engine(
+            Kernel::rbf_default(6),
+            black_box(&gram_scaled),
+            &pool,
+            KernelEngine::Lanes,
+        ));
+    }));
+    let g_scalar = gram_matrix_with_engine(
+        Kernel::rbf_default(6),
+        &gram_scaled,
+        &pool,
+        KernelEngine::Scalar,
+    );
+    let g_lanes = gram_matrix_with_engine(
+        Kernel::rbf_default(6),
+        &gram_scaled,
+        &pool,
+        KernelEngine::Lanes,
+    );
+    assert!(
+        g_scalar
+            .iter()
+            .zip(&g_lanes)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "engine Grams must be bit-identical"
+    );
+
+    // Steady-state retrain triptych at the same store size:
+    //   cold        — from-zero fit, full Gram + full SMO;
+    //   warm        — warm-started dual state, but the Gram is still
+    //                 rebuilt from scratch (the pre-cache behaviour);
+    //   incremental — warm start + persistent kernel cache: each rep
+    //                 replays a store that grew by Δ = 20 rows, so
+    //                 only those rows' Gram entries are evaluated.
+    let delta = 20.min(n / 2);
+    records.push(measure("RetrainSteady/cold", n, 1, reps, &bounds, || {
+        black_box(trainer.fit_warm(black_box(&scaled), None));
+    }));
+    records.push(measure("RetrainSteady/warm", n, 1, reps, &bounds, || {
+        black_box(trainer.fit_warm(black_box(&scaled), Some(fit.warm_start())));
+    }));
+    let mut cache = PersistentKernelCache::new();
+    trainer.fit_warm_cached(&scaled, None, &mut cache);
+    records.push(measure(
+        "RetrainSteady/incremental",
+        n,
+        1,
+        reps,
+        &bounds,
+        || {
+            // Rewind the cache by Δ rows: the fit then pays exactly
+            // one incremental append (Δ fresh Gram rows) plus the
+            // warm-started SMO replay.
+            cache.truncate(n - delta);
+            black_box(trainer.fit_warm_cached(
+                black_box(&scaled),
+                Some(fit.warm_start()),
+                &mut cache,
+            ));
         },
     ));
 

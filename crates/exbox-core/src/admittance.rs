@@ -9,10 +9,36 @@
 //!   threshold, the classifier goes online.
 //! * **Online phase** — each arrival is classified admissible /
 //!   inadmissible; after every batch of `B` recorded outcomes the
-//!   model retrains on everything observed so far, with repeated
-//!   traffic matrices taking their *latest* observed label (the
-//!   paper's freshness rule, which is what lets ExBox adapt when the
-//!   network itself changes — Fig. 11).
+//!   model retrains on the sample store, with repeated traffic
+//!   matrices taking their *latest* observed label (the paper's
+//!   freshness rule, which is what lets ExBox adapt when the network
+//!   itself changes — Fig. 11). The store is append-only with
+//!   in-place label replacement; with
+//!   [`AdmittanceConfig::max_samples`] set (`EXBOX_MAX_SAMPLES`) it is
+//!   bounded by deterministic seeded stratified-reservoir compaction,
+//!   so steady-state retrain cost is O(cap) rather than growing with
+//!   everything ever observed.
+//!
+//! ## Training fast path
+//!
+//! Retrains are engineered to cost O(Δ·n) in kernel evaluations, not
+//! O(n²), in the steady state (DESIGN.md §8):
+//!
+//! * A [`PersistentKernelCache`] is carried across warm retrains; it
+//!   validates the stored feature rows bit-exactly against the new
+//!   (scaled) dataset and recomputes only the Gram rows/columns for
+//!   fresh samples. `admittance.gram_incremental_rows` records how
+//!   many rows each retrain actually evaluated.
+//! * [`AdmittanceConfig::sticky_scaler`] keeps the fitted
+//!   [`StandardScaler`] across retrains (refitting only after
+//!   compaction), which is what keeps previously-scaled rows
+//!   bit-stable so the cache can reuse them. Off by default: the
+//!   per-retrain refit matches the paper's batch procedure exactly.
+//! * Gram evaluation routes through the lane-blocked engine of
+//!   DESIGN.md §6 when the `simd` feature (or
+//!   `EXBOX_KERNEL_ENGINE=lanes`) selects it — bit-identical to the
+//!   scalar path by the ordered-reduction contract, so cached, SIMD
+//!   and cold scalar retrains all produce the same model bits.
 //!
 //! ## Serving fast path
 //!
@@ -56,6 +82,13 @@ struct AdmittanceMetrics {
     retrain_wall_ns: Arc<Histogram>,
     /// `admittance.train_batch_samples` — store size at each retrain.
     train_batch_samples: Arc<Histogram>,
+    /// `admittance.gram_incremental_rows` — kernel-matrix rows the
+    /// persistent cache actually evaluated per retrain (Δ for an
+    /// append, the full store after an invalidation, 0 for a replay).
+    gram_incremental_rows: Arc<Histogram>,
+    /// `admittance.store_compactions` — stratified-reservoir
+    /// compactions of the bounded sample store.
+    store_compactions: Arc<Counter>,
     /// `admittance.smo_iterations` — SMO α-pair optimisation steps per
     /// SVM retrain (absent for non-SVM backends).
     smo_iterations: Arc<Histogram>,
@@ -94,7 +127,10 @@ impl AdmittanceMetrics {
             bootstrap_exits: reg.counter("admittance.bootstrap_exits"),
             retrain_wall_ns: reg.histogram("admittance.retrain_wall_ns", &buckets::latency_ns()),
             train_batch_samples: reg
-                .histogram("admittance.train_batch_samples", &buckets::counts()),
+                .histogram("admittance.train_batch_samples", &buckets::counts_wide()),
+            gram_incremental_rows: reg
+                .histogram("admittance.gram_incremental_rows", &buckets::counts_wide()),
+            store_compactions: reg.counter("admittance.store_compactions"),
             smo_iterations: reg.histogram("admittance.smo_iterations", &buckets::counts()),
             warm_start_alphas: reg.histogram("admittance.warm_start_alphas", &buckets::counts()),
             shrunk_fraction: reg.histogram("svm.shrunk_fraction", &buckets::unit()),
@@ -182,6 +218,24 @@ pub struct AdmittanceConfig {
     /// construction, which is how the CI determinism check runs the
     /// figure binaries cache-off without a code change.
     pub decision_cache_size: usize,
+    /// Bound on the sample store (distinct matrices); `0` keeps the
+    /// store unbounded (the paper's "all observed so far"). When the
+    /// store exceeds the bound, deterministic seeded
+    /// stratified-reservoir compaction shrinks it to ¾ of the cap
+    /// (hysteresis, so compaction is amortised rather than
+    /// per-observation), keeping at least one sample of each present
+    /// label so the monotonicity guard can still fire in both
+    /// directions. `EXBOX_MAX_SAMPLES` overrides at construction.
+    pub max_samples: usize,
+    /// Reuse the fitted feature scaler across retrains instead of
+    /// refitting on every batch (it is still refitted after a
+    /// compaction, which changes the store distribution). Keeping the
+    /// scaler fixed keeps previously-scaled rows bit-stable, which is
+    /// what lets the persistent kernel cache reuse its Gram block —
+    /// the enabler for O(Δ·n) incremental retrains. Off by default to
+    /// match the paper's batch procedure (and the committed CSVs)
+    /// exactly.
+    pub sticky_scaler: bool,
 }
 
 impl Default for AdmittanceConfig {
@@ -196,6 +250,8 @@ impl Default for AdmittanceConfig {
             warm_start: true,
             seed: 0xADB0,
             decision_cache_size: 4096,
+            max_samples: 0,
+            sticky_scaler: false,
         }
     }
 }
@@ -337,8 +393,14 @@ pub struct AdmittanceClassifier {
     observations: u64,
     retrain_count: u64,
     scaler: Option<StandardScaler>,
+    /// Sticky-scaler mode only: set by compaction to force a scaler
+    /// refit at the next retrain (the store distribution changed).
+    scaler_stale: bool,
     model: Option<Model>,
     warm: Option<WarmState>,
+    /// Gram matrix carried across warm retrains (rebuildable —
+    /// deliberately not checkpointed).
+    kernel_cache: PersistentKernelCache,
     cache: DecisionCache,
     metrics: AdmittanceMetrics,
     faults: FaultPlan,
@@ -421,6 +483,13 @@ impl AdmittanceClassifier {
                 cfg.decision_cache_size = n;
             }
         }
+        if let Ok(v) = std::env::var("EXBOX_MAX_SAMPLES") {
+            // Zero is valid (unbounded), so any usize passes; garbage
+            // warns and keeps the configured bound.
+            if let Some(n) = exbox_par::parse_env_knob::<usize>("EXBOX_MAX_SAMPLES", &v, |_| true) {
+                cfg.max_samples = n;
+            }
+        }
         let cache = DecisionCache::new(cfg.decision_cache_size);
         AdmittanceClassifier {
             cfg,
@@ -431,8 +500,10 @@ impl AdmittanceClassifier {
             observations: 0,
             retrain_count: 0,
             scaler: None,
+            scaler_stale: false,
             model: None,
             warm: None,
+            kernel_cache: PersistentKernelCache::new(),
             cache,
             metrics: AdmittanceMetrics::bind(registry),
             faults: FaultPlan::disabled(),
@@ -495,6 +566,7 @@ impl AdmittanceClassifier {
             None => {
                 self.index.insert(matrix, self.samples.len());
                 self.samples.push((matrix, label));
+                self.maybe_compact();
             }
         }
         // The monotonicity guard reads the sample store directly, so
@@ -601,6 +673,95 @@ impl AdmittanceClassifier {
         ds
     }
 
+    /// Compact the sample store when it exceeds
+    /// [`AdmittanceConfig::max_samples`]: a deterministic seeded
+    /// stratified reservoir keeps ¾ of the cap (hysteresis),
+    /// allocating survivors proportionally per label with at least one
+    /// sample of each present label, so the monotonicity guard can
+    /// still fire in both directions and retrain cost is O(cap) in the
+    /// steady state.
+    ///
+    /// Determinism: the draw is seeded by `cfg.seed ^ observations`,
+    /// both of which are checkpointed — a restored classifier compacts
+    /// identically, and no thread pool is involved so `EXBOX_THREADS`
+    /// cannot change the outcome (property-tested).
+    fn maybe_compact(&mut self) {
+        let cap = self.cfg.max_samples;
+        let n = self.samples.len();
+        if cap == 0 || n <= cap {
+            return;
+        }
+        let target = (cap * 3 / 4).clamp(2, n);
+        let pos: Vec<usize> = (0..n)
+            .filter(|&i| self.samples[i].1 == Label::Pos)
+            .collect();
+        let neg: Vec<usize> = (0..n)
+            .filter(|&i| self.samples[i].1 == Label::Neg)
+            .collect();
+        // Proportional allocation, ≥1 per non-empty stratum, spare
+        // capacity rebalanced to whichever stratum can absorb it.
+        let mut keep_pos = ((pos.len() * target + n / 2) / n)
+            .clamp(usize::from(!pos.is_empty()), pos.len())
+            .min(target);
+        let mut keep_neg = (target - keep_pos).clamp(usize::from(!neg.is_empty()), neg.len());
+        let spare = target.saturating_sub(keep_pos + keep_neg);
+        keep_pos = (keep_pos + spare).min(pos.len());
+        let spare = target.saturating_sub(keep_pos + keep_neg);
+        keep_neg = (keep_neg + spare).min(neg.len());
+
+        let mut state = self.cfg.seed ^ self.observations ^ 0x5EED_C0DE;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        // Partial Fisher-Yates: an exact uniform k-of-n draw per
+        // stratum.
+        let mut pick = |stratum: &[usize], k: usize| -> Vec<usize> {
+            let mut v = stratum.to_vec();
+            let m = v.len();
+            for i in 0..k.min(m) {
+                let j = i + (next() % (m - i) as u64) as usize;
+                v.swap(i, j);
+            }
+            v.truncate(k.min(m));
+            v
+        };
+        let mut retained = pick(&pos, keep_pos);
+        retained.extend(pick(&neg, keep_neg));
+        // Ascending store order: survivors keep their relative
+        // insertion order, so a compaction that happens to retain a
+        // pure prefix stays reusable by the persistent kernel cache.
+        retained.sort_unstable();
+
+        let old = std::mem::take(&mut self.samples);
+        let old_warm = self.warm.take();
+        self.index.clear();
+        self.samples.reserve(retained.len());
+        for &i in &retained {
+            let (m, y) = old[i];
+            self.index.insert(m, self.samples.len());
+            self.samples.push((m, y));
+        }
+        // Subset the warm-start duals to the survivors; the Σαy = 0
+        // constraint is repaired inside the next fit_warm.
+        if let Some(w) = old_warm {
+            self.warm = Some(WarmState {
+                alphas: retained
+                    .iter()
+                    .map(|&i| w.alphas.get(i).copied().unwrap_or((old[i].1, 0.0)))
+                    .collect(),
+                bias: w.bias,
+            });
+        }
+        // Dropped rows change what the monotonicity guard and the next
+        // scaler fit see.
+        self.cache.invalidate();
+        self.scaler_stale = true;
+        self.metrics.store_compactions.inc();
+    }
+
     /// Previous dual state aligned to the *current* store: the carried
     /// α for each sample whose label is unchanged since the last fit,
     /// 0 for flipped or new samples. `None` when warm starting is off
@@ -644,8 +805,16 @@ impl AdmittanceClassifier {
         let batch = ds.len();
         let cfg = &self.cfg;
         let carried = self.carried_warm();
-        let (fitted, wall_ns) = exbox_obs::time_ns(|| {
-            let scaler = StandardScaler::fit(&ds);
+        // Sticky-scaler mode reuses the fitted scaler so the scaled
+        // rows stay bit-stable across retrains — the enabler for the
+        // persistent cache's incremental Gram reuse. A compaction
+        // marks it stale (the store distribution changed).
+        let prev_scaler = (cfg.sticky_scaler && !self.scaler_stale)
+            .then(|| self.scaler.clone())
+            .flatten();
+        let kcache = &mut self.kernel_cache;
+        let (fitted, wall_ns) = exbox_obs::time_ns(move || {
+            let scaler = prev_scaler.unwrap_or_else(|| StandardScaler::fit(&ds));
             let scaled = scaler.transform_dataset(&ds);
             let fit = match Self::svm_trainer(cfg, scaled.dims()) {
                 Some(trainer) => {
@@ -660,7 +829,7 @@ impl AdmittanceClassifier {
                     let warm = carried
                         .as_ref()
                         .map(|(alpha, bias)| WarmStart { alpha, bias: *bias });
-                    Fitted::Svm(trainer.fit_warm(&scaled, warm))
+                    Fitted::Svm(trainer.fit_warm_cached(&scaled, warm, kcache))
                 }
                 None => match cfg.backend {
                     ClassifierBackend::Logistic => {
@@ -703,8 +872,16 @@ impl AdmittanceClassifier {
         };
         self.metrics.retrain_wall_ns.record(wall_ns);
         self.metrics.train_batch_samples.record(batch as f64);
+        if self.kernel_cache.len() == batch {
+            // The cached path ran: record how much of the Gram this
+            // retrain actually had to evaluate.
+            self.metrics
+                .gram_incremental_rows
+                .record(self.kernel_cache.last_fresh_rows() as f64);
+        }
         self.metrics.retrains.inc();
         self.scaler = Some(scaler);
+        self.scaler_stale = false;
         self.model = Some(model);
         self.retrain_count += 1;
         self.backoff.on_success();
@@ -1487,6 +1664,206 @@ mod tests {
                         "margin not bit-exact at {m:?}"
                     );
                 }
+            }
+        }
+    }
+
+    /// Feed `n` distinct matrices (spanning both labels) on top of the
+    /// bootstrap grid.
+    fn feed_distinct(ac: &mut AdmittanceClassifier, n: u32) {
+        for i in 0..n {
+            let m = matrix(i % 9, (i / 9) % 9, i / 81);
+            ac.observe(m, truth(&m));
+        }
+    }
+
+    #[test]
+    fn bounded_store_compacts_deterministically() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            let mut ac = AdmittanceClassifier::with_registry(
+                AdmittanceConfig {
+                    batch_size: 25,
+                    max_samples: 60,
+                    ..AdmittanceConfig::default()
+                },
+                &reg,
+            );
+            feed_bootstrap(&mut ac);
+            feed_distinct(&mut ac, 300);
+            (ac, reg)
+        };
+        let (a, reg) = build();
+        assert!(
+            a.num_samples() <= 60,
+            "store must stay within the bound, got {}",
+            a.num_samples()
+        );
+        let compactions = reg
+            .snapshot()
+            .counter("admittance.store_compactions")
+            .unwrap_or(0);
+        assert!(compactions > 0, "the bound must have forced compactions");
+        // Both labels survive every compaction so the monotone guard
+        // and the trainer keep working in both directions.
+        let has = |ac: &AdmittanceClassifier, l: Label| ac.samples.iter().any(|&(_, y)| y == l);
+        assert!(has(&a, Label::Pos) && has(&a, Label::Neg));
+        // Same feed ⇒ bit-identical store, independent of environment.
+        let (b, _) = build();
+        assert_eq!(a.samples, b.samples, "compaction must be deterministic");
+        // The index stays consistent with the compacted store.
+        for (i, (m, _)) in a.samples.iter().enumerate() {
+            assert_eq!(a.index.get(m), Some(&i));
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_classifier_learnable() {
+        let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+            batch_size: 25,
+            max_samples: 80,
+            monotone_guard: true,
+            ..AdmittanceConfig::default()
+        });
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.phase(), Phase::Online);
+        feed_distinct(&mut ac, 400);
+        // The boundary is still learnt despite the bounded store.
+        assert_eq!(ac.classify(&matrix(1, 1, 0)), Label::Pos);
+        assert_eq!(ac.classify(&matrix(8, 8, 8)), Label::Neg);
+        // Guard verdicts only ever derive from retained samples, all
+        // of which carry their observed labels — a dominated-by-Pos
+        // query stays Pos, a dominating-a-Neg query stays Neg.
+        assert_eq!(ac.dominance_label(&matrix(0, 0, 0)), Some(Label::Pos));
+        assert_eq!(ac.dominance_label(&matrix(20, 20, 20)), Some(Label::Neg));
+    }
+
+    #[test]
+    fn sticky_scaler_enables_incremental_gram_reuse() {
+        let reg = MetricsRegistry::new();
+        let mut ac = AdmittanceClassifier::with_registry(
+            AdmittanceConfig {
+                batch_size: 1_000,
+                sticky_scaler: true,
+                ..AdmittanceConfig::default()
+            },
+            &reg,
+        );
+        feed_bootstrap(&mut ac);
+        assert_eq!(ac.retrain_count(), 1, "bootstrap exit trains cold once");
+        let fresh_rows = |reg: &MetricsRegistry| {
+            reg.snapshot()
+                .histogram("admittance.gram_incremental_rows")
+                .expect("cached retrains record fresh rows")
+                .sum
+        };
+        // The bootstrap exit trained mid-feed; absorb the growth since
+        // so the store matches the cache exactly.
+        ac.retrain();
+        let cold_rows = fresh_rows(&reg);
+        assert!(cold_rows > 0.0, "cold fit evaluates the full Gram");
+        // Grow the store by a handful of rows: with the scaler held
+        // fixed, the cached retrain evaluates only the fresh rows.
+        let n0 = ac.num_samples();
+        for w in 4..8 {
+            let m = matrix(w, 4, 4);
+            ac.observe(m, truth(&m));
+        }
+        let delta = ac.num_samples() - n0;
+        assert!(delta > 0);
+        ac.retrain();
+        let grown = fresh_rows(&reg) - cold_rows;
+        assert_eq!(
+            grown, delta as f64,
+            "sticky-scaler retrain must be incremental: {grown} rows for Δ = {delta}"
+        );
+        // Unchanged store ⇒ zero fresh rows.
+        ac.retrain();
+        assert_eq!(
+            fresh_rows(&reg) - cold_rows,
+            grown,
+            "replay evaluates nothing"
+        );
+    }
+
+    mod compaction_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Bounded-store invariants under arbitrary feeds: the
+            /// store never exceeds the cap, identical feeds compact
+            /// bit-identically (no thread pool is ever consulted, so
+            /// `EXBOX_THREADS` cannot perturb it), every survivor is a
+            /// genuine observation carrying its latest label — which
+            /// is what keeps monotone-guard verdicts sound — and both
+            /// labels survive whenever the history produced both.
+            #[test]
+            fn compaction_is_deterministic_bounded_and_sound(
+                feed in prop::collection::vec((0u32..10, 0u32..10, 0u32..6), 60..220),
+                cap in 30usize..80,
+            ) {
+                let build = || {
+                    let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+                        batch_size: 50,
+                        max_samples: cap,
+                        monotone_guard: true,
+                        ..AdmittanceConfig::default()
+                    });
+                    let mut latest: HashMap<TrafficMatrix, Label> = HashMap::new();
+                    for &(w, s, c) in &feed {
+                        let m = matrix(w, s, c);
+                        let y = truth(&m);
+                        latest.insert(m, y);
+                        ac.observe(m, y);
+                    }
+                    (ac, latest)
+                };
+                let (a, latest) = build();
+                let (b, _) = build();
+                prop_assert_eq!(&a.samples, &b.samples, "compaction must be deterministic");
+                prop_assert!(a.num_samples() <= cap, "store exceeded its bound");
+                for (m, y) in &a.samples {
+                    prop_assert_eq!(latest.get(m), Some(y), "survivor not a genuine observation");
+                }
+                for (i, (m, _)) in a.samples.iter().enumerate() {
+                    prop_assert_eq!(a.index.get(m), Some(&i), "index out of sync");
+                }
+                // Labels never flip under the fixed truth, so each
+                // compaction's ≥1-per-stratum rule guarantees both
+                // labels survive to the end whenever both occurred.
+                for want in [Label::Pos, Label::Neg] {
+                    if latest.values().any(|&y| y == want) {
+                        prop_assert!(
+                            a.samples.iter().any(|&(_, y)| y == want),
+                            "label {want:?} lost by compaction"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_refit_scaler_still_matches_uncached_decisions() {
+        // Without sticky_scaler the per-retrain scaler refit rescales
+        // every row, so the persistent cache rebuilds — but decisions
+        // must stay bit-exact with the history before the cache
+        // existed (the committed CSVs pin this globally; this is the
+        // local version).
+        let mut cached = AdmittanceClassifier::new(AdmittanceConfig::default());
+        run_trace(&mut cached);
+        let mut direct = AdmittanceClassifier::new(AdmittanceConfig::default());
+        run_trace(&mut direct);
+        for w in 0..8 {
+            for s in 0..4 {
+                let m = matrix(w, s, 1);
+                assert_eq!(
+                    cached.decision_value(&m).map(f64::to_bits),
+                    direct.decision_value(&m).map(f64::to_bits)
+                );
             }
         }
     }

@@ -67,7 +67,7 @@ use crate::recovery::FaultPlan;
 pub use shard::{GatewayShard, SharedMatrix};
 pub use snapshot::{ModelSnapshot, SnapshotCell, SnapshotGuard, SnapshotReader};
 
-use trainer::{TrainerHandle, TrainerMsg};
+use trainer::{TrainerHandle, TrainerMetrics, TrainerMsg};
 
 /// Environment knob selecting the shard count (positive integer).
 pub const SHARDS_ENV: &str = "EXBOX_SHARDS";
@@ -265,7 +265,10 @@ impl ConcurrentGateway {
                 estimator.clone(),
                 Arc::clone(&cell),
                 Arc::clone(&recovering),
-                trainer_registry.counter("recovery.checkpoint_writes"),
+                TrainerMetrics {
+                    checkpoint_writes: trainer_registry.counter("recovery.checkpoint_writes"),
+                    staleness: trainer_registry.gauge("gateway.snapshot_staleness"),
+                },
                 obs_rx,
                 obs_tx.clone(),
             )

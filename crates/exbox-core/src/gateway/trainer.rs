@@ -59,6 +59,16 @@ pub(crate) enum TrainerMsg {
     Shutdown,
 }
 
+/// The trainer thread's instrument handles, bound to the gateway's
+/// trainer registry before spawn.
+pub(crate) struct TrainerMetrics {
+    /// `recovery.checkpoint_writes` — successful checkpoint files.
+    pub(crate) checkpoint_writes: Arc<exbox_obs::Counter>,
+    /// `gateway.snapshot_staleness` — observations absorbed since the
+    /// last snapshot publish.
+    pub(crate) staleness: Arc<exbox_obs::Gauge>,
+}
+
 /// Handle to the running trainer thread.
 pub(crate) struct TrainerHandle {
     pub(crate) tx: SyncSender<TrainerMsg>,
@@ -80,22 +90,13 @@ impl TrainerHandle {
         estimator: QoeEstimator,
         cell: Arc<SnapshotCell<ModelSnapshot>>,
         recovering: Arc<AtomicBool>,
-        checkpoint_writes: Arc<exbox_obs::Counter>,
+        metrics: TrainerMetrics,
         rx: Receiver<TrainerMsg>,
         tx: SyncSender<TrainerMsg>,
     ) -> Self {
         let join = std::thread::Builder::new()
             .name("exbox-trainer".into())
-            .spawn(move || {
-                run_trainer(
-                    classifier,
-                    estimator,
-                    cell,
-                    recovering,
-                    checkpoint_writes,
-                    rx,
-                )
-            })
+            .spawn(move || run_trainer(classifier, estimator, cell, recovering, metrics, rx))
             .expect("failed to spawn trainer thread");
         TrainerHandle {
             tx,
@@ -132,12 +133,17 @@ fn run_trainer(
     estimator: QoeEstimator,
     cell: Arc<SnapshotCell<ModelSnapshot>>,
     recovering: Arc<AtomicBool>,
-    checkpoint_writes: Arc<exbox_obs::Counter>,
+    metrics: TrainerMetrics,
     rx: Receiver<TrainerMsg>,
 ) -> AdmittanceClassifier {
     // The initial snapshot was published by the gateway constructor at
     // this epoch; later publishes continue from it.
     let mut epoch = cell.publish_count();
+    // `gateway.snapshot_staleness`: observations absorbed into the
+    // store but not yet reflected in the served snapshot. Grows by one
+    // per observation, snaps back to zero on every publish — the
+    // operator-facing measure of how far serving lags learning.
+    let mut lag: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
             TrainerMsg::Observe { matrix, label } => {
@@ -153,12 +159,16 @@ fn run_trainer(
                     if classifier.model_available() {
                         recovering.store(false, Ordering::SeqCst);
                     }
+                    lag = 0;
+                } else {
+                    lag += 1;
                 }
+                metrics.staleness.set(lag as f64);
             }
             TrainerMsg::Checkpoint { path, ack } => {
                 let result = persist::save_checkpoint_to_path(&classifier, &estimator, &path);
                 if result.is_ok() {
-                    checkpoint_writes.inc();
+                    metrics.checkpoint_writes.inc();
                 }
                 let _ = ack.send(result);
             }

@@ -55,7 +55,7 @@
 //! `EXBOX_KERNEL_ENGINE` environment variable (`scalar` / `lanes`)
 //! overrides the default at runtime for A/B measurement.
 
-use crate::kernel::dot;
+use crate::kernel::{dot, Kernel};
 
 /// Rows evaluated per lane block. Four `f64`s fill an AVX2 register;
 /// on narrower targets the four independent chains still hide FP add
@@ -322,6 +322,82 @@ pub fn poly_lanes(
     }
 }
 
+/// Shared lane loop for the training-side kernel-row evaluators:
+/// accumulate one query row's dot product against every block row,
+/// then hand each finished dot to the per-row transform `xf(row, dot)`
+/// in global row order. The per-lane accumulation is the exact scalar
+/// `dot` operation sequence (see the module docs), so the transform
+/// receives bit-identical inputs to a scalar `Kernel::eval_with_norms`
+/// walk over the same rows.
+#[inline(always)]
+fn kernel_rows_body(
+    lanes: &[f64],
+    dims: usize,
+    x: &[f64],
+    out: &mut [f64],
+    xf: impl Fn(usize, f64) -> f64,
+) {
+    debug_assert_eq!(x.len(), dims);
+    for (b, block) in lanes.chunks_exact(dims * LANES).enumerate() {
+        let base = b * LANES;
+        if base >= out.len() {
+            break;
+        }
+        // -0.0: the scalar per-row `dot` folds from the float additive
+        // identity, and sign-of-zero is part of the bits contract.
+        let mut acc = [-0.0f64; LANES];
+        for (col, &xk) in block.chunks_exact(LANES).zip(x) {
+            for (a, &sv) in acc.iter_mut().zip(col) {
+                *a += sv * xk;
+            }
+        }
+        // Clipping to `out` drops the zero-padded tail lanes.
+        let row = &mut out[base..];
+        for (j, o) in row.iter_mut().take(LANES).enumerate() {
+            *o = xf(base + j, acc[j]);
+        }
+    }
+}
+
+/// Lanes-engine **training** kernel row: `out[r] = K(x, rowᵣ)` for
+/// every row of an [`interleave_rows`] buffer, the building block of
+/// the SIMD Gram construction and the on-demand kernel rows in the
+/// SMO's LRU regime. For RBF, `norms[r]` must hold `‖rowᵣ‖²` and `nx`
+/// must hold `‖x‖²`; other kernels ignore both.
+///
+/// Unlike the serving-side [`rbf_lanes`], this path **never** takes
+/// the `fast-math` approximation: Gram bits feed warm-start replay and
+/// the committed `results/*.csv`, so every value is computed with the
+/// exact expression of [`Kernel::eval_with_norms`] and is bit-identical
+/// to the scalar path on every build configuration.
+pub fn kernel_rows_lanes(
+    kernel: Kernel,
+    lanes: &[f64],
+    dims: usize,
+    norms: &[f64],
+    x: &[f64],
+    nx: f64,
+    out: &mut [f64],
+) {
+    match kernel {
+        Kernel::Linear => kernel_rows_body(lanes, dims, x, out, |_, a| a),
+        Kernel::Rbf { gamma } => {
+            debug_assert!(norms.len() >= out.len(), "RBF rows need per-row norms");
+            kernel_rows_body(lanes, dims, x, out, |r, a| {
+                let d2 = (nx + norms[r] - 2.0 * a).max(0.0);
+                (-gamma * d2).exp()
+            })
+        }
+        Kernel::Poly {
+            gamma,
+            coef0,
+            degree,
+        } => kernel_rows_body(lanes, dims, x, out, |_, a| {
+            (gamma * a + coef0).powi(degree as i32)
+        }),
+    }
+}
+
 /// Standardise `x` into `out` with four elements in flight:
 /// `out[k] = (x[k] − mean[k]) / std[k]`. Element-wise, so chunking is
 /// trivially bit-identical to the sequential loop — no feature gate
@@ -447,6 +523,38 @@ mod tests {
                 got.to_bits(),
                 "poly diverged at rows={rows}"
             );
+        }
+    }
+
+    #[test]
+    fn kernel_rows_lanes_matches_eval_with_norms_bitwise() {
+        // The training-row evaluator is exact on every build config
+        // (it never takes the fast-math approximation), so this test
+        // runs unconditionally — unlike the serving-side rbf test.
+        let dims = 6;
+        for rows in [1usize, 3, 4, 5, 8, 107] {
+            let sv = pseudo(21 + rows as u64, rows * dims);
+            let norms: Vec<f64> = sv.chunks_exact(dims).map(|r| dot(r, r)).collect();
+            let lanes = interleave_rows(&sv, dims);
+            let x = pseudo(55, dims);
+            let nx = dot(&x, &x);
+            for kernel in [
+                Kernel::Linear,
+                Kernel::rbf(1.0 / dims as f64),
+                Kernel::poly(0.5, 1.0, 2),
+                Kernel::poly(0.3, 0.5, 4),
+            ] {
+                let mut got = vec![0.0; rows];
+                kernel_rows_lanes(kernel, &lanes, dims, &norms, &x, nx, &mut got);
+                for (r, row) in sv.chunks_exact(dims).enumerate() {
+                    let want = kernel.eval_with_norms(&x, nx, row, norms[r]);
+                    assert_eq!(
+                        want.to_bits(),
+                        got[r].to_bits(),
+                        "row {r}/{rows} diverged for {kernel:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -133,6 +133,67 @@ pub fn gram_matrix(
     g
 }
 
+/// [`gram_matrix`] with an explicit [`KernelEngine`](crate::engine::KernelEngine)
+/// choice. `Scalar` is the reference
+/// build above; `Lanes` walks the same upper triangle but evaluates
+/// each query row against a feature-major lane block of the dataset
+/// ([`crate::engine::kernel_rows_lanes`]), advancing four row dot
+/// products per pass over the query. The lanes build is
+/// **bit-identical** to the scalar build on every configuration — the
+/// training path never takes the `fast-math` approximation — so the
+/// engine choice is purely a throughput knob (benchmarked as
+/// `GramBuild/{scalar,simd}`).
+pub fn gram_matrix_with_engine(
+    kernel: Kernel,
+    data: &crate::data::Dataset,
+    pool: &exbox_par::ThreadPool,
+    engine: crate::engine::KernelEngine,
+) -> Vec<f64> {
+    use crate::engine::{interleave_rows, kernel_rows_lanes, KernelEngine, LANES};
+    let n = data.len();
+    let dims = data.dims();
+    if engine == KernelEngine::Scalar || dims == 0 || n == 0 {
+        return gram_matrix(kernel, data, pool);
+    }
+    let norms = match kernel {
+        Kernel::Rbf { .. } => data.squared_norms(),
+        _ => Vec::new(),
+    };
+    let norm = |i: usize| norms.get(i).copied().unwrap_or(0.0);
+    let mut flat = Vec::with_capacity(n * dims);
+    for i in 0..n {
+        flat.extend_from_slice(data.x(i));
+    }
+    let lanes = interleave_rows(&flat, dims);
+    // Upper-triangle rows as in `gram_matrix`; each row starts at its
+    // lane-block boundary (≤ LANES−1 wasted evaluations per row) and
+    // the j < i prefix is skipped at mirror time — draining it here
+    // would memmove O(n) per row, an O(n²) tax the scalar build never
+    // pays.
+    let rows: Vec<Vec<f64>> = pool.parallel_map(n, |i| {
+        let start = (i / LANES) * LANES;
+        let sub = &lanes[(start / LANES) * dims * LANES..];
+        let nsub = if norms.is_empty() {
+            &norms[..]
+        } else {
+            &norms[start..]
+        };
+        let mut out = vec![0.0; n - start];
+        kernel_rows_lanes(kernel, sub, dims, nsub, data.x(i), norm(i), &mut out);
+        out
+    });
+    let mut g = vec![0.0; n * n];
+    for (i, row) in rows.iter().enumerate() {
+        let start = (i / LANES) * LANES;
+        for (off, &v) in row[i - start..].iter().enumerate() {
+            let j = i + off;
+            g[i * n + j] = v;
+            g[j * n + i] = v;
+        }
+    }
+    g
+}
+
 /// Dot product of two equal-length slices.
 #[inline]
 pub fn dot(x: &[f64], z: &[f64]) -> f64 {
@@ -231,6 +292,46 @@ mod tests {
                 assert_eq!(grams[0].len(), g.len());
                 for (a, b) in grams[0].iter().zip(g) {
                     assert_eq!(a.to_bits(), b.to_bits(), "gram differs across threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrix_engines_agree_bitwise() {
+        use crate::data::{Dataset, Label};
+        use crate::engine::KernelEngine;
+        let mut state = 0x6EA4u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        // Ragged and exact lane-block sample counts.
+        for n in [1usize, 4, 5, 31, 64] {
+            let mut ds = Dataset::new(5);
+            for i in 0..n {
+                let x: Vec<f64> = (0..5).map(|_| (next() % 1000) as f64 / 50.0).collect();
+                let y = if i % 2 == 0 { Label::Pos } else { Label::Neg };
+                ds.push(x, y);
+            }
+            let pool = exbox_par::ThreadPool::new(2);
+            for kernel in [
+                Kernel::Linear,
+                Kernel::rbf(0.4),
+                Kernel::poly(0.5, 1.0, 2),
+                Kernel::poly(0.2, 0.0, 3),
+            ] {
+                let scalar = gram_matrix_with_engine(kernel, &ds, &pool, KernelEngine::Scalar);
+                let lanes = gram_matrix_with_engine(kernel, &ds, &pool, KernelEngine::Lanes);
+                assert_eq!(scalar.len(), lanes.len());
+                for (k, (a, b)) in scalar.iter().zip(&lanes).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "engines diverged at cell {k} for {kernel:?} (n={n})"
+                    );
                 }
             }
         }

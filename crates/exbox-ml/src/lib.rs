@@ -67,12 +67,12 @@ pub use compact::CompactSvm;
 pub use cv::{cross_validate, cross_validate_pooled, CvReport};
 pub use data::{Dataset, Label};
 pub use engine::{determinism_guaranteed, KernelEngine};
-pub use kernel::{gram_matrix, Kernel};
+pub use kernel::{gram_matrix, gram_matrix_with_engine, Kernel};
 pub use linear::{LinearSvm, LinearSvmTrainer};
 pub use logreg::{LogisticRegression, LogisticRegressionTrainer};
 pub use metrics::{BinaryMetrics, ConfusionMatrix};
 pub use scale::{MinMaxScaler, StandardScaler};
-pub use svm::{SvmFit, SvmModel, SvmTrainer, WarmStart};
+pub use svm::{PersistentKernelCache, SvmFit, SvmModel, SvmTrainer, WarmStart};
 
 /// A trained binary classifier over dense `f64` feature vectors.
 ///
@@ -129,6 +129,6 @@ pub mod prelude {
     pub use crate::logreg::{LogisticRegression, LogisticRegressionTrainer};
     pub use crate::metrics::{BinaryMetrics, ConfusionMatrix};
     pub use crate::scale::{MinMaxScaler, StandardScaler};
-    pub use crate::svm::{SvmFit, SvmModel, SvmTrainer, WarmStart};
+    pub use crate::svm::{PersistentKernelCache, SvmFit, SvmModel, SvmTrainer, WarmStart};
     pub use crate::{Classifier, TrainClassifier};
 }

@@ -44,7 +44,8 @@ use std::rc::Rc;
 use exbox_par::ThreadPool;
 
 use crate::data::{Dataset, Label};
-use crate::kernel::{dot, gram_matrix, Kernel};
+use crate::engine::{interleave_rows, kernel_rows_lanes, KernelEngine};
+use crate::kernel::{dot, gram_matrix_with_engine, Kernel};
 use crate::{Classifier, TrainClassifier};
 
 /// Consecutive quiescent-at-bound passes before a multiplier is
@@ -199,35 +200,89 @@ impl SvmTrainer {
     /// Panics if `data` is empty.
     pub fn fit_warm(&self, data: &Dataset, warm: Option<WarmStart<'_>>) -> SvmFit {
         assert!(!data.is_empty(), "cannot train SVM on empty dataset");
+        if let Some(fit) = self.one_class_fit(data) {
+            return fit;
+        }
+        let pool = self.pool.unwrap_or_else(ThreadPool::global);
+        let cache = KernelCache::new(self.kernel, data, self.gram_limit, &pool);
+        self.smo_optimize(data, warm, &cache, &pool)
+    }
+
+    /// [`SvmTrainer::fit_warm`] backed by a [`PersistentKernelCache`]
+    /// carried across retrains: the cache is synchronised against
+    /// `data` first (bit-exact prefix comparison of the stored feature
+    /// rows), so a store that merely grew by Δ rows since the last fit
+    /// computes only the Δ new Gram rows/columns — O(Δ·n) kernel
+    /// evaluations instead of O(n²) — and an unchanged store computes
+    /// none at all. Any prefix mismatch (scaler refit, compaction,
+    /// reordering) falls back to a full rebuild inside the cache.
+    /// Results are bit-identical to [`SvmTrainer::fit_warm`] in every
+    /// case.
+    ///
+    /// Datasets above [`SvmTrainer::gram_limit`] (the LRU row-cache
+    /// regime) and degenerate one-class datasets bypass the persistent
+    /// cache and delegate to `fit_warm` unchanged.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn fit_warm_cached(
+        &self,
+        data: &Dataset,
+        warm: Option<WarmStart<'_>>,
+        cache: &mut PersistentKernelCache,
+    ) -> SvmFit {
+        assert!(!data.is_empty(), "cannot train SVM on empty dataset");
+        if !data.has_both_classes() || data.len() > self.gram_limit {
+            // Bypass regimes never consult the cache again this fit;
+            // drop the stale Gram rather than holding O(n²) memory.
+            cache.invalidate();
+            return self.fit_warm(data, warm);
+        }
+        let pool = self.pool.unwrap_or_else(ThreadPool::global);
+        cache.sync(self.kernel, data, &pool);
+        let kc = KernelCache::from_persistent(self.kernel, data, cache);
+        self.smo_optimize(data, warm, &kc, &pool)
+    }
+
+    /// Degenerate one-class datasets: return a constant classifier
+    /// at the majority sign. The bootstrap phase guards against
+    /// this, but figure harnesses may hit it with tiny batches.
+    fn one_class_fit(&self, data: &Dataset) -> Option<SvmFit> {
+        if data.has_both_classes() {
+            return None;
+        }
+        let sign = data.y(0).signum();
+        Some(SvmFit {
+            model: SvmModel {
+                kernel: self.kernel,
+                support: Vec::new(),
+                coef: Vec::new(),
+                support_norms: Vec::new(),
+                bias: sign,
+                dims: data.dims(),
+                smo_iters: 0,
+                converged: true,
+            },
+            alpha: vec![0.0; data.len()],
+            warm_carried: 0,
+            shrunk_fraction: 0.0,
+        })
+    }
+
+    /// The SMO driver shared by [`SvmTrainer::fit_warm`] and
+    /// [`SvmTrainer::fit_warm_cached`]; `cache` carries the kernel
+    /// values (full Gram or LRU rows) however they were built.
+    fn smo_optimize(
+        &self,
+        data: &Dataset,
+        warm: Option<WarmStart<'_>>,
+        cache: &KernelCache<'_>,
+        pool: &ThreadPool,
+    ) -> SvmFit {
         let n = data.len();
         let dims = data.dims();
-        let pool = self.pool.unwrap_or_else(ThreadPool::global);
-
-        // Degenerate one-class datasets: return a constant classifier
-        // at the majority sign. The bootstrap phase guards against
-        // this, but figure harnesses may hit it with tiny batches.
-        if !data.has_both_classes() {
-            let sign = data.y(0).signum();
-            return SvmFit {
-                model: SvmModel {
-                    kernel: self.kernel,
-                    support: Vec::new(),
-                    coef: Vec::new(),
-                    support_norms: Vec::new(),
-                    bias: sign,
-                    dims,
-                    smo_iters: 0,
-                    converged: true,
-                },
-                alpha: vec![0.0; n],
-                warm_carried: 0,
-                shrunk_fraction: 0.0,
-            };
-        }
-
         let ys: Vec<f64> = (0..n).map(|i| data.y(i).signum()).collect();
         let costs: Vec<f64> = (0..n).map(|i| self.cost_for(data.y(i))).collect();
-        let cache = KernelCache::new(self.kernel, data, self.gram_limit, &pool);
 
         // ---- α initialisation (warm start) -------------------------
         let mut alpha = vec![0.0f64; n];
@@ -275,7 +330,7 @@ impl SvmTrainer {
         let mut err: Vec<f64>;
         if warm_carried > 0 {
             let targets: Vec<usize> = (0..n).collect();
-            let f0 = cache.decision_sums(&alpha, &ys, &targets, &pool);
+            let f0 = cache.decision_sums(&alpha, &ys, &targets, pool);
             err = (0..n).map(|t| f0[t] + b - ys[t]).collect();
         } else {
             err = ys.iter().map(|y| b - y).collect();
@@ -468,7 +523,7 @@ impl SvmTrainer {
                     // stale errors, reactivate everything and demand
                     // one more clean pass over the full set.
                     let targets: Vec<usize> = (0..n).filter(|&t| shrunk[t]).collect();
-                    let sums = cache.decision_sums(&alpha, &ys, &targets, &pool);
+                    let sums = cache.decision_sums(&alpha, &ys, &targets, pool);
                     for (k, &t) in targets.iter().enumerate() {
                         err[t] = sums[k] + b - ys[t];
                     }
@@ -520,7 +575,7 @@ impl SvmTrainer {
             // A capped run can exit mid-shrink with stale errors;
             // reconstruct them so f₀ below is exact.
             let targets: Vec<usize> = (0..n).filter(|&t| shrunk[t]).collect();
-            let sums = cache.decision_sums(&alpha, &ys, &targets, &pool);
+            let sums = cache.decision_sums(&alpha, &ys, &targets, pool);
             for (k, &t) in targets.iter().enumerate() {
                 err[t] = sums[k] + b - ys[t];
             }
@@ -642,6 +697,216 @@ fn support_norms(kernel: Kernel, support: &[Vec<f64>]) -> Vec<f64> {
     }
 }
 
+/// A full Gram matrix either owned by this fit or borrowed from a
+/// [`PersistentKernelCache`] that outlives it.
+enum GramRef<'a> {
+    Owned(Vec<f64>),
+    Borrowed(&'a [f64]),
+}
+
+impl Deref for GramRef<'_> {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        match self {
+            GramRef::Owned(v) => v,
+            GramRef::Borrowed(s) => s,
+        }
+    }
+}
+
+/// A kernel matrix carried across retrains. The cache owns bit-exact
+/// copies of the (scaled) feature rows its Gram was computed from, so
+/// [`PersistentKernelCache::sync`] can decide *by comparison, not by
+/// protocol* how much of the matrix is still valid:
+///
+/// - stored rows are a bit-exact prefix of the new dataset → the old
+///   `n₀ × n₀` block is reused verbatim and only the Δ = n − n₀ new
+///   rows/columns are evaluated (O(Δ·n) kernel evaluations);
+/// - any mismatch — a scaler refit rescaled every row, compaction
+///   removed interior rows, the kernel or dimensionality changed — →
+///   full rebuild.
+///
+/// Label flips never invalidate the cache (the Gram is
+/// label-independent), and the RBF squared-norm precompute is carried
+/// and appended incrementally alongside the matrix. All evaluation
+/// routes through the same arithmetic as a cold
+/// [`SvmTrainer::fit_warm`], so cached fits are bit-identical to
+/// uncached ones.
+///
+/// Memory: O(n²) for the Gram plus O(n·dims) for the row copies, with
+/// `n` capped by [`SvmTrainer::gram_limit`]
+/// ([`SvmTrainer::fit_warm_cached`] bypasses the cache above it).
+#[derive(Debug, Clone, Default)]
+pub struct PersistentKernelCache {
+    kernel: Option<Kernel>,
+    dims: usize,
+    n: usize,
+    /// Flattened copies of the feature rows the Gram was built from.
+    rows: Vec<f64>,
+    /// `‖xᵢ‖²` per row (RBF kernels only; empty otherwise).
+    norms: Vec<f64>,
+    /// Row-major `n × n` kernel matrix.
+    gram: Vec<f64>,
+    fresh_rows: usize,
+}
+
+impl PersistentKernelCache {
+    /// An empty cache; the first [`sync`](Self::sync) fills it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows currently cached.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of Gram rows the last [`sync`](Self::sync) had to
+    /// evaluate: 0 for an unchanged store, Δ for an append, the full
+    /// `n` after an invalidating change.
+    pub fn last_fresh_rows(&self) -> usize {
+        self.fresh_rows
+    }
+
+    /// The cached row-major `len() × len()` Gram matrix.
+    pub fn gram(&self) -> &[f64] {
+        &self.gram
+    }
+
+    /// Drop everything; the next [`sync`](Self::sync) rebuilds from
+    /// scratch.
+    pub fn invalidate(&mut self) {
+        *self = Self {
+            kernel: self.kernel,
+            dims: self.dims,
+            ..Self::default()
+        };
+    }
+
+    /// Keep only the first `keep` rows (no-op when `keep >= len`).
+    /// Shrinks the Gram in place; used by benches and tests to replay
+    /// an append without refeeding a store.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.n {
+            return;
+        }
+        let n = self.n;
+        for i in 0..keep {
+            self.gram.copy_within(i * n..i * n + keep, i * keep);
+        }
+        self.gram.truncate(keep * keep);
+        self.rows.truncate(keep * self.dims);
+        self.norms.truncate(keep.min(self.norms.len()));
+        self.n = keep;
+    }
+
+    fn reset_for(&mut self, kernel: Kernel, dims: usize) {
+        self.kernel = Some(kernel);
+        self.dims = dims;
+        self.n = 0;
+        self.rows.clear();
+        self.norms.clear();
+        self.gram.clear();
+    }
+
+    /// Bring the cache up to date with `data`: validate the stored
+    /// rows bit-exactly against the dataset prefix, reuse what
+    /// matches, evaluate what doesn't (see the type docs for the
+    /// reuse/invalidate rules). Returns the number of Gram rows
+    /// evaluated. Deterministic and thread-count-invariant like every
+    /// other training stage.
+    pub fn sync(&mut self, kernel: Kernel, data: &Dataset, pool: &ThreadPool) -> usize {
+        let n = data.len();
+        let dims = data.dims();
+        let prefix_ok = self.kernel == Some(kernel) && self.dims == dims && {
+            let keep = self.n.min(n);
+            (0..keep).all(|i| {
+                self.rows[i * dims..(i + 1) * dims]
+                    .iter()
+                    .zip(data.x(i))
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            })
+        };
+        if !prefix_ok {
+            self.reset_for(kernel, dims);
+        } else if self.n > n {
+            self.truncate(n);
+        }
+        let n0 = self.n;
+        self.fresh_rows = n - n0;
+        if n0 == n {
+            return 0;
+        }
+        for i in n0..n {
+            self.rows.extend_from_slice(data.x(i));
+        }
+        if matches!(kernel, Kernel::Rbf { .. }) {
+            for i in n0..n {
+                let x = data.x(i);
+                self.norms.push(dot(x, x));
+            }
+        }
+        self.n = n;
+        let engine = KernelEngine::select();
+        if n0 == 0 {
+            // Full rebuild: the triangular builder halves the work.
+            self.gram = gram_matrix_with_engine(kernel, data, pool, engine);
+            return n;
+        }
+        // Incremental append: grow the matrix by a strided copy of the
+        // old block (O(n²) moves, no kernel evaluations), then compute
+        // the Δ fresh rows in full and mirror them into the fresh
+        // columns. A fresh cell (i, j) with j < i is evaluated with
+        // query xᵢ where the triangular builder uses query xⱼ — equal
+        // bits regardless, because IEEE-754 addition and multiplication
+        // commute, so K(xᵢ,xⱼ) and K(xⱼ,xᵢ) share every intermediate
+        // (asserted bit-exactly by the training property suite).
+        let mut g = vec![0.0; n * n];
+        for i in 0..n0 {
+            g[i * n..i * n + n0].copy_from_slice(&self.gram[i * n0..(i + 1) * n0]);
+        }
+        let fresh = n - n0;
+        let norms = &self.norms;
+        let norm = |i: usize| norms.get(i).copied().unwrap_or(0.0);
+        let new_rows: Vec<Vec<f64>> = if engine == KernelEngine::Lanes && dims > 0 {
+            let mut flat = Vec::with_capacity(n * dims);
+            for i in 0..n {
+                flat.extend_from_slice(data.x(i));
+            }
+            let lanes = interleave_rows(&flat, dims);
+            pool.parallel_map(fresh, |k| {
+                let i = n0 + k;
+                let mut out = vec![0.0; n];
+                kernel_rows_lanes(kernel, &lanes, dims, norms, data.x(i), norm(i), &mut out);
+                out
+            })
+        } else {
+            pool.parallel_map(fresh, |k| {
+                let i = n0 + k;
+                let xi = data.x(i);
+                let ni = norm(i);
+                (0..n)
+                    .map(|j| kernel.eval_with_norms(xi, ni, data.x(j), norm(j)))
+                    .collect()
+            })
+        };
+        for (k, row) in new_rows.iter().enumerate() {
+            let i = n0 + k;
+            g[i * n..(i + 1) * n].copy_from_slice(row);
+            for (j, &v) in row.iter().enumerate().take(i) {
+                g[j * n + i] = v;
+            }
+        }
+        self.gram = g;
+        fresh
+    }
+}
+
 /// A kernel-row handle: either a slice of the full Gram matrix or a
 /// shared row from the LRU cache.
 enum RowHandle<'g> {
@@ -696,26 +961,34 @@ impl RowCache {
 }
 
 /// Unified kernel-value access for the SMO: full Gram below the
-/// limit, LRU-cached rows above it, RBF norms precomputed either way.
-/// All evaluations route through [`Kernel::eval_with_norms`], so the
-/// two regimes and every thread count agree bit-for-bit.
+/// limit (owned, or borrowed from a [`PersistentKernelCache`]),
+/// LRU-cached rows above it, RBF norms precomputed either way. All
+/// evaluations route through [`Kernel::eval_with_norms`] or the
+/// bit-identical [`kernel_rows_lanes`] path, so the regimes, engines
+/// and every thread count agree bit-for-bit.
 struct KernelCache<'a> {
     kernel: Kernel,
     data: &'a Dataset,
+    engine: KernelEngine,
     norms: Vec<f64>,
     diag: Vec<f64>,
-    gram: Option<Vec<f64>>,
+    gram: Option<GramRef<'a>>,
+    /// Lazily-built feature-major lane buffer for on-demand rows in
+    /// the LRU regime (lanes engine only).
+    lanes: RefCell<Option<Rc<Vec<f64>>>>,
     lru: RefCell<RowCache>,
 }
 
 impl<'a> KernelCache<'a> {
     fn new(kernel: Kernel, data: &'a Dataset, gram_limit: usize, pool: &ThreadPool) -> Self {
         let n = data.len();
+        let engine = KernelEngine::select();
         let norms = match kernel {
             Kernel::Rbf { .. } => data.squared_norms(),
             _ => Vec::new(),
         };
-        let gram = (n <= gram_limit).then(|| gram_matrix(kernel, data, pool));
+        let gram = (n <= gram_limit)
+            .then(|| GramRef::Owned(gram_matrix_with_engine(kernel, data, pool, engine)));
         let diag: Vec<f64> = match &gram {
             Some(g) => (0..n).map(|i| g[i * n + i]).collect(),
             None => (0..n)
@@ -736,15 +1009,63 @@ impl<'a> KernelCache<'a> {
         KernelCache {
             kernel,
             data,
+            engine,
             norms,
             diag,
             gram,
+            lanes: RefCell::new(None),
             lru: RefCell::new(RowCache {
                 cap,
                 stamp: 0,
                 rows: HashMap::new(),
             }),
         }
+    }
+
+    /// Wrap a synced [`PersistentKernelCache`]: borrow its Gram and
+    /// reuse its squared-norm precompute instead of recomputing
+    /// either. Caller must have called [`PersistentKernelCache::sync`]
+    /// on `cache` with this exact `(kernel, data)` first.
+    fn from_persistent(
+        kernel: Kernel,
+        data: &'a Dataset,
+        cache: &'a PersistentKernelCache,
+    ) -> Self {
+        let n = data.len();
+        debug_assert_eq!(cache.len(), n, "persistent cache not synced to dataset");
+        let diag: Vec<f64> = (0..n).map(|i| cache.gram[i * n + i]).collect();
+        KernelCache {
+            kernel,
+            data,
+            engine: KernelEngine::select(),
+            norms: cache.norms.clone(),
+            diag,
+            gram: Some(GramRef::Borrowed(&cache.gram)),
+            lanes: RefCell::new(None),
+            lru: RefCell::new(RowCache {
+                cap: 0,
+                stamp: 0,
+                rows: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Interleaved feature-major copy of the whole dataset, built on
+    /// first use (LRU regime + lanes engine only).
+    fn lanes_buf(&self) -> Rc<Vec<f64>> {
+        let mut cell = self.lanes.borrow_mut();
+        if let Some(l) = cell.as_ref() {
+            return Rc::clone(l);
+        }
+        let dims = self.data.dims();
+        let n = self.data.len();
+        let mut flat = Vec::with_capacity(n * dims);
+        for i in 0..n {
+            flat.extend_from_slice(self.data.x(i));
+        }
+        let l = Rc::new(interleave_rows(&flat, dims));
+        *cell = Some(Rc::clone(&l));
+        l
     }
 
     #[inline]
@@ -792,7 +1113,22 @@ impl<'a> KernelCache<'a> {
                 if let Some(r) = self.lru.borrow_mut().get(i) {
                     return RowHandle::Shared(r);
                 }
-                let row = Rc::new((0..n).map(|t| self.eval_idx(i, t)).collect::<Vec<f64>>());
+                let row = if self.engine == KernelEngine::Lanes && self.data.dims() > 0 {
+                    let lanes = self.lanes_buf();
+                    let mut out = vec![0.0; n];
+                    kernel_rows_lanes(
+                        self.kernel,
+                        &lanes,
+                        self.data.dims(),
+                        &self.norms,
+                        self.data.x(i),
+                        self.norm(i),
+                        &mut out,
+                    );
+                    Rc::new(out)
+                } else {
+                    Rc::new((0..n).map(|t| self.eval_idx(i, t)).collect::<Vec<f64>>())
+                };
                 self.lru.borrow_mut().insert(i, Rc::clone(&row));
                 RowHandle::Shared(row)
             }
@@ -1319,5 +1655,105 @@ mod tests {
     fn empty_dataset_panics() {
         let ds = Dataset::new(1);
         let _ = SvmTrainer::new(Kernel::Linear).train(&ds);
+    }
+
+    #[test]
+    fn fit_warm_cached_matches_fit_warm_bitwise() {
+        let full = capacity_region(320);
+        let mut prefix = Dataset::new(3);
+        for (x, y) in full.iter().take(300) {
+            prefix.push(x.to_vec(), y);
+        }
+        let trainer = SvmTrainer::new(Kernel::rbf(0.05)).c(10.0);
+        let mut cache = PersistentKernelCache::new();
+
+        let cold = trainer.fit_warm_cached(&prefix, None, &mut cache);
+        assert_eq!(cache.len(), 300);
+        assert_eq!(cache.last_fresh_rows(), 300, "first sync is a full build");
+        let cold_ref = trainer.fit_warm(&prefix, None);
+        assert_eq!(cold.model.bias().to_bits(), cold_ref.model.bias().to_bits());
+
+        // Grow by Δ = 20 rows: only the fresh rows may be evaluated,
+        // and the fit must be bit-identical to the uncached path.
+        let warm = WarmStart {
+            alpha: &cold.alpha,
+            bias: cold.model.bias(),
+        };
+        let inc = trainer.fit_warm_cached(&full, Some(warm), &mut cache);
+        assert_eq!(cache.len(), 320);
+        assert_eq!(cache.last_fresh_rows(), 20, "append must be incremental");
+        let warm_ref = WarmStart {
+            alpha: &cold.alpha,
+            bias: cold.model.bias(),
+        };
+        let reference = trainer.fit_warm(&full, Some(warm_ref));
+        assert_eq!(inc.model.bias().to_bits(), reference.model.bias().to_bits());
+        assert_eq!(inc.alpha.len(), reference.alpha.len());
+        for (a, b) in inc.alpha.iter().zip(&reference.alpha) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (x, _) in full.iter() {
+            assert_eq!(
+                inc.model.decision_value(x).to_bits(),
+                reference.model.decision_value(x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_cache_truncate_then_resync_is_incremental_and_exact() {
+        let data = capacity_region(120);
+        let pool = ThreadPool::new(3);
+        let kernel = Kernel::rbf(0.1);
+        let mut cache = PersistentKernelCache::new();
+        cache.sync(kernel, &data, &pool);
+        let full_gram = cache.gram.clone();
+
+        cache.truncate(90);
+        assert_eq!(cache.len(), 90);
+        let fresh = cache.sync(kernel, &data, &pool);
+        assert_eq!(fresh, 30, "resync after truncate recomputes only Δ");
+        assert_eq!(cache.gram.len(), full_gram.len());
+        for (a, b) in cache.gram.iter().zip(&full_gram) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "incremental gram must match full build"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_cache_invalidates_on_changed_prefix_and_kernel() {
+        let data = capacity_region(60);
+        let pool = ThreadPool::new(2);
+        let kernel = Kernel::rbf(0.1);
+        let mut cache = PersistentKernelCache::new();
+        cache.sync(kernel, &data, &pool);
+        assert_eq!(
+            cache.sync(kernel, &data, &pool),
+            0,
+            "unchanged store is free"
+        );
+
+        // A changed interior row (compaction, scaler refit) forces a
+        // full rebuild.
+        let mut changed = Dataset::new(3);
+        for (i, (x, y)) in data.iter().enumerate() {
+            let mut x = x.to_vec();
+            if i == 10 {
+                x[0] += 1.0;
+            }
+            changed.push(x, y);
+        }
+        assert_eq!(
+            cache.sync(kernel, &changed, &pool),
+            60,
+            "changed prefix rebuilds"
+        );
+
+        // A kernel change also rebuilds.
+        assert_eq!(cache.sync(Kernel::rbf(0.2), &changed, &pool), 60);
+        assert_eq!(cache.last_fresh_rows(), 60);
     }
 }

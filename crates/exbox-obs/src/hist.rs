@@ -45,6 +45,14 @@ pub mod buckets {
     pub fn counts() -> Vec<f64> {
         exponential(1.0, 10.0, 8)
     }
+
+    /// Wide-count grid (1 … ≈10⁹, ×4) for quantities that span from
+    /// single digits to million-user scale — sample-store sizes and
+    /// incremental Gram row counts — without saturating the top
+    /// bucket.
+    pub fn counts_wide() -> Vec<f64> {
+        exponential(1.0, 4.0, 16)
+    }
 }
 
 /// A fixed-bucket histogram of `f64` observations.
@@ -257,5 +265,11 @@ mod tests {
         assert!(buckets::latency_ns().len() > 16);
         assert_eq!(buckets::unit().len(), 20);
         assert!(buckets::counts().starts_with(&[1.0, 10.0]));
+        let wide = buckets::counts_wide();
+        assert!(wide.starts_with(&[1.0, 4.0, 16.0]));
+        assert!(
+            *wide.last().unwrap() >= 1e6,
+            "wide counts must cover million-sample stores"
+        );
     }
 }

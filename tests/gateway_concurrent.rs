@@ -322,6 +322,14 @@ fn snapshot_publish_is_linearizable() {
         assert!(gw.inject_observation(mat, y));
     }
     assert!(gw.flush_trainer());
+    // Give starved reader threads a bounded window to pin the
+    // published snapshot before stopping them — on a loaded
+    // single-core runner a reader can otherwise be descheduled from
+    // first publish straight through to `stop`.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while max_seen.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
     stop.store(true, Ordering::SeqCst);
     for r in readers {
         r.join().unwrap();
