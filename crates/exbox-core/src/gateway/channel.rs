@@ -1,0 +1,240 @@
+//! Bounded MPSC channel for the shard → trainer observation queue.
+//!
+//! A drop-in for the `std::sync::mpsc::sync_channel` subset the
+//! gateway uses (`send`, `try_send`, `recv`, `try_recv`, sender
+//! cloning, disconnect-on-drop semantics — std's error types are
+//! reused verbatim), built on the cfg-selected [`crate::sync`] layer so
+//! the whole channel is model-checkable under `--cfg exbox_loom`: the
+//! explorer drives every interleaving of senders, receiver and
+//! shutdown, proving no message is lost or duplicated and that
+//! `try_send` backpressure accounting is exact (see
+//! `gateway::loom_models`).
+//!
+//! Semantics match `sync_channel` where the gateway relies on them:
+//! FIFO per channel (single receiver), `try_send` fails `Full` at
+//! capacity and `Disconnected` after the receiver dropped, `send`
+//! blocks while full, `recv` blocks while empty and errors once every
+//! sender is gone. Messages still queued when the receiver drops are
+//! dropped with the channel (same as std).
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    rx_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// Create a bounded channel with capacity `cap` (≥ 1).
+pub(crate) fn bounded<T>(cap: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(cap.max(1)),
+            senders: 1,
+            rx_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap: cap.max(1),
+    });
+    (
+        BoundedSender {
+            shared: Arc::clone(&shared),
+        },
+        BoundedReceiver { shared },
+    )
+}
+
+/// Cloneable sending half.
+pub(crate) struct BoundedSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> BoundedSender<T> {
+    /// Blocking send; `Err` returns the value once the receiver is
+    /// gone (matching `SyncSender::send`).
+    pub(crate) fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().expect("channel state poisoned");
+        loop {
+            if !st.rx_alive {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.shared.cap {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .expect("channel state poisoned");
+        }
+    }
+
+    /// Non-blocking send (the shard packet path): `Full` when at
+    /// capacity, `Disconnected` once the receiver is gone.
+    pub(crate) fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.state.lock().expect("channel state poisoned");
+        if !st.rx_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.queue.len() >= self.shared.cap {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .expect("channel state poisoned")
+            .senders += 1;
+        BoundedSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("channel state poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake a receiver blocked in `recv` so it observes the
+            // disconnect.
+            drop(st);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedSender").finish_non_exhaustive()
+    }
+}
+
+/// The single receiving half.
+pub(crate) struct BoundedReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> BoundedReceiver<T> {
+    /// Blocking receive; `Err` once the queue is empty and every
+    /// sender dropped (matching `Receiver::recv`).
+    pub(crate) fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().expect("channel state poisoned");
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .expect("channel state poisoned");
+        }
+    }
+
+    /// Non-blocking receive (the shutdown drain path).
+    pub(crate) fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().expect("channel state poisoned");
+        match st.queue.pop_front() {
+            Some(value) => {
+                self.shared.not_full.notify_one();
+                Ok(value)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("channel state poisoned");
+        st.rx_alive = false;
+        // Queued messages drop with the shared state; wake senders
+        // blocked in `send` so they observe the disconnect.
+        drop(st);
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedReceiver").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn disconnect_semantics_match_sync_channel() {
+        let (tx, rx) = bounded::<u32>(1);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 9);
+        assert!(rx.recv().is_err());
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn blocking_send_recv_across_threads() {
+        let (tx, rx) = bounded::<u32>(1);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

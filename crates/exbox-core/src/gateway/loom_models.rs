@@ -1,0 +1,294 @@
+//! Interleaving models for the gateway's load-bearing concurrency
+//! primitives, driven by the vendored `exbox-loom` explorer.
+//!
+//! Only built under `--cfg exbox_loom`; run with
+//! `RUSTFLAGS='--cfg exbox_loom' cargo test -p exbox-core --lib`
+//! (or `scripts/loom_check.sh`). Every test here checks a *property*,
+//! not just "no crash": eventual snapshot visibility, no
+//! use-after-retire under a pinned guard (the `SnapshotGuard::deref`
+//! canary), retired-list quiescence, channel no-loss/no-duplication,
+//! exact `try_send` backpressure accounting, and a lossless trainer
+//! shutdown drain.
+//!
+//! Bounds: every model runs under the explorer's default preemption
+//! bound of 2 (documented in `DESIGN.md` §9) unless it passes an
+//! explicit [`Config`]; `EXBOX_LOOM_EXHAUSTIVE=1` lifts the bound for
+//! the nightly CI leg. Counterexamples dump replayable traces to
+//! `EXBOX_LOOM_TRACE_DIR`; regression traces live in
+//! `tests/loom-traces/` and are replayed against the fixed code below.
+
+use std::sync::Arc;
+
+use exbox_loom::{explore, model, replay, thread, Config};
+
+use exbox_net::AppClass;
+
+use crate::matrix::{FlowKind, SnrLevel};
+
+use super::channel;
+use super::shard::SharedMatrix;
+use super::snapshot::SnapshotCell;
+
+/// The ISSUE's acceptance model: ≥2 writers and ≥2 readers over one
+/// `SnapshotCell`, explored to exhaustion within the preemption bound.
+///
+/// Properties checked on every schedule:
+/// * a pinned guard's pointer is never freed under it (the
+///   `SnapshotGuard::deref` canary panics on use-after-retire);
+/// * a snapshot published before both writers joined is observed by a
+///   subsequent pin — the final pin never sees the initial value;
+/// * at quiescence (guards dropped, readers unregistered) the retired
+///   list is fully drained (also a `debug_assert` inside `reclaim`).
+#[test]
+fn snapshot_two_writers_two_readers_exhaustive() {
+    let report = explore(Config::default(), || {
+        let cell = SnapshotCell::new(0u64);
+        let mut writers = Vec::new();
+        for v in 1..=2u64 {
+            let cell = Arc::clone(&cell);
+            writers.push(thread::spawn(move || cell.publish(v)));
+        }
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let mut reader = cell.reader();
+            readers.push(thread::spawn(move || {
+                // Deref exercises the use-after-retire canary; the
+                // value is one of the published states.
+                let first = *reader.pin();
+                let second = *reader.pin();
+                assert!(first <= 2 && second <= 2);
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Both publishes retired their predecessors; with every reader
+        // gone the grace period has passed for all of them.
+        assert_eq!(cell.retired_len(), 0, "retired list leaked");
+        // Eventual visibility: a fresh pin after both writers joined
+        // must see one of the published snapshots, never epoch 0.
+        let mut late = cell.reader();
+        assert_ne!(*late.pin(), 0, "published snapshot never became visible");
+        assert_eq!(cell.publish_count(), 2);
+    })
+    .unwrap_or_else(|cex| {
+        panic!(
+            "snapshot model failed: {}\nreplay: EXBOX_LOOM_REPLAY='{}'",
+            cex.message, cex.trace
+        )
+    });
+    assert!(
+        report.exhausted,
+        "schedule space not exhausted within bounds: {report:?}"
+    );
+}
+
+/// Regression model for the PR-9 reader-leak fix: a reader that pins
+/// across a publish and then *goes away* must release the retirements
+/// its pin was holding back — before the fix, `SnapshotReader::drop`
+/// left its slot registered, so the retired list stayed pinned until
+/// some later publish (forever, if that publish was the run's last).
+#[test]
+fn reader_drop_releases_retired() {
+    model(|| {
+        let cell = SnapshotCell::new(0u64);
+        let writer = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.publish(1))
+        };
+        let mut reader = cell.reader();
+        {
+            let guard = reader.pin();
+            assert!(*guard <= 1);
+        }
+        drop(reader); // must unregister + reclaim
+        writer.join().unwrap();
+        // No publish happens after the reader leaves: only the drop
+        // path can drain what its pin retained.
+        assert_eq!(
+            cell.retired_len(),
+            0,
+            "dropped reader still pins the retired list"
+        );
+    });
+}
+
+/// Replays the checked-in counterexample trace recorded when
+/// `reader_drop_releases_retired` first failed (pre-fix drop left the
+/// slot registered). The exact schedule that exposed the leak must now
+/// pass against the fixed code.
+#[test]
+fn replay_reader_drop_regression_trace() {
+    let trace = exbox_loom::read_trace_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/loom-traces/reader_drop_releases_retired.trace"
+    ))
+    .expect("regression trace missing");
+    assert!(!trace.is_empty(), "regression trace file is empty");
+    replay(&trace, || {
+        let cell = SnapshotCell::new(0u64);
+        let writer = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.publish(1))
+        };
+        let mut reader = cell.reader();
+        {
+            let guard = reader.pin();
+            assert!(*guard <= 1);
+        }
+        drop(reader);
+        writer.join().unwrap();
+        assert_eq!(cell.retired_len(), 0);
+    })
+    .unwrap_or_else(|cex| panic!("regression resurfaced: {}", cex.message));
+}
+
+/// Two senders racing one receiver on the bounded observation channel:
+/// every sent message arrives exactly once (no loss, no duplication)
+/// and sender-side FIFO holds.
+#[test]
+fn channel_no_loss_no_duplication() {
+    model(|| {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        let s1 = thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        let s2 = thread::spawn(move || tx2.send(10).unwrap());
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(rx.recv().unwrap());
+        }
+        assert!(rx.try_recv().is_err(), "phantom message");
+        s1.join().unwrap();
+        s2.join().unwrap();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 10], "loss or duplication: {got:?}");
+        // Sender-side FIFO: 1 precedes 2 in arrival order.
+        let p1 = got.iter().position(|&v| v == 1).unwrap();
+        let p2 = got.iter().position(|&v| v == 2).unwrap();
+        assert!(p1 < p2, "per-sender FIFO violated: {got:?}");
+    });
+}
+
+/// `try_send` backpressure accounting is exact: over every
+/// interleaving of two non-blocking senders and a draining receiver,
+/// `delivered + Full-rejections == attempts` — the invariant behind
+/// the `gateway.obs_dropped` counter.
+#[test]
+fn channel_try_send_accounting_exact() {
+    model(|| {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let tx2 = tx.clone();
+        let count = |r: Result<(), std::sync::mpsc::TrySendError<u32>>| match r {
+            Ok(()) => (1u32, 0u32),
+            Err(std::sync::mpsc::TrySendError::Full(_)) => (0, 1),
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
+                panic!("receiver alive, got Disconnected")
+            }
+        };
+        let s1 = thread::spawn(move || count(tx.try_send(1)));
+        let s2 = thread::spawn(move || count(tx2.try_send(2)));
+        let (ok1, full1) = s1.join().unwrap();
+        let (ok2, full2) = s2.join().unwrap();
+        let mut delivered = 0;
+        while rx.try_recv().is_ok() {
+            delivered += 1;
+        }
+        assert_eq!(
+            delivered + (full1 + full2),
+            2,
+            "dropped-observation accounting drifted"
+        );
+        assert_eq!(delivered, ok1 + ok2, "delivery count != successful sends");
+    });
+}
+
+/// The trainer shutdown drain, as a harness over the real channel: a
+/// shard keeps submitting while the gateway sends `Shutdown`
+/// concurrently. Every observation is either *processed* before the
+/// trainer stops or *counted* by the drain — never silently lost
+/// (the `trainer.dropped_results` protocol from `run_trainer`).
+#[test]
+fn trainer_shutdown_drain_never_loses() {
+    const SHUTDOWN: u32 = u32::MAX;
+    model(|| {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let shard = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let mut sent = 0u32;
+                for v in 0..2 {
+                    if tx.try_send(v).is_ok() {
+                        sent += 1;
+                    }
+                }
+                sent
+            })
+        };
+        let gateway = thread::spawn(move || tx.send(SHUTDOWN).unwrap());
+        // The trainer loop + drain, mirroring `run_trainer`.
+        let consumer = thread::spawn(move || {
+            let mut processed = 0u32;
+            while let Ok(msg) = rx.recv() {
+                if msg == SHUTDOWN {
+                    break;
+                }
+                processed += 1;
+            }
+            let mut dropped = 0u32;
+            loop {
+                match rx.try_recv() {
+                    Ok(SHUTDOWN) => {}
+                    Ok(_) => dropped += 1,
+                    Err(_) => break,
+                }
+            }
+            (processed, dropped)
+        });
+        let sent = shard.join().unwrap();
+        gateway.join().unwrap();
+        let (processed, dropped) = consumer.join().unwrap();
+        assert_eq!(
+            processed + dropped,
+            sent,
+            "observation lost across shutdown"
+        );
+    });
+}
+
+/// Concurrent admissions/departures on the shared occupancy matrix:
+/// the saturating-remove CAS loop never loses an admission and never
+/// underflows, whatever the interleaving.
+#[test]
+fn shared_matrix_concurrent_add_remove() {
+    model(|| {
+        let kind = FlowKind::new(AppClass::Streaming, SnrLevel::High);
+        let m = Arc::new(SharedMatrix::new());
+        let adder = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                m.add(kind);
+                m.add(kind);
+            })
+        };
+        let remover = {
+            let m = Arc::clone(&m);
+            // May interleave anywhere among the adds: saturates at
+            // zero instead of underflowing.
+            thread::spawn(move || m.remove(kind))
+        };
+        adder.join().unwrap();
+        remover.join().unwrap();
+        let total = m.total();
+        assert!(
+            total == 1 || total == 2,
+            "occupancy drifted: {total} (lost add or underflow)"
+        );
+    });
+}

@@ -42,16 +42,21 @@
 //! single-threaded middlebox on the same trace (asserted in
 //! `tests/gateway_concurrent.rs`).
 
+pub(crate) mod channel;
 pub mod shard;
 pub mod snapshot;
 mod trainer;
+
+#[cfg(all(test, exbox_loom))]
+mod loom_models;
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+
+use crate::sync::{AtomicBool, Ordering};
 
 use exbox_ml::Label;
 use exbox_net::{FlowKey, Instant, Packet};
@@ -160,8 +165,21 @@ pub struct ConcurrentGateway {
     cell: Arc<SnapshotCell<ModelSnapshot>>,
     control: SnapshotReader<ModelSnapshot>,
     recovering: Arc<AtomicBool>,
-    obs_tx: mpsc::SyncSender<TrainerMsg>,
+    obs_tx: channel::BoundedSender<TrainerMsg>,
     trainer: Option<TrainerHandle>,
+}
+
+impl Drop for ConcurrentGateway {
+    fn drop(&mut self) {
+        // Join the trainer *first*: field drop order would tear down
+        // the shard/trainer registries, shared matrix and snapshot
+        // readers while a retrain could still be in flight, so a
+        // publish (and its metrics updates) could land mid-teardown
+        // and be lost without trace. Shutting down here guarantees the
+        // trainer drained its queue (counting leftovers in
+        // `trainer.dropped_results`) before anything else goes away.
+        let _ = self.shutdown();
+    }
 }
 
 impl ConcurrentGateway {
@@ -252,7 +270,7 @@ impl ConcurrentGateway {
         let control = cell.reader();
         let shared = Arc::new(SharedMatrix::new());
         let recovering = Arc::new(AtomicBool::new(recovering_now));
-        let (obs_tx, obs_rx) = mpsc::sync_channel(cfg.obs_queue.max(1));
+        let (obs_tx, obs_rx) = channel::bounded(cfg.obs_queue.max(1));
 
         let trainer_registry = MetricsRegistry::new();
         let trainer = classifier.map(|mut classifier| {
@@ -268,6 +286,9 @@ impl ConcurrentGateway {
                 TrainerMetrics {
                     checkpoint_writes: trainer_registry.counter("recovery.checkpoint_writes"),
                     staleness: trainer_registry.gauge("gateway.snapshot_staleness"),
+                    dropped_results: trainer_registry.counter("trainer.dropped_results"),
+                    stamp_mismatch: trainer_registry.counter("gateway.stamp_mismatch"),
+                    snapshot_retired: trainer_registry.gauge("gateway.snapshot_retired"),
                 },
                 obs_rx,
                 obs_tx.clone(),

@@ -9,9 +9,12 @@
 //! counters) and the published [`ModelSnapshot`] (pinned lock-free).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::mpsc::TrySendError;
 use std::sync::Arc;
+
+use crate::sync::{AtomicBool, AtomicU32, Ordering};
+
+use super::channel::BoundedSender;
 
 use exbox_ml::Label;
 use exbox_net::{AppClass, EarlyClassifier, FlowKey, FlowTable, Instant, Packet, QosMeter};
@@ -206,7 +209,7 @@ pub struct GatewayShard {
     estimator: QoeEstimator,
     shared: Arc<SharedMatrix>,
     reader: SnapshotReader<ModelSnapshot>,
-    obs_tx: SyncSender<TrainerMsg>,
+    obs_tx: BoundedSender<TrainerMsg>,
     recovering: Arc<AtomicBool>,
     metrics: ShardMetrics,
     decisions: EventRing<DecisionEvent>,
@@ -227,7 +230,7 @@ impl GatewayShard {
         estimator: QoeEstimator,
         shared: Arc<SharedMatrix>,
         reader: SnapshotReader<ModelSnapshot>,
-        obs_tx: SyncSender<TrainerMsg>,
+        obs_tx: BoundedSender<TrainerMsg>,
         recovering: Arc<AtomicBool>,
         faults: FaultPlan,
         decision_cache_size: usize,

@@ -25,8 +25,9 @@
 //! This is the only `unsafe` in the workspace; the invariant it rests
 //! on is spelled out at the private `SnapshotCell::reclaim` method.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::{AtomicPtr, AtomicU64, Mutex, Ordering};
 
 use exbox_ml::{Label, StandardScaler};
 
@@ -214,6 +215,15 @@ pub struct SnapshotCell<T> {
     epoch: AtomicU64,
     readers: Mutex<Vec<Arc<ReaderSlot>>>,
     retired: Mutex<Vec<Retired<T>>>,
+    /// Model-checking canary: addresses freed by `reclaim` and not yet
+    /// reused by a later `publish`. Guards assert their pointer is not
+    /// in this set before dereferencing, turning a protocol bug
+    /// (use-after-retire) into a deterministic panic with a replayable
+    /// trace instead of UB. Plain `std::sync::Mutex` on purpose — it is
+    /// checker bookkeeping, not part of the modelled protocol, and is
+    /// never held across a switch point.
+    #[cfg(exbox_loom)]
+    freed: std::sync::Mutex<std::collections::HashSet<usize>>,
 }
 
 // SAFETY: the raw pointers inside `current`/`retired` all originate
@@ -245,6 +255,8 @@ impl<T: Send + Sync> SnapshotCell<T> {
             epoch: AtomicU64::new(0),
             readers: Mutex::new(Vec::new()),
             retired: Mutex::new(Vec::new()),
+            #[cfg(exbox_loom)]
+            freed: std::sync::Mutex::new(std::collections::HashSet::new()),
         })
     }
 
@@ -282,6 +294,13 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// but concurrent publishes are safe (the swap linearises them).
     pub fn publish(&self, value: T) {
         let fresh = Box::into_raw(Box::new(value));
+        // The allocator may hand back an address reclaimed earlier;
+        // it is live again now, so it leaves the canary set.
+        #[cfg(exbox_loom)]
+        self.freed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(fresh as usize));
         let old = self.current.swap(fresh, Ordering::SeqCst);
         // The tag is the epoch *before* the bump: any reader that
         // could have loaded `old` re-checked the epoch at a value
@@ -293,7 +312,12 @@ impl<T: Send + Sync> SnapshotCell<T> {
             .push(Retired { tag, ptr: old });
         self.reclaim();
     }
+}
 
+// Reclamation is unbounded by `T: Send + Sync` so `SnapshotReader`'s
+// `Drop` (which has no bounds) can call it; sharing the cell across
+// threads still requires the bounds via the `Sync` impl above.
+impl<T> SnapshotCell<T> {
     /// Free retired values whose grace period has passed.
     ///
     /// Invariant: a reader pinned at epoch `e` can only be holding a
@@ -310,9 +334,11 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// with `tag < min(pinned)` never frees a pointer a reader can
     /// still dereference.
     fn reclaim(&self) {
-        let mut readers = self.readers.lock().expect("reader list poisoned");
-        // Drop slots whose reader is gone (only the list holds them).
-        readers.retain(|slot| Arc::strong_count(slot) > 1);
+        let readers = self.readers.lock().expect("reader list poisoned");
+        // Every slot in the list belongs to a live reader:
+        // `SnapshotReader::drop` unregisters its slot (and re-runs
+        // reclamation), so a departed reader can never pin the retired
+        // list forever.
         let min_pinned = readers
             .iter()
             .map(|slot| slot.pinned.load(Ordering::SeqCst))
@@ -322,6 +348,11 @@ impl<T: Send + Sync> SnapshotCell<T> {
         let mut retired = self.retired.lock().expect("retired list poisoned");
         retired.retain(|r| {
             if r.tag < min_pinned {
+                #[cfg(exbox_loom)]
+                self.freed
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(r.ptr as usize);
                 // SAFETY: `r.ptr` came from `Box::into_raw` in
                 // `publish` (or `new`), was swapped out exactly once,
                 // and by the invariant above no reader can still hold
@@ -333,6 +364,25 @@ impl<T: Send + Sync> SnapshotCell<T> {
                 true
             }
         });
+        // Quiescence bound (PR-9 reclamation sweep): with no reader
+        // pinned, nothing may remain retired. A long-pinned reader can
+        // legitimately hold many retirements, so the bound is
+        // conditional on quiescence — exactly what the model checks.
+        debug_assert!(
+            min_pinned != IDLE || retired.is_empty(),
+            "retired list not drained at quiescence ({} left)",
+            retired.len()
+        );
+    }
+
+    /// Remove `slot` from the reader list (reader drop path) and
+    /// reclaim anything its pin was holding back.
+    fn unregister(&self, slot: &Arc<ReaderSlot>) {
+        slot.pinned.store(IDLE, Ordering::SeqCst);
+        let mut readers = self.readers.lock().expect("reader list poisoned");
+        readers.retain(|s| !Arc::ptr_eq(s, slot));
+        drop(readers);
+        self.reclaim();
     }
 }
 
@@ -377,6 +427,8 @@ impl<T: Send + Sync> SnapshotReader<T> {
                 return SnapshotGuard {
                     ptr,
                     slot: &self.slot,
+                    #[cfg(exbox_loom)]
+                    freed: &self.cell.freed,
                 };
             }
             // A publish raced the pin; un-pin and retry so the writer
@@ -393,9 +445,13 @@ impl<T: Send + Sync> SnapshotReader<T> {
 
 impl<T> Drop for SnapshotReader<T> {
     fn drop(&mut self) {
-        // Defensive: a guard cannot outlive the reader (it borrows
-        // it), so the slot is idle here; make it permanently so.
-        self.slot.pinned.store(IDLE, Ordering::SeqCst);
+        // A guard cannot outlive the reader (it borrows it), so the
+        // slot is idle here. Unregister it and reclaim: before PR 9 a
+        // dropped reader's slot lingered until the *next* publish, so
+        // a reader pinned during the final publish of a run pinned the
+        // retired list forever (found by the `reader_drop_releases_
+        // retired` model; regression trace checked in).
+        self.cell.unregister(&self.slot);
     }
 }
 
@@ -406,12 +462,26 @@ impl<T> Drop for SnapshotReader<T> {
 pub struct SnapshotGuard<'a, T> {
     ptr: *const T,
     slot: &'a Arc<ReaderSlot>,
+    /// Use-after-retire canary (see [`SnapshotCell`]'s `freed` field).
+    #[cfg(exbox_loom)]
+    freed: &'a std::sync::Mutex<std::collections::HashSet<usize>>,
 }
 
 impl<T> std::ops::Deref for SnapshotGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
+        // Model builds verify the invariant the SAFETY comment claims:
+        // a pinned guard's pointer is never reclaimed under it.
+        #[cfg(exbox_loom)]
+        assert!(
+            !self
+                .freed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains(&(self.ptr as usize)),
+            "use-after-retire: pinned snapshot was reclaimed"
+        );
         // SAFETY: `ptr` was the current snapshot while this reader's
         // pin was visible (see `SnapshotReader::pin`); the pin blocks
         // reclamation (`SnapshotCell::reclaim` invariant) until this

@@ -24,10 +24,8 @@
 //! servable.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Sender, TryRecvError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use exbox_ml::Label;
 
@@ -35,8 +33,12 @@ use crate::admittance::AdmittanceClassifier;
 use crate::matrix::TrafficMatrix;
 use crate::persist;
 use crate::qoe::QoeEstimator;
+use crate::sync::{thread, AtomicBool, Ordering};
 
+use super::channel::{BoundedReceiver, BoundedSender};
 use super::snapshot::{ModelSnapshot, SnapshotCell};
+
+type JoinHandle<T> = thread::JoinHandle<T>;
 
 /// Messages consumed by the trainer thread.
 pub(crate) enum TrainerMsg {
@@ -67,11 +69,45 @@ pub(crate) struct TrainerMetrics {
     /// `gateway.snapshot_staleness` — observations absorbed since the
     /// last snapshot publish.
     pub(crate) staleness: Arc<exbox_obs::Gauge>,
+    /// `trainer.dropped_results` — observations still queued when the
+    /// trainer shut down: learning the channel accepted but that never
+    /// reached the store. Zero in a clean drain; non-zero makes an
+    /// interrupted retrain visible instead of silently lost.
+    pub(crate) dropped_results: Arc<exbox_obs::Counter>,
+    /// `gateway.stamp_mismatch` — snapshots that failed
+    /// [`ModelSnapshot::stamps_consistent`] at publish time. Always 0
+    /// unless the export path is broken; checked here (debug-assert +
+    /// counter), not just in tests.
+    pub(crate) stamp_mismatch: Arc<exbox_obs::Counter>,
+    /// `gateway.snapshot_retired` — retired snapshots awaiting their
+    /// grace period, sampled after each publish. Bounded by the number
+    /// of concurrently pinned readers; growth means a reader leak.
+    pub(crate) snapshot_retired: Arc<exbox_obs::Gauge>,
+}
+
+/// Publish `snap`, enforcing the stamp invariant at the publish site
+/// and sampling the retired-list gauge right after reclamation ran.
+fn publish_checked(
+    cell: &SnapshotCell<ModelSnapshot>,
+    metrics: &TrainerMetrics,
+    snap: ModelSnapshot,
+) {
+    let consistent = snap.stamps_consistent();
+    debug_assert!(
+        consistent,
+        "publishing snapshot with mismatched stamps (epoch {})",
+        snap.epoch()
+    );
+    if !consistent {
+        metrics.stamp_mismatch.inc();
+    }
+    cell.publish(snap);
+    metrics.snapshot_retired.set(cell.retired_len() as f64);
 }
 
 /// Handle to the running trainer thread.
 pub(crate) struct TrainerHandle {
-    pub(crate) tx: SyncSender<TrainerMsg>,
+    pub(crate) tx: BoundedSender<TrainerMsg>,
     join: Option<JoinHandle<AdmittanceClassifier>>,
 }
 
@@ -91,10 +127,10 @@ impl TrainerHandle {
         cell: Arc<SnapshotCell<ModelSnapshot>>,
         recovering: Arc<AtomicBool>,
         metrics: TrainerMetrics,
-        rx: Receiver<TrainerMsg>,
-        tx: SyncSender<TrainerMsg>,
+        rx: BoundedReceiver<TrainerMsg>,
+        tx: BoundedSender<TrainerMsg>,
     ) -> Self {
-        let join = std::thread::Builder::new()
+        let join = thread::Builder::new()
             .name("exbox-trainer".into())
             .spawn(move || run_trainer(classifier, estimator, cell, recovering, metrics, rx))
             .expect("failed to spawn trainer thread");
@@ -134,7 +170,7 @@ fn run_trainer(
     cell: Arc<SnapshotCell<ModelSnapshot>>,
     recovering: Arc<AtomicBool>,
     metrics: TrainerMetrics,
-    rx: Receiver<TrainerMsg>,
+    rx: BoundedReceiver<TrainerMsg>,
 ) -> AdmittanceClassifier {
     // The initial snapshot was published by the gateway constructor at
     // this epoch; later publishes continue from it.
@@ -155,7 +191,11 @@ fn run_trainer(
                 classifier.observe(matrix, label);
                 if (classifier.phase(), classifier.retrain_count()) != before {
                     epoch += 1;
-                    cell.publish(ModelSnapshot::from_classifier(epoch, &classifier));
+                    publish_checked(
+                        &cell,
+                        &metrics,
+                        ModelSnapshot::from_classifier(epoch, &classifier),
+                    );
                     if classifier.model_available() {
                         recovering.store(false, Ordering::SeqCst);
                     }
@@ -176,6 +216,27 @@ fn run_trainer(
                 let _ = ack.send(());
             }
             TrainerMsg::Shutdown => break,
+        }
+    }
+    // Shutdown drain (PR-9 shutdown-ordering sweep): shards on other
+    // threads may have enqueued between the Shutdown send and now.
+    // Nothing may be *silently* lost — queued observations are counted
+    // as dropped results, checkpoint/flush callers get an answer
+    // instead of a hung ack channel.
+    loop {
+        match rx.try_recv() {
+            Ok(TrainerMsg::Observe { .. }) => metrics.dropped_results.inc(),
+            Ok(TrainerMsg::Checkpoint { ack, .. }) => {
+                let _ = ack.send(Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "trainer shut down before writing the checkpoint",
+                )));
+            }
+            Ok(TrainerMsg::Flush { ack }) => {
+                let _ = ack.send(());
+            }
+            Ok(TrainerMsg::Shutdown) => {}
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
         }
     }
     classifier

@@ -79,6 +79,7 @@ pub mod persist;
 pub mod qoe;
 pub mod recovery;
 pub mod selection;
+pub(crate) mod sync;
 
 pub use admittance::{AdmittanceClassifier, AdmittanceConfig, ClassifierBackend, Phase};
 pub use apps::{AppAdmission, AppKey};

@@ -1,0 +1,34 @@
+//! cfg-selected synchronisation layer.
+//!
+//! Every concurrency primitive on the gateway's modelled paths — the
+//! QSBR [`SnapshotCell`](crate::gateway::SnapshotCell), the bounded
+//! trainer channel, the [`SharedMatrix`](crate::gateway::SharedMatrix)
+//! occupancy cell — imports its atomics, locks and threads from here
+//! instead of `std::sync` directly:
+//!
+//! * **default builds** re-export `std::sync` / `std::thread`
+//!   unchanged — zero cost, identical codegen;
+//! * **`--cfg exbox_loom` builds** (set via
+//!   `RUSTFLAGS='--cfg exbox_loom'`, see `scripts/loom_check.sh`)
+//!   re-export the `exbox-loom` shims, which pass through to std
+//!   outside a model and become scheduler switch points inside one.
+//!
+//! The swap is sound because everything ported here uses `SeqCst`
+//! exclusively, so the model's sequentially-consistent exploration
+//! covers exactly the behaviours the real code can exhibit (DESIGN.md
+//! §9). Keep it that way: new code on these paths must not introduce
+//! weaker orderings without revisiting that argument.
+
+#[cfg(not(exbox_loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+#[cfg(not(exbox_loom))]
+pub(crate) use std::sync::{Condvar, Mutex};
+#[cfg(not(exbox_loom))]
+pub(crate) use std::thread;
+
+#[cfg(exbox_loom)]
+pub(crate) use exbox_loom::sync::{
+    AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Condvar, Mutex, Ordering,
+};
+#[cfg(exbox_loom)]
+pub(crate) use exbox_loom::thread;

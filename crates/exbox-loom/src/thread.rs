@@ -1,0 +1,156 @@
+//! Shimmed `std::thread` subset: `spawn`, `Builder`, `JoinHandle`,
+//! `yield_now`.
+//!
+//! Inside a model, `spawn` registers a new model thread with the
+//! explorer (spawn is itself a switch point) and runs the closure on a
+//! real OS thread that first waits to be scheduled; `join` blocks
+//! through the scheduler. Outside a model everything passes through to
+//! `std::thread` unchanged.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::explorer::{ctx, Explorer};
+
+/// Subset of `std::thread::Builder` (name only — stack size is not
+/// relevant to the model).
+#[derive(Default, Debug)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+            }
+            Some((ex, parent)) => {
+                // Spawning is a visible operation: other threads may be
+                // scheduled before or after the child exists.
+                let _ = ex.switch_point(parent);
+                let tid = ex.register_thread(parent);
+                let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+                let ex2 = Arc::clone(&ex);
+                let slot2 = Arc::clone(&slot);
+                let mut b = std::thread::Builder::new();
+                b = b.name(self.name.unwrap_or_else(|| format!("exbox-loom-t{tid}")));
+                let os = b.spawn(move || {
+                    crate::explorer::enter_model(Arc::clone(&ex2), tid);
+                    if ex2.wait_first_schedule(tid) {
+                        let r = panic::catch_unwind(AssertUnwindSafe(f));
+                        let payload = match r {
+                            Ok(v) => {
+                                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                                None
+                            }
+                            Err(p) => Some(p),
+                        };
+                        if let Some(p) = ex2.thread_finished(tid, payload) {
+                            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(p));
+                        }
+                    } else {
+                        // Execution aborted before we ever ran.
+                        let _ = ex2.thread_finished(tid, Some(Box::new(crate::explorer::Abort)));
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(Err(Box::new(crate::explorer::Abort)));
+                    }
+                    crate::explorer::exit_model();
+                    ex2.thread_exited();
+                })?;
+                ex.adopt_os_handle(os);
+                Ok(JoinHandle(Inner::Model { ex, tid, slot }))
+            }
+        }
+    }
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        ex: Arc<Explorer>,
+        tid: usize,
+        slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Shimmed join handle with a std-compatible `join`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { ex, tid, slot } => {
+                if let Some((jex, jtid)) = ctx() {
+                    debug_assert!(Arc::ptr_eq(&jex, &ex));
+                    // Blocks through the scheduler until `tid` is
+                    // finished (or degrades to a tokenless wait when
+                    // the execution is aborting).
+                    let _ = jex.join(jtid, tid);
+                }
+                // On the clean path the result slot is filled before
+                // the thread reports finished, so this take succeeds
+                // immediately; the brief spin only covers the
+                // abort/passthrough path where the wrapper is still
+                // storing its result.
+                loop {
+                    if let Some(r) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                        return r;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Std(h) => h.is_finished(),
+            Inner::Model { slot, .. } => slot.lock().unwrap_or_else(|e| e.into_inner()).is_some(),
+        }
+    }
+}
+
+/// Spawn with a default name.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// A pure switch point inside a model; `std::thread::yield_now`
+/// outside one.
+pub fn yield_now() {
+    match ctx() {
+        None => std::thread::yield_now(),
+        Some((ex, tid)) => {
+            let _ = ex.switch_point(tid);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Fixed-bucket histograms with atomic recording.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Standard bucket layouts.
 pub mod buckets {

@@ -46,12 +46,13 @@
 mod hist;
 mod registry;
 mod ring;
+mod sync;
 
 pub use hist::{buckets, Histogram, HistogramSnapshot};
 pub use registry::{global, MetricsRegistry, MetricsSnapshot};
 pub use ring::EventRing;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::time::Instant as WallInstant;
 
 /// A monotonically increasing atomic counter.

@@ -48,10 +48,29 @@
 //! ```
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use exbox_obs::Counter;
+
+/// cfg-selected sync layer for the [`WorkerPool`] job queues: `std` by
+/// default, the `exbox-loom` shims under `--cfg exbox_loom` so the
+/// queue protocol (submit → pop → execute → barrier) is exhaustively
+/// model-checked. The scoped fork/join [`ThreadPool`] stays on plain
+/// `std`: scoped threads are joined before `parallel_map` returns, so
+/// there is no cross-call protocol to model.
+mod sync {
+    #[cfg(not(exbox_loom))]
+    pub(crate) use std::sync::{Condvar, Mutex};
+    #[cfg(not(exbox_loom))]
+    pub(crate) use std::thread;
+
+    #[cfg(exbox_loom)]
+    pub(crate) use exbox_loom::sync::{Condvar, Mutex};
+    #[cfg(exbox_loom)]
+    pub(crate) use exbox_loom::thread;
+}
 
 thread_local! {
     /// Set while the current thread is an exbox-par worker; nested
@@ -224,6 +243,131 @@ enum WorkerMsg {
     Shutdown,
 }
 
+impl std::fmt::Debug for WorkerMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WorkerMsg::Run(_) => "Run",
+            WorkerMsg::Shutdown => "Shutdown",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<WorkerMsg>,
+    /// `Run` jobs enqueued so far (monotone; drives [`JobQueue::wait_executed`]).
+    submitted: u64,
+    /// `Run` jobs completed so far (monotone).
+    executed: u64,
+    /// Set when the worker exits — clean shutdown or a panicking job —
+    /// so later submits fail fast instead of queueing to nobody.
+    closed: bool,
+}
+
+/// One worker's FIFO job queue, on the cfg-selected [`sync`] layer so
+/// the whole submit/pop/barrier protocol is model-checkable under
+/// `--cfg exbox_loom` (see the `loom_models` test module).
+///
+/// Replaces the per-worker `std::sync::mpsc` channel the pool used
+/// before PR 9: same FIFO and disconnect semantics, but every blocking
+/// edge is an explorable switch point, and the drain barrier is a
+/// counter comparison instead of an ack channel — `barrier` waits
+/// until each queue has *executed* everything *submitted* before the
+/// call, and panics (like the old `recv().expect`) if a worker died
+/// with jobs still owed.
+#[derive(Debug)]
+struct JobQueue {
+    state: sync::Mutex<QueueState>,
+    /// Wakes the worker: a new message is queued.
+    ready: sync::Condvar,
+    /// Wakes `barrier` callers: a job finished or the worker exited.
+    drained: sync::Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            state: sync::Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                submitted: 0,
+                executed: 0,
+                closed: false,
+            }),
+            ready: sync::Condvar::new(),
+            drained: sync::Condvar::new(),
+        }
+    }
+
+    /// Enqueue a message; `false` once the worker is gone.
+    fn push(&self, msg: WorkerMsg) -> bool {
+        let mut st = self.state.lock().expect("worker queue poisoned");
+        if st.closed {
+            return false;
+        }
+        if matches!(msg, WorkerMsg::Run(_)) {
+            st.submitted += 1;
+        }
+        st.jobs.push_back(msg);
+        drop(st);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocking dequeue (worker side).
+    fn pop(&self) -> WorkerMsg {
+        let mut st = self.state.lock().expect("worker queue poisoned");
+        loop {
+            if let Some(msg) = st.jobs.pop_front() {
+                return msg;
+            }
+            st = self.ready.wait(st).expect("worker queue poisoned");
+        }
+    }
+
+    /// Worker-side: one `Run` job finished.
+    fn job_done(&self) {
+        let mut st = self.state.lock().expect("worker queue poisoned");
+        st.executed += 1;
+        drop(st);
+        self.drained.notify_all();
+    }
+
+    /// Worker-side: the worker is exiting (normally or unwinding).
+    fn close(&self) {
+        let mut st = self.state.lock().expect("worker queue poisoned");
+        st.closed = true;
+        drop(st);
+        self.drained.notify_all();
+    }
+
+    /// `Run` jobs submitted so far (the barrier's drain target).
+    fn submitted(&self) -> u64 {
+        self.state.lock().expect("worker queue poisoned").submitted
+    }
+
+    /// Block until `executed >= target`.
+    ///
+    /// # Panics
+    /// Panics if the worker exits before reaching `target` — a job
+    /// panicked and the jobs owed to the barrier will never run.
+    fn wait_executed(&self, target: u64) {
+        let mut st = self.state.lock().expect("worker queue poisoned");
+        while st.executed < target {
+            assert!(!st.closed, "worker died before barrier");
+            st = self.drained.wait(st).expect("worker queue poisoned");
+        }
+    }
+}
+
+/// Closes the owning queue when the worker exits, even by unwinding.
+struct CloseOnExit(Arc<JobQueue>);
+
+impl Drop for CloseOnExit {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
 /// The persistent work-queue mode: long-lived worker threads, each
 /// with its own FIFO queue, addressed by index.
 ///
@@ -241,12 +385,12 @@ enum WorkerMsg {
 /// the pool thread's join during drop (fail fast, never silently lose
 /// work).
 ///
-/// Like the rest of this crate: `std` channels and threads only, no
-/// `unsafe`.
+/// Like the rest of this crate: cfg-selected locks and threads only
+/// (`std` outside model builds), no `unsafe`.
 #[derive(Debug)]
 pub struct WorkerPool {
-    queues: Vec<std::sync::mpsc::Sender<WorkerMsg>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    queues: Vec<Arc<JobQueue>>,
+    handles: Vec<sync::thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
@@ -260,18 +404,21 @@ impl WorkerPool {
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel::<WorkerMsg>();
-            let handle = std::thread::Builder::new()
+            let queue = Arc::new(JobQueue::new());
+            let worker_queue = Arc::clone(&queue);
+            let handle = sync::thread::Builder::new()
                 .name(format!("exbox-worker-{i}"))
                 .spawn(move || {
                     IN_POOL.with(|flag| flag.set(true));
-                    while let Ok(WorkerMsg::Run(job)) = rx.recv() {
+                    let _closer = CloseOnExit(Arc::clone(&worker_queue));
+                    while let WorkerMsg::Run(job) = worker_queue.pop() {
                         tasks_counter().inc();
                         job();
+                        worker_queue.job_done();
                     }
                 })
                 .expect("failed to spawn worker thread");
-            queues.push(tx);
+            queues.push(queue);
             handles.push(handle);
         }
         WorkerPool { queues, handles }
@@ -286,25 +433,21 @@ impl WorkerPool {
     /// the same worker run on the same thread, in submission order.
     pub fn submit(&self, worker: usize, job: impl FnOnce() + Send + 'static) {
         let idx = worker % self.queues.len();
-        self.queues[idx]
-            .send(WorkerMsg::Run(Box::new(job)))
-            .expect("worker thread gone");
+        assert!(
+            self.queues[idx].push(WorkerMsg::Run(Box::new(job))),
+            "worker thread gone"
+        );
     }
 
     /// Block until every worker has finished all jobs submitted before
     /// this call (a drain barrier, not a shutdown).
     pub fn barrier(&self) {
-        let (tx, rx) = std::sync::mpsc::channel::<()>();
-        for q in &self.queues {
-            let tx = tx.clone();
-            q.send(WorkerMsg::Run(Box::new(move || {
-                let _ = tx.send(());
-            })))
-            .expect("worker thread gone");
-        }
-        drop(tx);
-        for _ in 0..self.queues.len() {
-            rx.recv().expect("worker died before barrier");
+        // Snapshot every drain target first, then wait: a job that
+        // submits to a *later* queue while we wait on an earlier one
+        // must not extend the barrier.
+        let targets: Vec<u64> = self.queues.iter().map(|q| q.submitted()).collect();
+        for (q, target) in self.queues.iter().zip(targets) {
+            q.wait_executed(target);
         }
     }
 }
@@ -312,9 +455,9 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         for q in &self.queues {
-            // A worker that already died (panicked job) has dropped
-            // its receiver; the join below re-raises its panic.
-            let _ = q.send(WorkerMsg::Shutdown);
+            // A worker that already died (panicked job) has closed its
+            // queue; the join below re-raises its panic.
+            let _ = q.push(WorkerMsg::Shutdown);
         }
         for handle in self.handles.drain(..) {
             if let Err(panic) = handle.join() {
@@ -323,6 +466,71 @@ impl Drop for WorkerPool {
                 }
             }
         }
+    }
+}
+
+/// Interleaving models for the [`WorkerPool`] queue protocol. Only
+/// built under `--cfg exbox_loom`; run with
+/// `RUSTFLAGS='--cfg exbox_loom' cargo test -p exbox-par --lib`.
+#[cfg(all(test, exbox_loom))]
+mod loom_models {
+    use super::*;
+
+    /// Submit → barrier against one worker: the barrier must not
+    /// return before every submitted job executed, under every
+    /// interleaving of the submitter and the worker.
+    #[test]
+    fn barrier_observes_all_prior_jobs() {
+        exbox_loom::model(|| {
+            let pool = WorkerPool::new(1);
+            let hits = Arc::new(Mutex::new(0u32));
+            for _ in 0..2 {
+                let hits = Arc::clone(&hits);
+                pool.submit(0, move || {
+                    *hits.lock().unwrap() += 1;
+                });
+            }
+            pool.barrier();
+            assert_eq!(*hits.lock().unwrap(), 2, "barrier returned early");
+            drop(pool);
+        });
+    }
+
+    /// Two workers, one job each: jobs never migrate queues, each runs
+    /// exactly once, and pool drop joins both workers cleanly in every
+    /// schedule.
+    #[test]
+    fn two_workers_run_disjoint_jobs_once() {
+        exbox_loom::model(|| {
+            let pool = WorkerPool::new(2);
+            let hits = Arc::new(Mutex::new([0u32; 2]));
+            for w in 0..2 {
+                let hits = Arc::clone(&hits);
+                pool.submit(w, move || {
+                    hits.lock().unwrap()[w] += 1;
+                });
+            }
+            pool.barrier();
+            assert_eq!(*hits.lock().unwrap(), [1, 1]);
+            drop(pool);
+        });
+    }
+
+    /// Dropping the pool with a job still queued: the job runs before
+    /// the shutdown message (FIFO), never lost.
+    #[test]
+    fn drop_drains_queued_jobs() {
+        exbox_loom::model(|| {
+            let ran = Arc::new(Mutex::new(false));
+            {
+                let pool = WorkerPool::new(1);
+                let ran = Arc::clone(&ran);
+                pool.submit(0, move || {
+                    *ran.lock().unwrap() = true;
+                });
+            }
+            assert!(*ran.lock().unwrap(), "queued job lost on drop");
+        });
     }
 }
 
