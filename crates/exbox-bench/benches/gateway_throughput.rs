@@ -15,6 +15,14 @@
 //! (`scripts/bench_compare.sh` gates this when `nproc ≥ 4`); on one
 //! core the scenarios mostly measure sharding overhead.
 //!
+//! `PipelineThroughput/{1,2,4,8}core` drives the same gateway through
+//! the single-ingress pipeline (`start_pipeline`/`ingest`): one
+//! dispatcher, per-lane SPSC rings, globally ordered verdict merge.
+//! Unlike `GatewayThroughput` (pre-partitioned, one driver per shard)
+//! this measures the *real* deployment shape — one packet stream in,
+//! one verdict stream out — including dispatch, ring hand-off and
+//! reorder cost. Gated at 4core ≥ 2.5x 1core on `nproc ≥ 4` runners.
+//!
 //! Hand-rolled harness (offline sandbox, no Criterion). `--json` for
 //! `scripts/bench_compare.sh`, `--quick` for the CI smoke job.
 
@@ -205,6 +213,71 @@ fn main() {
                             black_box(gw.process_packet(p, *snr));
                         }
                     }
+                    black_box(gw.matrix());
+                },
+            ));
+        }
+    }
+
+    // Multi-core pipeline data plane: one dispatcher flow-hashing an
+    // interleaved storm into per-lane SPSC rings, 1/2/4/8 run-to-
+    // completion workers, verdicts merged back into global ingress
+    // order (byte-identical to sequential driving — DESIGN.md §10).
+    // The storm interleaves flows round-robin so consecutive packets
+    // land on different lanes and the run-length cache rarely hits:
+    // per-packet worker cost (flow table + classify + amortised
+    // decisions) dominates the dispatcher, which is what makes the
+    // scenario scale. `scripts/bench_compare.sh` gates 4core ≥ 2.5x
+    // 1core when `nproc ≥ 4` and reports `n / (p50_ns / 1e9)` as the
+    // packets/sec headline.
+    {
+        const ROUNDS: u64 = 32;
+        let pipe_flows: u32 = if args.quick { 128 } else { 512 };
+        let mut stream: Vec<(Packet, SnrLevel)> =
+            Vec::with_capacity(pipe_flows as usize * ROUNDS as usize);
+        let mut t = 0u64;
+        for s in 0..ROUNDS {
+            for id in 1..=pipe_flows {
+                let key = FlowKey::synthetic(id, id, 1, Protocol::Tcp);
+                stream.push((
+                    Packet::new(
+                        Instant::from_millis(2 * t),
+                        1400,
+                        key,
+                        Direction::Downlink,
+                        s,
+                    ),
+                    SnrLevel::High,
+                ));
+                t += 1;
+            }
+        }
+        for cores in [1usize, 2, 4, 8] {
+            let cfg = GatewayConfig {
+                shards: cores,
+                ..GatewayConfig::default()
+            };
+            records.push(measure(
+                format!("PipelineThroughput/{cores}core"),
+                stream.len(),
+                2,
+                reps,
+                &bounds,
+                || {
+                    let mut gw = ConcurrentGateway::serving_only(
+                        cfg.clone(),
+                        est.clone(),
+                        ModelSnapshot::from_classifier(1, &classifier),
+                    );
+                    let mut pipe = gw.start_pipeline();
+                    let mut verdicts = Vec::with_capacity(stream.len());
+                    for chunk in stream.chunks(256) {
+                        pipe.ingest(chunk);
+                        pipe.drain_verdicts(&mut verdicts);
+                    }
+                    verdicts.extend(gw.finish_pipeline(pipe));
+                    assert_eq!(verdicts.len(), stream.len());
+                    black_box(&verdicts);
                     black_box(gw.matrix());
                 },
             ));

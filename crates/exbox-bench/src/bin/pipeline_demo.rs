@@ -1,0 +1,199 @@
+//! Pipeline determinism demo: the DESIGN.md §10 contract as an
+//! executable gate.
+//!
+//! Replays a seeded multi-wave storm — interleaved flow arrivals, then
+//! seeded departures between waves — through either the sequential
+//! batch path (`--mode sequential`) or the multi-core pipeline
+//! (`--mode pipeline --cores N`), and prints the full verdict stream
+//! as CSV (`seq,flow,action`, one row per packet, global ingress
+//! order). The CI `pipeline-smoke` leg runs both modes at several core
+//! counts and `cmp`s the outputs: any byte difference means the
+//! ordered merge, the decision gate or the shard routing broke the
+//! determinism contract.
+//!
+//! ```sh
+//! cargo run --release -p exbox-bench --bin pipeline_demo -- \
+//!     --mode sequential > /tmp/seq.csv
+//! cargo run --release -p exbox-bench --bin pipeline_demo -- \
+//!     --mode pipeline --cores 4 > /tmp/pipe4.csv
+//! cmp /tmp/seq.csv /tmp/pipe4.csv
+//! ```
+//!
+//! Departures are applied between waves (the pipeline owns the shards
+//! while it runs, so flow lifecycle events quiesce at wave
+//! boundaries), and the departure set is derived from the verdict
+//! stream itself — flows whose last wave verdict was `forward` and
+//! whose id hashes into the seeded third — so both modes compute it
+//! from data they both have, not from shared mutable state.
+
+use std::io::{BufWriter, Write};
+
+use exbox_core::gateway::{ConcurrentGateway, GatewayConfig, ModelSnapshot};
+use exbox_core::prelude::*;
+use exbox_ml::Label;
+use exbox_net::{AppClass, Direction, FlowKey, Instant, Packet, Protocol};
+
+fn estimator() -> QoeEstimator {
+    let mk = |a: f64, b: f64, g: f64| -> Vec<(f64, f64)> {
+        (0..20)
+            .map(|i| {
+                let q = i as f64 / 19.0;
+                (q, a + b * (-g * q).exp())
+            })
+            .collect()
+    };
+    train_estimator(
+        &[mk(1.0, 11.0, 5.0), mk(2.0, 20.0, 6.0), mk(42.0, -30.0, 4.0)],
+        QoeEstimator::paper_thresholds(),
+        paper_directions(),
+        exbox_core::qoe::QosScale::new(1e3, 1e8),
+    )
+}
+
+/// A tight region (at most two streaming flows), so a 24-flow wave
+/// rejects most arrivals and the seeded departures genuinely change
+/// later verdicts.
+fn trained_classifier() -> AdmittanceClassifier {
+    let mut ac = AdmittanceClassifier::new(AdmittanceConfig {
+        batch_size: 8,
+        ..AdmittanceConfig::default()
+    });
+    for n in 0..80u32 {
+        let total = n % 8;
+        let mut mat = TrafficMatrix::empty();
+        for _ in 0..total {
+            mat.add(FlowKind::new(AppClass::Streaming, SnrLevel::High));
+        }
+        let y = if total <= 2 { Label::Pos } else { Label::Neg };
+        ac.observe(mat, y);
+    }
+    assert_eq!(ac.phase(), Phase::Online, "fixture must go online");
+    ac
+}
+
+fn flow_key(id: u32) -> FlowKey {
+    FlowKey::synthetic(id, id, 1, Protocol::Tcp)
+}
+
+/// One wave: `flows` flows interleaved round-robin for `rounds`
+/// packets each. Timestamps and sequence numbers are per-flow clocks
+/// continuing across waves (2 ms inter-arrival, the streaming
+/// signature the early classifier keys on) — only the *arrival order*
+/// is interleaved, which is what spreads consecutive packets across
+/// pipeline lanes.
+fn wave(flows: u32, rounds: u64, w: u64) -> Vec<(Packet, SnrLevel)> {
+    let mut out = Vec::with_capacity(flows as usize * rounds as usize);
+    for s in 0..rounds {
+        let tick = w * rounds + s;
+        for id in 1..=flows {
+            out.push((
+                Packet::new(
+                    Instant::from_millis(2 * tick),
+                    1400,
+                    flow_key(id),
+                    Direction::Downlink,
+                    tick,
+                ),
+                SnrLevel::High,
+            ));
+        }
+    }
+    out
+}
+
+/// Recover the synthetic flow id from its key (ids < 20 000 only).
+fn flow_id(key: &FlowKey) -> u32 {
+    u32::from(key.client_port - 40_000)
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+fn main() {
+    let mut mode = String::from("sequential");
+    let mut cores = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => mode = args.next().expect("--mode needs a value"),
+            "--cores" => {
+                cores = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cores needs a number")
+            }
+            other => panic!("unknown arg {other} (use --mode sequential|pipeline [--cores N])"),
+        }
+    }
+
+    let flows = 24u32;
+    let rounds = 12u64;
+    let waves = 3usize;
+    let shards = if mode == "pipeline" { cores } else { 1 };
+    let cfg = GatewayConfig {
+        shards,
+        ..GatewayConfig::default()
+    };
+    let mut gw = ConcurrentGateway::serving_only(
+        cfg,
+        estimator(),
+        ModelSnapshot::from_classifier(1, &trained_classifier()),
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    writeln!(out, "seq,flow,action").unwrap();
+
+    let mut seq = 0u64;
+    for w in 0..waves {
+        let stream = wave(flows, rounds, w as u64);
+        let verdicts: Vec<Action> = match mode.as_str() {
+            "sequential" => stream
+                .iter()
+                .map(|(p, snr)| gw.process_packet(p, *snr))
+                .collect(),
+            "pipeline" => {
+                let mut pipe = gw.start_pipeline();
+                let mut got = Vec::with_capacity(stream.len());
+                for chunk in stream.chunks(97) {
+                    pipe.ingest(chunk);
+                    pipe.drain_verdicts(&mut got);
+                }
+                got.extend(gw.finish_pipeline(pipe));
+                got
+            }
+            other => panic!("unknown mode {other}"),
+        };
+        assert_eq!(verdicts.len(), stream.len());
+
+        // Last verdict per flow this wave, from the stream itself.
+        let mut last = vec![Action::Drop; flows as usize + 1];
+        for ((pkt, _), act) in stream.iter().zip(&verdicts) {
+            last[flow_id(&pkt.flow) as usize] = *act;
+            let action = match act {
+                Action::Forward => "forward",
+                Action::Drop => "drop",
+            };
+            writeln!(out, "{seq},{},{action}", flow_id(&pkt.flow)).unwrap();
+            seq += 1;
+        }
+        // Seeded departures between waves: a third of the flows whose
+        // last verdict was forward leave, freeing region capacity.
+        for id in 1..=flows {
+            if last[id as usize] == Action::Forward
+                && xorshift((u64::from(id) << 8) | (w as u64 + 1)).is_multiple_of(3)
+            {
+                gw.flow_departed(&flow_key(id));
+            }
+        }
+    }
+    out.flush().unwrap();
+    eprintln!(
+        "pipeline_demo: mode={mode} shards={shards} waves={waves} packets={seq} admitted={}",
+        gw.admitted_flows()
+    );
+}

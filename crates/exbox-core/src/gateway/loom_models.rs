@@ -7,8 +7,11 @@
 //! not just "no crash": eventual snapshot visibility, no
 //! use-after-retire under a pinned guard (the `SnapshotGuard::deref`
 //! canary), retired-list quiescence, channel no-loss/no-duplication,
-//! exact `try_send` backpressure accounting, and a lossless trainer
-//! shutdown drain.
+//! exact `try_send` backpressure accounting, a lossless trainer
+//! shutdown drain, and the pipeline's SPSC ring: lossless in-order
+//! transfer with atomic batch publication, fresh values out of reused
+//! slots across wraparound, and the close-after-publish protocol that
+//! lets a worker exit without stranding packets.
 //!
 //! Bounds: every model runs under the explorer's default preemption
 //! bound of 2 (documented in `DESIGN.md` §9) unless it passes an
@@ -28,6 +31,7 @@ use crate::matrix::{FlowKind, SnrLevel};
 use super::channel;
 use super::shard::SharedMatrix;
 use super::snapshot::SnapshotCell;
+use super::spsc;
 
 /// The ISSUE's acceptance model: ≥2 writers and ≥2 readers over one
 /// `SnapshotCell`, explored to exhaustion within the preemption bound.
@@ -259,6 +263,135 @@ fn trainer_shutdown_drain_never_loses() {
             sent,
             "observation lost across shutdown"
         );
+    });
+}
+
+/// The pipeline's SPSC ring under a racing producer and consumer,
+/// explored to exhaustion within the preemption bound: no loss, no
+/// duplication, no reorder — and **publish atomicity**: values pushed
+/// in one batch become visible together, so a concurrent drain
+/// observes a batch-aligned prefix (0, 2 or 4 values), never a torn
+/// batch. Capacity ≥ item count, so neither side ever has to spin
+/// (models stay finite without livelock heuristics).
+#[test]
+fn spsc_transfer_exhaustive_no_loss_no_tear() {
+    let report = explore(Config::default(), || {
+        let (mut tx, mut rx) = spsc::ring::<u64>(3);
+        // Capacity rounds up to a power of two even under the shims.
+        assert_eq!(tx.capacity(), 4);
+        let producer = thread::spawn(move || {
+            tx.push(0).unwrap();
+            tx.push(1).unwrap();
+            assert_eq!(tx.unpublished(), 2, "pushes published early");
+            tx.publish();
+            assert_eq!(tx.unpublished(), 0);
+            tx.push(2).unwrap();
+            tx.push(3).unwrap();
+            tx.publish();
+        });
+        // Racing drains: each sees whatever prefix is published.
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                rx.drain_into(&mut got, 4);
+                assert!(
+                    got.len() % 2 == 0,
+                    "torn batch: drained {} values mid-publish",
+                    got.len()
+                );
+            }
+            (got, rx)
+        });
+        producer.join().unwrap();
+        let (mut got, mut rx) = consumer.join().unwrap();
+        // The producer has joined (and its Drop published + closed):
+        // one more drain must surface everything, in push order.
+        rx.drain_into(&mut got, 4);
+        assert_eq!(got, vec![0, 1, 2, 3], "loss, duplication or reorder");
+        assert!(rx.is_closed(), "producer drop must hang up the ring");
+    })
+    .unwrap_or_else(|cex| {
+        panic!(
+            "spsc model failed: {}\nreplay: EXBOX_LOOM_REPLAY='{}'",
+            cex.message, cex.trace
+        )
+    });
+    assert!(
+        report.exhausted,
+        "schedule space not exhausted within bounds: {report:?}"
+    );
+}
+
+/// Slot reuse across threads: a capacity-2 ring carries four values
+/// through two producer/consumer handoffs, so every slot is written,
+/// consumed, and **rewritten by a different round** — the consumer
+/// must see the new values, never a stale first-round occupant
+/// (the invariant-2 ownership transfer under wraparound).
+#[test]
+fn spsc_wraparound_handoff_sees_fresh_values() {
+    model(|| {
+        let (mut tx, rx) = spsc::ring::<u64>(2);
+        tx.push(10).unwrap();
+        tx.push(11).unwrap();
+        tx.publish();
+        let first = thread::spawn(move || {
+            let mut rx = rx;
+            let a = rx.pop().expect("published value missing");
+            let b = rx.pop().expect("published value missing");
+            assert_eq!((a, b), (10, 11));
+            rx
+        });
+        let rx = first.join().unwrap();
+        // Same two slots, second round.
+        tx.push(20).unwrap();
+        tx.push(21).unwrap();
+        tx.publish();
+        let second = thread::spawn(move || {
+            let mut rx = rx;
+            let a = rx.pop().expect("reused slot missing");
+            let b = rx.pop().expect("reused slot missing");
+            assert_eq!((a, b), (20, 21), "stale value out of a reused slot");
+            assert!(rx.pop().is_none(), "phantom value");
+        });
+        second.join().unwrap();
+    });
+}
+
+/// The close/drain protocol the pipeline workers rely on: `closed` is
+/// set only *after* the final publish, so any consumer that observes
+/// `closed` and then drains nothing has provably received everything.
+/// The explorer checks the implication on every interleaving of a
+/// closing producer against a polling consumer.
+#[test]
+fn spsc_close_after_publish_never_strands_values() {
+    model(|| {
+        let (mut tx, mut rx) = spsc::ring::<u64>(4);
+        let producer = thread::spawn(move || {
+            tx.push(1).unwrap();
+            tx.push(2).unwrap();
+            tx.close(); // publishes, then hangs up
+        });
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                let closed_before = rx.is_closed();
+                let n = rx.drain_into(&mut got, 4);
+                if closed_before && n == 0 {
+                    // Worker-loop exit condition: must imply completion.
+                    assert_eq!(
+                        got,
+                        vec![1, 2],
+                        "observed closed + empty with values still in flight"
+                    );
+                }
+            }
+            (got, rx)
+        });
+        producer.join().unwrap();
+        let (mut got, mut rx) = consumer.join().unwrap();
+        rx.drain_into(&mut got, 4);
+        assert_eq!(got, vec![1, 2], "value stranded across close");
+        assert!(rx.is_closed());
     });
 }
 

@@ -36,6 +36,12 @@
 //!   never run on the packet path. Backpressure drops observations
 //!   (counted as `gateway.obs_dropped`) rather than stalling packets.
 //!
+//! - **Data plane.** [`ConcurrentGateway::start_pipeline`] turns the
+//!   shards into a run-to-completion multi-core pipeline: per-shard
+//!   lock-free SPSC ingress rings fed by a flow-hashing dispatcher,
+//!   verdicts merged back into one globally-ordered stream that is
+//!   byte-identical to sequential driving (see [`pipeline`]).
+//!
 //! Shard count comes from [`GatewayConfig::shards`] or the
 //! `EXBOX_SHARDS` environment knob ([`GatewayConfig::from_env`]). A
 //! 1-shard gateway makes the same per-flow verdicts as the
@@ -43,15 +49,15 @@
 //! `tests/gateway_concurrent.rs`).
 
 pub(crate) mod channel;
+pub mod pipeline;
 pub mod shard;
 pub mod snapshot;
+pub(crate) mod spsc;
 mod trainer;
 
 #[cfg(all(test, exbox_loom))]
 mod loom_models;
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::Path;
 use std::sync::{mpsc, Arc};
@@ -69,10 +75,27 @@ use crate::persist;
 use crate::qoe::QoeEstimator;
 use crate::recovery::FaultPlan;
 
+pub use pipeline::PipelineHandle;
 pub use shard::{GatewayShard, SharedMatrix};
 pub use snapshot::{ModelSnapshot, SnapshotCell, SnapshotGuard, SnapshotReader};
 
 use trainer::{TrainerHandle, TrainerMetrics, TrainerMsg};
+
+/// The gateway's stable flow-routing function: the shard owning `key`
+/// out of `shards` lanes.
+///
+/// **Stable-routing contract.** Routing is a pure function of the flow
+/// key and the shard count — `hash_flow_key(key) % shards`, the same
+/// FxHash used by the flow table's index — with no per-process seed,
+/// so a given flow maps to the same shard across runs, processes and
+/// driving styles (sequential, `take_shards`, pipeline). Tests pin
+/// concrete assignments (`tests/gateway_concurrent.rs`); changing this
+/// function redistributes flow state and is a breaking change to any
+/// deployment that persists per-shard artifacts.
+#[inline]
+pub(crate) fn route(key: &FlowKey, shards: usize) -> usize {
+    (crate::flowtable::hash_flow_key(key) % shards as u64) as usize
+}
 
 /// Environment knob selecting the shard count (positive integer).
 pub const SHARDS_ENV: &str = "EXBOX_SHARDS";
@@ -141,8 +164,13 @@ impl GatewayConfig {
 
 /// The sharded serving layer plus its background trainer.
 ///
-/// Two driving styles:
+/// Three driving styles:
 ///
+/// - **Pipeline** (multi-core deployments): call
+///   [`start_pipeline`](Self::start_pipeline) to move every shard
+///   onto a dedicated worker behind a lock-free SPSC ingress ring and
+///   drive the returned [`PipelineHandle`] — ordered verdicts,
+///   built-in backpressure, byte-identical to sequential driving.
 /// - **Sequential** (tests, traces, single-core deployments): call
 ///   [`process_packet`](Self::process_packet) /
 ///   [`poll`](Self::poll) / [`flow_departed`](Self::flow_departed) on
@@ -161,12 +189,18 @@ pub struct ConcurrentGateway {
     shards: Vec<GatewayShard>,
     shard_registries: Vec<MetricsRegistry>,
     trainer_registry: MetricsRegistry,
+    /// `pipeline.*` / `gateway.ring_*` counters; cumulative across
+    /// every pipeline started on this gateway.
+    pipeline_registry: MetricsRegistry,
     shared: Arc<SharedMatrix>,
     cell: Arc<SnapshotCell<ModelSnapshot>>,
     control: SnapshotReader<ModelSnapshot>,
     recovering: Arc<AtomicBool>,
     obs_tx: channel::BoundedSender<TrainerMsg>,
     trainer: Option<TrainerHandle>,
+    /// Per-batch shard-index scratch for the sequential batched driver
+    /// (one `route` per packet, reused across calls).
+    route_scratch: Vec<u32>,
 }
 
 impl Drop for ConcurrentGateway {
@@ -324,12 +358,14 @@ impl ConcurrentGateway {
             shards,
             shard_registries,
             trainer_registry,
+            pipeline_registry: MetricsRegistry::new(),
             shared,
             cell,
             control,
             recovering,
             obs_tx,
             trainer,
+            route_scratch: Vec::new(),
         }
     }
 
@@ -338,13 +374,17 @@ impl ConcurrentGateway {
         self.cfg.shards
     }
 
-    /// The shard index owning `key`'s flow state. Deterministic across
-    /// runs and processes (fixed-key [`DefaultHasher`]); every packet,
-    /// QoS report and departure for one flow must reach this shard.
+    /// The shard index owning `key`'s flow state; every packet, QoS
+    /// report and departure for one flow must reach this shard.
+    ///
+    /// Routing is the seedless FxHash already computed for the flow
+    /// table's index ([`crate::flowtable::hash_flow_key`]) — one
+    /// multiply-xor mix instead of the SipHash rounds `DefaultHasher`
+    /// used to spend per packet — and follows the stable-routing
+    /// contract documented on `route`: deterministic across runs,
+    /// processes and driving styles for a given shard count.
     pub fn shard_for(&self, key: &FlowKey) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() % self.cfg.shards as u64) as usize
+        route(key, self.cfg.shards)
     }
 
     /// Move the shards out for concurrent driving (one thread each).
@@ -352,6 +392,43 @@ impl ConcurrentGateway {
     /// gateway — metrics, checkpointing, shutdown — keeps working.
     pub fn take_shards(&mut self) -> Vec<GatewayShard> {
         std::mem::take(&mut self.shards)
+    }
+
+    /// Start the multi-core data plane ([`pipeline`]): every shard
+    /// moves onto a dedicated worker thread draining a bounded SPSC
+    /// ingress ring, and the returned [`PipelineHandle`] becomes the
+    /// dispatcher — [`ingest`](PipelineHandle::ingest) routes packets
+    /// by flow hash, [`drain_verdicts`](PipelineHandle::drain_verdicts)
+    /// returns the globally-ordered verdict stream (byte-identical to
+    /// sequential driving, DESIGN.md §10). The sequential drivers
+    /// panic while the pipeline runs; retire it with
+    /// [`finish_pipeline`](Self::finish_pipeline) to get them back.
+    pub fn start_pipeline(&mut self) -> PipelineHandle {
+        assert!(
+            !self.shards.is_empty(),
+            "gateway shards were taken; return them before starting a pipeline"
+        );
+        let shards = self.take_shards();
+        PipelineHandle::start(pipeline::PipelineSpec {
+            shards,
+            batch: self.cfg.batch,
+            registry: &self.pipeline_registry,
+        })
+    }
+
+    /// Drain and shut down a pipeline started by
+    /// [`start_pipeline`](Self::start_pipeline): blocks until every
+    /// in-flight packet's verdict is merged, closes the ingress rings,
+    /// joins the workers (always *before* the trainer — the gateway's
+    /// `Drop` only joins the trainer, so retiring the handle first is
+    /// what the drop order already enforces for callers who keep both
+    /// on one scope), puts the shards back for sequential driving, and
+    /// returns the tail of the ordered verdict stream.
+    pub fn finish_pipeline(&mut self, handle: PipelineHandle) -> Vec<Action> {
+        let (mut shards, tail) = handle.finish();
+        shards.sort_by_key(GatewayShard::id);
+        self.shards = shards;
+        tail
     }
 
     fn shard_mut(&mut self, idx: usize) -> &mut GatewayShard {
@@ -381,15 +458,22 @@ impl ConcurrentGateway {
             !self.shards.is_empty(),
             "gateway shards were taken; drive them directly"
         );
+        // One routing hash per packet: the run scan used to call
+        // `shard_for` twice per packet (once in the inner scan, again
+        // when the next outer iteration re-hashed the run boundary).
+        let shards = self.cfg.shards;
+        self.route_scratch.clear();
+        self.route_scratch
+            .extend(pkts.iter().map(|(pkt, _)| route(&pkt.flow, shards) as u32));
         let mut out = Vec::with_capacity(pkts.len());
         let mut i = 0;
         while i < pkts.len() {
-            let idx = self.shard_for(&pkts[i].0.flow);
+            let idx = self.route_scratch[i];
             let mut j = i + 1;
-            while j < pkts.len() && self.shard_for(&pkts[j].0.flow) == idx {
+            while j < pkts.len() && self.route_scratch[j] == idx {
                 j += 1;
             }
-            out.extend(self.shards[idx].process_packets(&pkts[i..j]));
+            out.extend(self.shards[idx as usize].process_packets(&pkts[i..j]));
             i = j;
         }
         out
@@ -398,15 +482,24 @@ impl ConcurrentGateway {
     /// Sequential driver: poll every shard (shard order), concatenating
     /// the verdicts.
     pub fn poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+        let mut verdicts = Vec::new();
+        self.poll_into(now, &mut verdicts);
+        verdicts
+    }
+
+    /// Allocation-free twin of [`poll`](Self::poll): verdicts are
+    /// appended to the caller's buffer (shard order), each shard
+    /// filling it directly via [`GatewayShard::poll_into`] — no
+    /// per-shard intermediate vectors, no per-poll allocation once the
+    /// buffer warmed up (`gateway.poll_buf_grows` stays flat).
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<(FlowKey, PollVerdict)>) {
         assert!(
             !self.shards.is_empty(),
             "gateway shards were taken; drive them directly"
         );
-        let mut verdicts = Vec::new();
         for shard in &mut self.shards {
-            verdicts.extend(shard.poll(now));
+            shard.poll_into(now, out);
         }
-        verdicts
     }
 
     /// Sequential driver: record a delivery report for an admitted flow.
@@ -540,6 +633,13 @@ impl ConcurrentGateway {
         &self.trainer_registry
     }
 
+    /// The pipeline registry (`pipeline.*`, `gateway.ring_*`);
+    /// counters accumulate across every pipeline started on this
+    /// gateway.
+    pub fn pipeline_registry(&self) -> &MetricsRegistry {
+        &self.pipeline_registry
+    }
+
     /// One coherent metrics view across every shard and the trainer:
     /// counters summed, gauges maxed, histograms merged bucket-wise
     /// (see [`MetricsSnapshot::merged`]). Counter names match the
@@ -552,6 +652,7 @@ impl ConcurrentGateway {
             .map(MetricsRegistry::snapshot)
             .collect();
         parts.push(self.trainer_registry.snapshot());
+        parts.push(self.pipeline_registry.snapshot());
         MetricsSnapshot::merged(&parts)
     }
 

@@ -29,8 +29,50 @@ use crate::middlebox::{
 use crate::qoe::QoeEstimator;
 use crate::recovery::{FaultKind, FaultPlan};
 
+use super::pipeline::OrderGate;
 use super::snapshot::{ModelSnapshot, SnapshotReader};
 use super::trainer::TrainerMsg;
+
+/// Abstraction over the two batch-input shapes — the sequential
+/// driver's `&[(Packet, SnrLevel)]` and the pipeline's
+/// sequence-tagged `&[(u64, Packet, SnrLevel)]` — so both run the
+/// *same* batch loop ([`GatewayShard::process_batch_inner`]) and can
+/// never drift apart in decision semantics.
+trait BatchInput {
+    fn len(&self) -> usize;
+    fn item(&self, i: usize) -> (&Packet, SnrLevel);
+    /// Global ingress sequence of element `i` (its index for untagged
+    /// input, where nothing consumes it).
+    fn seq(&self, i: usize) -> u64;
+}
+
+impl BatchInput for [(Packet, SnrLevel)] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn item(&self, i: usize) -> (&Packet, SnrLevel) {
+        (&self[i].0, self[i].1)
+    }
+
+    fn seq(&self, i: usize) -> u64 {
+        i as u64
+    }
+}
+
+impl BatchInput for [(u64, Packet, SnrLevel)] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn item(&self, i: usize) -> (&Packet, SnrLevel) {
+        (&self[i].1, self[i].2)
+    }
+
+    fn seq(&self, i: usize) -> u64 {
+        self[i].0
+    }
+}
 
 /// The cell-wide traffic matrix as atomics: shard decisions read a
 /// point-in-time [`TrafficMatrix`] from it and admissions/departures
@@ -107,6 +149,10 @@ struct ShardMetrics {
     /// epoch-keyed decision cache.
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    /// `gateway.poll_buf_grows` — times a poll had to grow the
+    /// caller's verdict buffer; stays 0 in steady state when callers
+    /// reuse a buffer via [`GatewayShard::poll_into`].
+    poll_buf_grows: Arc<Counter>,
     decision_latency_ns: Arc<Histogram>,
     poll_latency_ns: Arc<Histogram>,
 }
@@ -129,6 +175,7 @@ impl ShardMetrics {
             obs_dropped: reg.counter("gateway.obs_dropped"),
             cache_hits: reg.counter("gateway.cache_hits"),
             cache_misses: reg.counter("gateway.cache_misses"),
+            poll_buf_grows: reg.counter("gateway.poll_buf_grows"),
             decision_latency_ns: reg
                 .histogram("middlebox.decision_latency_ns", &buckets::latency_ns()),
             poll_latency_ns: reg.histogram("middlebox.poll_latency_ns", &buckets::latency_ns()),
@@ -486,6 +533,35 @@ impl GatewayShard {
     ///   per batch instead of per packet.
     pub fn process_packets(&mut self, pkts: &[(Packet, SnrLevel)]) -> Vec<Action> {
         let mut out = Vec::with_capacity(pkts.len());
+        self.process_batch_inner(pkts, None, |_seq, act| out.push(act));
+        out
+    }
+
+    /// The pipeline's gated twin of
+    /// [`GatewayShard::process_packets`]: input carries global ingress
+    /// sequence numbers, verdicts are emitted as `(seq, action)`
+    /// pairs, and before every shared-matrix decision the worker waits
+    /// on the [`OrderGate`] until all earlier sequences (on every
+    /// lane) have completed — which is what keeps the merged pipeline
+    /// verdict stream byte-identical to sequential driving
+    /// (DESIGN.md §10). Both entry points share one loop, so the
+    /// decision semantics cannot drift.
+    pub(crate) fn process_packets_tagged(
+        &mut self,
+        pkts: &[(u64, Packet, SnrLevel)],
+        gate: &OrderGate,
+        lane: usize,
+        out: &mut Vec<(u64, Action)>,
+    ) {
+        self.process_batch_inner(pkts, Some((gate, lane)), |seq, act| out.push((seq, act)));
+    }
+
+    fn process_batch_inner<I: BatchInput + ?Sized>(
+        &mut self,
+        pkts: &I,
+        gate: Option<(&OrderGate, usize)>,
+        mut emit: impl FnMut(u64, Action),
+    ) {
         let cell = Arc::clone(self.reader.cell());
         let fallback_cap = self.cfg.fallback_max_flows.max(1);
         let mut cached_drops = 0u64;
@@ -508,9 +584,15 @@ impl GatewayShard {
                 drop(guard);
             };
             if let Some(class) = pending.take() {
-                let (pkt, snr) = &pkts[idx];
+                let (pkt, snr) = pkts.item(idx);
+                let seq = pkts.seq(idx);
                 idx += 1;
                 let recovering = self.recovering.load(Ordering::SeqCst);
+                // `begin(seq)` already ran when this packet's pre-path
+                // did, so the lane's cursor still holds its sequence.
+                if let Some((gate, lane)) = gate {
+                    gate.wait_turn(lane, seq);
+                }
                 let act = Self::decide_apply(
                     &guard,
                     &mut self.cache,
@@ -523,29 +605,36 @@ impl GatewayShard {
                     fallback_cap,
                     recovering,
                     pkt,
-                    *snr,
+                    snr,
                     class,
                 );
                 last = Some((pkt.flow, act));
-                out.push(act);
+                emit(seq, act);
             }
             // Serve packets under this pin until a publication lands.
             // Only decisions consult the snapshot, so staleness is
             // checked at decision points — the pre-path stays free of
             // atomic loads.
             while idx < pkts.len() {
-                let (pkt, snr) = &pkts[idx];
+                let (pkt, snr) = pkts.item(idx);
+                let seq = pkts.seq(idx);
+                // Publish per-packet progress: everything this lane
+                // owns below `seq` is complete. Cached/pre-path
+                // packets never wait — only decisions do.
+                if let Some((gate, lane)) = gate {
+                    gate.begin(lane, seq);
+                }
                 match last {
                     Some((key, Action::Drop)) if key == pkt.flow => {
                         idx += 1;
                         cached_drops += 1;
-                        out.push(Action::Drop);
+                        emit(seq, Action::Drop);
                         continue;
                     }
                     Some((key, Action::Forward)) if key == pkt.flow => {
                         idx += 1;
                         self.table.observe(pkt);
-                        out.push(Action::Forward);
+                        emit(seq, Action::Forward);
                         continue;
                     }
                     _ => {}
@@ -554,14 +643,14 @@ impl GatewayShard {
                     idx += 1;
                     self.metrics.drops_rejected.inc();
                     last = Some((pkt.flow, Action::Drop));
-                    out.push(Action::Drop);
+                    emit(seq, Action::Drop);
                     continue;
                 }
                 self.table.observe(pkt);
                 if self.flows.contains_key(&pkt.flow) {
                     idx += 1;
                     last = Some((pkt.flow, Action::Forward));
-                    out.push(Action::Forward);
+                    emit(seq, Action::Forward);
                     continue;
                 }
                 let class = match self.early.observe(pkt) {
@@ -570,7 +659,7 @@ impl GatewayShard {
                         // packets of this flow must re-probe.
                         idx += 1;
                         last = None;
-                        out.push(Action::Forward);
+                        emit(seq, Action::Forward);
                         continue;
                     }
                     Some(class) => class,
@@ -585,6 +674,9 @@ impl GatewayShard {
                 }
                 idx += 1;
                 let recovering = self.recovering.load(Ordering::SeqCst);
+                if let Some((gate, lane)) = gate {
+                    gate.wait_turn(lane, seq);
+                }
                 let act = Self::decide_apply(
                     &guard,
                     &mut self.cache,
@@ -597,16 +689,15 @@ impl GatewayShard {
                     fallback_cap,
                     recovering,
                     pkt,
-                    *snr,
+                    snr,
                     class,
                 );
                 last = Some((pkt.flow, act));
-                out.push(act);
+                emit(seq, act);
             }
         }
         self.metrics.packets.add(pkts.len() as u64);
         self.metrics.drops_rejected.add(cached_drops);
-        out
     }
 
     /// Queue a packet on the shard's ingress ring for a later
@@ -696,17 +787,31 @@ impl GatewayShard {
     /// conjunction distributes over the partition; shards report
     /// `Pos` only for flow subsets that are all acceptable).
     pub fn poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
-        if now.saturating_since(self.last_poll) < self.cfg.poll_interval {
-            return Vec::new();
-        }
-        self.last_poll = now;
-        self.metrics.polls.inc();
-        let (verdicts, poll_ns) = exbox_obs::time_ns(|| self.run_poll(now));
-        self.metrics.poll_latency_ns.record(poll_ns);
+        let mut verdicts = Vec::new();
+        self.poll_into(now, &mut verdicts);
         verdicts
     }
 
-    fn run_poll(&mut self, now: Instant) -> Vec<(FlowKey, PollVerdict)> {
+    /// Allocation-free twin of [`GatewayShard::poll`]: verdicts are
+    /// *appended* to the caller's buffer, so a reused buffer makes
+    /// steady-state polling allocation-free (the internal slot scratch
+    /// already persists across polls). `gateway.poll_buf_grows` counts
+    /// the polls that had to grow `out` — 0 once the buffer warmed up.
+    pub fn poll_into(&mut self, now: Instant, out: &mut Vec<(FlowKey, PollVerdict)>) {
+        if now.saturating_since(self.last_poll) < self.cfg.poll_interval {
+            return;
+        }
+        self.last_poll = now;
+        self.metrics.polls.inc();
+        let cap_before = out.capacity();
+        let ((), poll_ns) = exbox_obs::time_ns(|| self.run_poll(now, out));
+        self.metrics.poll_latency_ns.record(poll_ns);
+        if out.capacity() != cap_before {
+            self.metrics.poll_buf_grows.inc();
+        }
+    }
+
+    fn run_poll(&mut self, now: Instant, verdicts: &mut Vec<(FlowKey, PollVerdict)>) {
         // One executed poll == one wheel tick, advanced even through
         // empty polls so deadlines stay aligned with poll_seq.
         self.poll_seq += 1;
@@ -720,7 +825,7 @@ impl GatewayShard {
         }
         if self.flows.is_empty() {
             self.poll_scratch = scratch;
-            return Vec::new();
+            return;
         }
 
         // Per-flow acceptability folded into a (measured, unacceptable)
@@ -764,7 +869,6 @@ impl GatewayShard {
         // shared matrix and the local working copy before re-deciding.
         // Revocations shed this shard's oldest admission first; kept
         // flows are tallied in bulk, never materialised.
-        let mut verdicts: Vec<(FlowKey, PollVerdict)> = Vec::new();
         let guard = self.reader.pin();
         if guard.phase() == Phase::Online {
             let mut matrix = self.shared.snapshot();
@@ -811,6 +915,5 @@ impl GatewayShard {
         }
         scratch.clear();
         self.poll_scratch = scratch;
-        verdicts
     }
 }

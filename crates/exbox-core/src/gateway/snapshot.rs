@@ -22,8 +22,10 @@
 //!   an older epoch simply keeps serving the older (still coherent)
 //!   model until its next pin.
 //!
-//! This is the only `unsafe` in the workspace; the invariant it rests
-//! on is spelled out at the private `SnapshotCell::reclaim` method.
+//! This module and the pipeline's SPSC ring (`super::spsc`) hold
+//! the only `unsafe` in the workspace; the invariant this one rests
+//! on is spelled out at the private `SnapshotCell::reclaim` method,
+//! the ring's in its module-level Safety section.
 
 use std::sync::Arc;
 

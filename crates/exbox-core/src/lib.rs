@@ -113,7 +113,7 @@ pub mod prelude {
         AdmissionController, Decision, ExBoxController, FlowRequest, MaxClient, RateBased,
     };
     pub use crate::gateway::{
-        ConcurrentGateway, GatewayConfig, GatewayShard, ModelSnapshot, SharedMatrix,
+        ConcurrentGateway, GatewayConfig, GatewayShard, ModelSnapshot, PipelineHandle, SharedMatrix,
     };
     pub use crate::iqx::IqxModel;
     pub use crate::matrix::{FlowKind, SnrLevel, TrafficMatrix};

@@ -107,6 +107,45 @@ fn tasks_counter() -> &'static Arc<Counter> {
     TASKS.get_or_init(|| exbox_obs::global().counter("par.tasks"))
 }
 
+/// Pads and aligns `T` to a 128-byte boundary so two neighbouring
+/// values never share a cache line (128 covers the spatial-prefetcher
+/// pairing on x86 and the 128-byte lines on some AArch64 parts).
+///
+/// Used by the gateway's SPSC ingress rings and order gate, where a
+/// producer-written index sitting next to a consumer-written index
+/// would otherwise ping-pong one line between cores on every packet.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap, consuming the padding.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
 /// A scoped thread pool: a thread-count policy plus fork/join
 /// primitives. Workers are scoped [`std::thread`]s spawned per call
 /// and joined before the call returns, so borrowed data flows into

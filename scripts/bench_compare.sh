@@ -33,6 +33,12 @@
 #    complete at least 2.5× faster (p50) than the 1-shard storm
 #    *within the current run* (sharding pays off); skipped below 4
 #    cores, where the scenarios only measure sharding overhead.
+#  * gateway_throughput: on a 4+-core runner, the single-ingress
+#    pipeline (`PipelineThroughput`) must push the same storm at
+#    least 2.5× faster with 4 worker lanes than with 1 *within the
+#    current run* (the SPSC + ordered-merge data plane scales);
+#    skipped below 4 cores. Per-lane-count packets/sec headlines are
+#    always reported.
 #  * flow_scale: `PollSteady/wheel` p50 must be at least 5× below
 #    `PollSteady/scan` p50 *within the current run* (incremental
 #    polling pays off at 100k flows), and the streamed soak's peak
@@ -202,6 +208,35 @@ if [ "$bench" = gateway_throughput ]; then
             pps=$(jq -n --argjson n "${row%% *}" --argjson p "${row##* }" \
                 'if $p > 0 then ($n / $p * 1e9 | round) else 0 end')
             echo "batched-ingest headline: GatewayBatch/$s serves ${pps} packets/sec (p50)"
+        fi
+    done
+    # Pipeline scaling acceptance bar: within the same run, the
+    # single-ingress pipeline with 4 worker lanes must push the
+    # identical interleaved storm at least 2.5× faster than with 1
+    # lane at the median — the dispatch + SPSC + ordered-merge
+    # overhead must not eat the parallelism. Skipped below 4 cores,
+    # where extra lanes only add hand-off cost.
+    pone=$(jq -r '.scenarios["PipelineThroughput/1core"].p50_ns // empty' "$current")
+    pfour=$(jq -r '.scenarios["PipelineThroughput/4core"].p50_ns // empty' "$current")
+    if [ "$cores" -lt 4 ]; then
+        echo "pipeline scaling bar skipped: only ${cores} core(s) (need >= 4)"
+    elif [ -n "$pone" ] && [ -n "$pfour" ]; then
+        if [ "$(jq -n --argjson f "$pfour" --argjson o "$pone" '$f * 2.5 <= $o')" = true ]; then
+            echo "pipeline scaling bar: 4core p50 ${pfour}ns * 2.5 <= 1core p50 ${pone}ns — ok"
+        else
+            echo "pipeline scaling bar FAILED: 4core p50 ${pfour}ns * 2.5 > 1core p50 ${pone}ns"
+            fail=1
+        fi
+    fi
+    # Pipeline headline: packets/sec through the single-ingress data
+    # plane at each lane count present in the run.
+    for c in 1 2 4 8; do
+        row=$(jq -r --arg s "PipelineThroughput/${c}core" \
+            '.scenarios[$s] | if . then "\(.n) \(.p50_ns)" else empty end' "$current")
+        if [ -n "$row" ]; then
+            pps=$(jq -n --argjson n "${row%% *}" --argjson p "${row##* }" \
+                'if $p > 0 then ($n / $p * 1e9 | round) else 0 end')
+            echo "pipeline headline: PipelineThroughput/${c}core serves ${pps} packets/sec (p50)"
         fi
     done
 fi

@@ -4,7 +4,9 @@
 //! driving — including run-length-cache interactions (bursty streams),
 //! the deferred counter flush, and model snapshots published between
 //! batches. This is the contract that lets operators turn `EXBOX_BATCH`
-//! up or down without ever changing an admission decision.
+//! up or down without ever changing an admission decision — and, since
+//! the multi-core pipeline (DESIGN.md §10), turn `EXBOX_SHARDS` up or
+//! down without changing one either.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -240,6 +242,102 @@ proptest! {
             }
             got.extend(subject.process_packets(chunk));
         }
+        if pi == batches.len() {
+            sub_cell.publish(snapshot(4));
+        }
+
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(subject.matrix(), reference.matrix());
+        prop_assert_eq!(subject.admitted_flows(), reference.admitted_flows());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The multi-core pipeline over any split == per-packet sequential
+    /// driving, in verdicts (global ingress order), matrix occupancy
+    /// and admissions — for every supported worker count, with
+    /// verdicts drained opportunistically mid-stream. This is the
+    /// DESIGN.md §10 determinism contract: `EXBOX_SHARDS` may change
+    /// the core count, never a verdict.
+    #[test]
+    fn pipeline_equals_sequential_for_any_split(
+        runs in runs_strategy(),
+        sizes in sizes_strategy(),
+        shards in 1usize..5,
+    ) {
+        let stream = build_stream(&runs);
+        let cfg = GatewayConfig { shards, ..GatewayConfig::default() };
+        let mut reference =
+            ConcurrentGateway::serving_only(cfg.clone(), estimator(), snapshot(2));
+        let expect: Vec<Action> = stream
+            .iter()
+            .map(|(p, snr)| reference.process_packet(p, *snr))
+            .collect();
+
+        let mut subject = ConcurrentGateway::serving_only(cfg, estimator(), snapshot(2));
+        let mut pipe = subject.start_pipeline();
+        let mut got = Vec::with_capacity(stream.len());
+        for chunk in split(&stream, &sizes) {
+            pipe.ingest(chunk);
+            // Opportunistic mid-stream drain: whatever is ready must
+            // already be in ingress order.
+            pipe.drain_verdicts(&mut got);
+        }
+        got.extend(subject.finish_pipeline(pipe));
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(subject.matrix(), reference.matrix());
+        prop_assert_eq!(subject.admitted_flows(), reference.admitted_flows());
+    }
+
+    /// A model republished part-way through a pipeline run: the
+    /// pipeline quiesces (`flush`), publishes, and keeps ingesting; the
+    /// per-packet reference publishes at the same stream offset.
+    /// Verdicts, matrix and admissions must still match exactly, under
+    /// every worker count — republication is only verdict-deterministic
+    /// at a flush point, which is exactly how the trainer-facing driver
+    /// uses it.
+    #[test]
+    fn pipeline_republication_at_flush_points_keeps_equivalence(
+        runs in runs_strategy(),
+        sizes in sizes_strategy(),
+        shards in 1usize..5,
+        publish_pick in 0usize..64,
+    ) {
+        let stream = build_stream(&runs);
+        let cfg = GatewayConfig { shards, ..GatewayConfig::default() };
+        let batches = split(&stream, &sizes);
+        let pi = publish_pick % (batches.len() + 1);
+        let k: usize = batches[..pi].iter().map(|b| b.len()).sum();
+
+        let mut reference =
+            ConcurrentGateway::serving_only(cfg.clone(), estimator(), snapshot(2));
+        let ref_cell = reference.snapshot_cell();
+        let mut expect = Vec::with_capacity(stream.len());
+        for (i, (p, snr)) in stream.iter().enumerate() {
+            if i == k {
+                ref_cell.publish(snapshot(4));
+            }
+            expect.push(reference.process_packet(p, *snr));
+        }
+        if k == stream.len() {
+            ref_cell.publish(snapshot(4));
+        }
+
+        let mut subject = ConcurrentGateway::serving_only(cfg, estimator(), snapshot(2));
+        let sub_cell = subject.snapshot_cell();
+        let mut pipe = subject.start_pipeline();
+        let mut got = Vec::with_capacity(stream.len());
+        for (ci, chunk) in batches.iter().enumerate() {
+            if ci == pi {
+                pipe.flush(&mut got);
+                sub_cell.publish(snapshot(4));
+            }
+            pipe.ingest(chunk);
+            pipe.drain_verdicts(&mut got);
+        }
+        got.extend(subject.finish_pipeline(pipe));
         if pi == batches.len() {
             sub_cell.publish(snapshot(4));
         }
